@@ -1,0 +1,76 @@
+/// \file bench_table2_single_node.cpp
+/// Table 2: single-node runtime comparison, diBELLA vs a DALIGNER-like
+/// sort-merge overlapper, on three inputs (a 30x sample, 30x, 100x).
+/// Real wall-clock time on this machine (no simulation), I/O excluded, as
+/// in the paper. Paper shape: DALIGNER-like modestly faster than diBELLA
+/// single-node (52.04 vs 65.72 s on E. coli 30x), same order of magnitude
+/// on every input.
+
+#include <cstdio>
+
+#include "baseline/daligner_like.hpp"
+#include "comm/world.hpp"
+#include "common/bench_common.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace dibella;
+  using namespace dibella::benchx;
+  print_header("Table 2 — Single-node runtime comparison (wall seconds)",
+               "diBELLA (threads-as-ranks, all stages) vs DALIGNER-like (sort-merge)");
+
+  // The paper's three columns: a sample of 30x, full 30x, full 100x —
+  // mapped to a half-size 30x analogue, the 30x analogue, the 100x analogue.
+  auto sample = bench_preset_30x();
+  sample.name = "E.coli 30x (sample)";
+  sample.reads.coverage = 15.0;
+  struct Input {
+    const char* label;
+    simgen::DatasetPreset preset;
+  };
+  std::vector<Input> inputs = {{"E.coli 30x (sample)", sample},
+                               {"E.coli 30x", bench_preset_30x()},
+                               {"E.coli 100x", bench_preset_100x()}};
+
+  // Both implementations run serially (1 rank / 1 thread): the paper gives
+  // both tools 64 threads, and our DALIGNER-like baseline is single-threaded,
+  // so equal resources keep the comparison about the *algorithms* (hash +
+  // two-pass streaming vs sort-merge), which is what Table 2's shape shows.
+  const int threads = 1;
+  util::Table t({"input", "reads", "diBELLA (s)", "DALIGNER-like (s)", "ratio",
+                 "pairs (agree)"});
+  for (const auto& input : inputs) {
+    const auto& reads = dataset(input.preset);
+    auto cfg = config_for(input.preset, overlap::SeedFilterConfig::one_seed());
+
+    util::WallTimer wt;
+    comm::World world(threads);
+    auto dib = run_pipeline(world, reads, cfg);
+    double t_dibella = wt.seconds();
+
+    baseline::BaselineConfig bcfg;
+    bcfg.k = cfg.k;
+    bcfg.min_count = cfg.min_kmer_count;
+    bcfg.max_count = cfg.resolved_max_kmer_count();
+    bcfg.seed_filter = cfg.seed_filter;
+    bcfg.scoring = cfg.scoring;
+    bcfg.xdrop = cfg.xdrop;
+    bcfg.block_reads = reads.size() / 4 + 1;  // DALIGNER's blocked operation
+    wt.reset();
+    auto base = baseline::run_daligner_like(reads, bcfg);
+    double t_baseline = wt.seconds();
+
+    t.start_row();
+    t.cell(input.label);
+    t.cell(static_cast<u64>(reads.size()));
+    t.cell(t_dibella, 2);
+    t.cell(t_baseline, 2);
+    t.cell(t_dibella / t_baseline, 2);
+    t.cell(base.read_pairs == dib.counters.read_pairs ? "yes" : "NO");
+  }
+  t.print("single-node comparison (" + std::to_string(threads) + " rank-threads)");
+  std::printf("\npaper anchor (Cori Haswell, 64 threads): diBELLA 65.72s vs\n"
+              "DALIGNER 52.04s on E.coli 30x — same order, DALIGNER modestly\n"
+              "ahead single-node; diBELLA's advantage is multi-node scaling.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "align/read_exchange.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/kernel_costs.hpp"
+
+namespace dibella::align {
+
+namespace {
+/// Wire header for one shipped read.
+struct ReadHeaderWire {
+  u64 gid = 0;
+  u32 length = 0;
+};
+static_assert(std::is_trivially_copyable_v<ReadHeaderWire>);
+}  // namespace
+
+ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& store,
+                                     const std::vector<overlap::AlignmentTask>& tasks) {
+  auto& comm = ctx.comm;
+  comm.set_stage("align");
+  const int P = comm.size();
+  const auto& partition = store.partition();
+  ReadExchangeResult res;
+
+  const auto& costs = core::KernelCosts::get();
+
+  // --- collect distinct remote gids, bucketed by owning rank.
+  std::vector<std::vector<u64>> requests(static_cast<std::size_t>(P));
+  {
+    std::set<u64> needed;
+    for (const auto& t : tasks) {
+      if (!store.is_local(t.rid_a)) needed.insert(t.rid_a);
+      if (!store.is_local(t.rid_b)) needed.insert(t.rid_b);
+    }
+    res.reads_requested = needed.size();
+    for (u64 gid : needed) {
+      requests[static_cast<std::size_t>(partition.owner_of(gid))].push_back(gid);
+    }
+    ctx.trace.add_compute("align:pack",
+                          static_cast<double>(tasks.size()) * costs.pair_consolidate,
+                          tasks.size() * sizeof(overlap::AlignmentTask));
+  }
+
+  // --- request ids travel to owners.
+  auto incoming_requests = comm.alltoallv(requests);
+
+  // --- owners serialize the requested reads per requester.
+  std::vector<std::vector<ReadHeaderWire>> reply_headers(static_cast<std::size_t>(P));
+  std::vector<std::vector<char>> reply_chars(static_cast<std::size_t>(P));
+  {
+    u64 served_bytes = 0;
+    for (int requester = 0; requester < P; ++requester) {
+      for (u64 gid : incoming_requests[static_cast<std::size_t>(requester)]) {
+        const io::Read& r = store.local_read(gid);
+        reply_headers[static_cast<std::size_t>(requester)].push_back(
+            ReadHeaderWire{gid, static_cast<u32>(r.seq.size())});
+        auto& chars = reply_chars[static_cast<std::size_t>(requester)];
+        chars.insert(chars.end(), r.seq.begin(), r.seq.end());
+        ++res.reads_served;
+        served_bytes += r.seq.size();
+      }
+    }
+    ctx.trace.add_compute("align:pack",
+                          static_cast<double>(served_bytes) * costs.per_byte_copy,
+                          served_bytes);
+  }
+
+  // --- replies: headers then characters (two alltoallvs, as real MPI codes
+  // marshal ragged payloads).
+  auto incoming_headers = comm.alltoallv(reply_headers);
+  auto incoming_chars = comm.alltoallv(reply_chars);
+
+  // --- rebuild and cache the remote reads.
+  {
+    std::vector<io::Read> fetched;
+    for (int owner = 0; owner < P; ++owner) {
+      const auto& headers = incoming_headers[static_cast<std::size_t>(owner)];
+      const auto& chars = incoming_chars[static_cast<std::size_t>(owner)];
+      std::size_t offset = 0;
+      for (const auto& h : headers) {
+        DIBELLA_CHECK(offset + h.length <= chars.size(),
+                      "read exchange: payload shorter than headers describe");
+        io::Read r;
+        r.gid = h.gid;
+        r.name = "remote";
+        r.seq.assign(chars.begin() + static_cast<std::ptrdiff_t>(offset),
+                     chars.begin() + static_cast<std::ptrdiff_t>(offset + h.length));
+        offset += h.length;
+        res.bytes_received += h.length;
+        fetched.push_back(std::move(r));
+      }
+      DIBELLA_CHECK(offset == chars.size(),
+                    "read exchange: payload longer than headers describe");
+    }
+    ctx.trace.add_compute("align:cache",
+                          static_cast<double>(res.bytes_received) * costs.per_byte_copy,
+                          res.bytes_received);
+    store.cache_remote_bulk(std::move(fetched));
+  }
+  return res;
+}
+
+}  // namespace dibella::align

@@ -1,0 +1,34 @@
+#pragma once
+/// \file read_exchange.hpp
+/// Stage 4a (§4, §9): "Redistribute and replicate reads (the original
+/// strings) to match read-pair distribution."
+///
+/// The owner heuristic guarantees one read of every task is already local;
+/// the other may live anywhere. Each rank sends its needed gids to the
+/// owning ranks, which reply with the read strings (variable-length payloads
+/// are shipped as a header all-to-all plus a character all-to-all, exactly
+/// how an MPI code would marshal them). Received reads are cached in the
+/// rank's ReadStore, replicating them for the embarrassingly-parallel
+/// alignment compute.
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+#include "io/read_store.hpp"
+#include "overlap/overlapper.hpp"
+#include "util/common.hpp"
+
+namespace dibella::align {
+
+struct ReadExchangeResult {
+  u64 reads_requested = 0;  ///< distinct remote gids this rank needed
+  u64 reads_served = 0;     ///< read strings this rank sent to others
+  u64 bytes_received = 0;   ///< sequence bytes received (replication volume)
+};
+
+/// Fetch every remote read referenced by `tasks` into `store`'s cache.
+/// Collective.
+ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& store,
+                                     const std::vector<overlap::AlignmentTask>& tasks);
+
+}  // namespace dibella::align

@@ -1,0 +1,24 @@
+#pragma once
+/// \file scoring.hpp
+/// Alignment scoring scheme: a simple linear scheme (match reward, mismatch
+/// and gap penalties) as in BELLA/diBELLA.
+///
+/// The defaults matter for x-drop termination: penalties must be steep
+/// enough that the expected extension score on *unrelated* DNA drifts
+/// downward (so divergent pairs terminate quickly, §9) while two noisy but
+/// homologous long reads (~75% pairwise identity at 15% error each) still
+/// drift upward. match +1 / mismatch -2 / gap -2 satisfies both; the classic
+/// +1/-1/-1 does NOT (random DNA then has positive expected extension score
+/// and x-drop explores the full quadratic table).
+
+namespace dibella::align {
+
+struct Scoring {
+  int match = 1;
+  int mismatch = -2;
+  int gap = -2;
+
+  int substitution(char x, char y) const { return x == y ? match : mismatch; }
+};
+
+}  // namespace dibella::align

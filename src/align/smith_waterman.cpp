@@ -1,0 +1,124 @@
+#include "align/smith_waterman.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace dibella::align {
+
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring) {
+  const std::size_t n = a.size(), m = b.size();
+  LocalAlignment out;
+  if (n == 0 || m == 0) return out;
+
+  // H[i][j] over (n+1) x (m+1); direction matrix for traceback.
+  enum Dir : u8 { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  std::vector<u8> dirs((n + 1) * (m + 1), kStop);
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      int diag = prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
+      int up = prev[j] + scoring.gap;
+      int left = cur[j - 1] + scoring.gap;
+      int s = std::max({0, diag, up, left});
+      cur[j] = s;
+      ++out.cells;
+      u8 d = kStop;
+      if (s > 0) {
+        if (s == diag) {
+          d = kDiag;
+        } else if (s == up) {
+          d = kUp;
+        } else {
+          d = kLeft;
+        }
+      }
+      dirs[i * (m + 1) + j] = d;
+      if (s > best) {
+        best = s;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  out.score = best;
+  if (best == 0) return out;
+  out.a_end = best_i;
+  out.b_end = best_j;
+  // Traceback to the alignment start.
+  std::size_t i = best_i, j = best_j;
+  while (i > 0 && j > 0) {
+    u8 d = dirs[i * (m + 1) + j];
+    if (d == kDiag) {
+      --i;
+      --j;
+    } else if (d == kUp) {
+      --i;
+    } else if (d == kLeft) {
+      --j;
+    } else {
+      break;
+    }
+  }
+  out.a_begin = i;
+  out.b_begin = j;
+  return out;
+}
+
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band) {
+  const i64 n = static_cast<i64>(a.size()), m = static_cast<i64>(b.size());
+  LocalAlignment out;
+  if (n == 0 || m == 0) return out;
+  DIBELLA_CHECK(band >= 0, "band must be non-negative");
+
+  // Row-wise DP restricted to |i - j| <= band. Out-of-band neighbours
+  // contribute as a fresh local-alignment start (value 0), which keeps every
+  // cell a valid local alignment score while bounding the work to
+  // O(n * band). Index 0 of both rows is never written and stays 0.
+  auto lo_of = [&](i64 i) { return std::max<i64>(1, i - band); };
+  auto hi_of = [&](i64 i) { return std::min<i64>(m, i + band); };
+
+  std::vector<int> prev(static_cast<std::size_t>(m + 1), 0),
+      cur(static_cast<std::size_t>(m + 1), 0);
+  int best = 0;
+  for (i64 i = 1; i <= n; ++i) {
+    i64 lo = lo_of(i), hi = hi_of(i);
+    if (lo > hi) break;
+    for (i64 j = lo; j <= hi; ++j) {
+      // Diagonal neighbour (i-1, j-1): in the previous row's band iff
+      // j-1 >= (i-1)-band, which j >= lo guarantees; treat the j-1 == 0
+      // boundary as the zero column.
+      int diag = prev[static_cast<std::size_t>(j - 1)];
+      int s = diag + scoring.substitution(a[static_cast<std::size_t>(i - 1)],
+                                          b[static_cast<std::size_t>(j - 1)]);
+      // Up neighbour (i-1, j): in band iff j <= (i-1)+band.
+      if (j < i + band) s = std::max(s, prev[static_cast<std::size_t>(j)] + scoring.gap);
+      // Left neighbour (i, j-1): in this row's band iff j-1 >= lo (or the
+      // zero column).
+      if (j - 1 >= lo || j - 1 == 0) {
+        s = std::max(s, cur[static_cast<std::size_t>(j - 1)] + scoring.gap);
+      }
+      s = std::max(s, 0);
+      cur[static_cast<std::size_t>(j)] = s;
+      ++out.cells;
+      if (s > best) {
+        best = s;
+        out.a_end = static_cast<u64>(i);
+        out.b_end = static_cast<u64>(j);
+      }
+    }
+    // Clear the one stale cell the next row can read at its band edge.
+    if (hi + 1 <= m) cur[static_cast<std::size_t>(hi + 1)] = 0;
+    std::swap(prev, cur);
+  }
+  out.score = best;
+  return out;
+}
+
+}  // namespace dibella::align

@@ -1,0 +1,34 @@
+#pragma once
+/// \file smith_waterman.hpp
+/// Exact pairwise alignment kernels: full Smith-Waterman local alignment
+/// (O(nm), the paper's §2 baseline formulation) and a banded variant.
+/// These are the correctness oracles for the x-drop kernel and the
+/// comparison points for the computational-cost discussion in §2-3.
+
+#include <string_view>
+
+#include "align/scoring.hpp"
+#include "util/common.hpp"
+
+namespace dibella::align {
+
+struct LocalAlignment {
+  int score = 0;
+  /// Half-open aligned spans; all zero when the best local score is 0.
+  u64 a_begin = 0, a_end = 0;
+  u64 b_begin = 0, b_end = 0;
+  u64 cells = 0;  ///< DP cells evaluated
+};
+
+/// Full Smith-Waterman with traceback. Quadratic time and memory (traceback
+/// matrix); intended for tests and short sequences.
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring);
+
+/// Banded Smith-Waterman: only cells with |i - j| <= band are evaluated
+/// (score and end positions only, no traceback). The "limited number of
+/// mismatches" optimization of §2 that makes pairwise alignment linear in L.
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band);
+
+}  // namespace dibella::align

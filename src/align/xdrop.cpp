@@ -1,0 +1,129 @@
+#include "align/xdrop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dibella::align {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+ExtendResult xdrop_extend(std::string_view a, std::string_view b,
+                          const Scoring& scoring, int xdrop) {
+  const i64 n = static_cast<i64>(a.size());
+  const i64 m = static_cast<i64>(b.size());
+  ExtendResult out;  // the empty extension scores 0 at (0,0)
+  if (n == 0 && m == 0) return out;
+
+  // Antidiagonal DP: S(i,j) over d = i+j. Only the *live window* of each
+  // antidiagonal is stored and iterated — a cell can be live only if one of
+  // its three parents is, so the candidate window of antidiagonal d is the
+  // union of the parents' windows. Work is therefore proportional to the
+  // number of live cells (the x-drop band), not to n*m.
+  //
+  // prev1 = antidiagonal d-1, prev2 = d-2, each with its live i-range
+  // [lo, lo+size). Entering the loop at d = 1, prev1 is the d = 0 row
+  // (single live cell (0,0) = 0); prev2 is empty.
+  std::vector<int> prev2;
+  i64 prev2_lo = 1;  // empty window sentinel: lo > hi
+  i64 prev2_hi = 0;
+  std::vector<int> prev1{0};
+  i64 prev1_lo = 0;
+  i64 prev1_hi = 0;
+  std::vector<int> cur;
+
+  int best = 0;
+  i64 best_i = 0, best_j = 0;
+
+  auto cell = [](const std::vector<int>& row, i64 lo, i64 hi, i64 i) -> int {
+    if (i < lo || i > hi) return kNegInf;
+    return row[static_cast<std::size_t>(i - lo)];
+  };
+
+  for (i64 d = 1; d <= n + m; ++d) {
+    // Parents reach i from: up (i-1 in prev1), left (i in prev1),
+    // diag (i-1 in prev2).
+    i64 lo = std::min(prev1_lo, prev2_lo + 1);
+    i64 hi = std::max(prev1_hi + 1, prev2_hi + 1);
+    lo = std::max(lo, std::max<i64>(0, d - m));
+    hi = std::min(hi, std::min<i64>(n, d));
+    if (lo > hi) break;
+    cur.assign(static_cast<std::size_t>(hi - lo + 1), kNegInf);
+    i64 live_lo = hi + 1, live_hi = lo - 1;
+    for (i64 i = lo; i <= hi; ++i) {
+      i64 j = d - i;
+      int s = kNegInf;
+      if (i >= 1 && j >= 1) {
+        int diag = cell(prev2, prev2_lo, prev2_hi, i - 1);
+        if (diag > kNegInf) {
+          s = std::max(s, diag + scoring.substitution(a[static_cast<std::size_t>(i - 1)],
+                                                      b[static_cast<std::size_t>(j - 1)]));
+        }
+      }
+      if (i >= 1) {
+        int up = cell(prev1, prev1_lo, prev1_hi, i - 1);
+        if (up > kNegInf) s = std::max(s, up + scoring.gap);
+      }
+      if (j >= 1) {
+        int left = cell(prev1, prev1_lo, prev1_hi, i);
+        if (left > kNegInf) s = std::max(s, left + scoring.gap);
+      }
+      ++out.cells;
+      if (s == kNegInf) continue;
+      if (s > best) {
+        best = s;
+        best_i = i;
+        best_j = j;
+      }
+      if (s < best - xdrop) continue;  // x-drop prune
+      cur[static_cast<std::size_t>(i - lo)] = s;
+      live_lo = std::min(live_lo, i);
+      live_hi = std::max(live_hi, i);
+    }
+    if (live_lo > live_hi) break;  // antidiagonal fully dead: terminate
+    // Trim the stored window to the live cells.
+    prev2 = std::move(prev1);
+    prev2_lo = prev1_lo;
+    prev2_hi = prev1_hi;
+    prev1.assign(cur.begin() + (live_lo - lo), cur.begin() + (live_hi - lo + 1));
+    prev1_lo = live_lo;
+    prev1_hi = live_hi;
+  }
+
+  out.score = best;
+  out.ext_a = static_cast<u64>(best_i);
+  out.ext_b = static_cast<u64>(best_j);
+  return out;
+}
+
+SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
+                              u64 pos_b, int k, const Scoring& scoring, int xdrop) {
+  DIBELLA_CHECK(pos_a + static_cast<u64>(k) <= a.size() &&
+                    pos_b + static_cast<u64>(k) <= b.size(),
+                "align_from_seed: seed outside sequence bounds");
+  SeedAlignment out;
+
+  // Left extension: reversed prefixes ending at the seed start.
+  std::string ra(a.substr(0, pos_a));
+  std::string rb(b.substr(0, pos_b));
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  ExtendResult left = xdrop_extend(ra, rb, scoring, xdrop);
+
+  // Right extension: suffixes after the seed.
+  ExtendResult right = xdrop_extend(a.substr(pos_a + static_cast<u64>(k)),
+                                    b.substr(pos_b + static_cast<u64>(k)), scoring, xdrop);
+
+  out.score = k * scoring.match + left.score + right.score;
+  out.a_begin = pos_a - left.ext_a;
+  out.b_begin = pos_b - left.ext_b;
+  out.a_end = pos_a + static_cast<u64>(k) + right.ext_a;
+  out.b_end = pos_b + static_cast<u64>(k) + right.ext_b;
+  out.cells = left.cells + right.cells;
+  return out;
+}
+
+}  // namespace dibella::align

@@ -1,0 +1,53 @@
+#pragma once
+/// \file xdrop.hpp
+/// X-drop seed extension (Zhang, Schwartz, Wagner, Miller 2000) — the
+/// pairwise kernel of the alignment stage (§2, §9).
+///
+/// From a shared seed, the alignment is extended independently to the left
+/// and right by a banded antidiagonal dynamic program that abandons any cell
+/// whose score falls more than X below the best score seen so far. On
+/// divergent sequences the live band dies quickly ("the x-drop algorithm
+/// returns much faster when the two sequences are divergent", §9 — the
+/// source of alignment-stage load imbalance), on homologous sequences the
+/// cost is near-linear in the overlap length.
+///
+/// The paper calls SeqAn's implementation; this is a from-scratch equivalent
+/// property-tested against our exact Smith-Waterman (see tests/test_align.cpp).
+
+#include <string_view>
+
+#include "align/scoring.hpp"
+#include "util/common.hpp"
+
+namespace dibella::align {
+
+/// Result of extending an alignment from position (0,0) into prefixes of
+/// two sequences.
+struct ExtendResult {
+  int score = 0;    ///< best extension score found (>= 0; empty extension = 0)
+  u64 ext_a = 0;    ///< bases of `a` consumed by the best extension
+  u64 ext_b = 0;    ///< bases of `b` consumed by the best extension
+  u64 cells = 0;    ///< DP cells evaluated (work metric for load-imbalance study)
+};
+
+/// Extend an alignment of a[0..) vs b[0..) forward from their starts,
+/// returning the best-scoring pair of prefixes under `scoring`, abandoning
+/// paths that drop more than `xdrop` below the running best. To extend
+/// leftward, pass reversed sequences.
+ExtendResult xdrop_extend(std::string_view a, std::string_view b,
+                          const Scoring& scoring, int xdrop);
+
+/// One seed-anchored pairwise alignment: seed of length k at a[pos_a..],
+/// b[pos_b..] (sequences already in the same orientation). Extends left and
+/// right with x-drop.
+struct SeedAlignment {
+  int score = 0;       ///< total score including the seed match
+  u64 a_begin = 0, a_end = 0;  ///< half-open aligned span in `a`
+  u64 b_begin = 0, b_end = 0;  ///< half-open aligned span in `b`
+  u64 cells = 0;       ///< DP work
+};
+
+SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
+                              u64 pos_b, int k, const Scoring& scoring, int xdrop);
+
+}  // namespace dibella::align

@@ -1,0 +1,177 @@
+#include "baseline/daligner_like.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "align/xdrop.hpp"
+#include "kmer/dna.hpp"
+#include "kmer/parser.hpp"
+#include "kmer/spectrum.hpp"
+#include "util/timer.hpp"
+
+namespace dibella::baseline {
+
+namespace {
+
+/// Sortable (k-mer, read, position, orientation) tuple.
+struct KmerTuple {
+  kmer::Kmer km;
+  u64 rid = 0;
+  u32 pos = 0;
+  u8 is_forward = 1;
+};
+
+bool tuple_less(const KmerTuple& x, const KmerTuple& y) {
+  if (!(x.km == y.km)) return x.km < y.km;
+  if (x.rid != y.rid) return x.rid < y.rid;
+  return x.pos < y.pos;
+}
+
+}  // namespace
+
+BaselineResult run_daligner_like(const std::vector<io::Read>& reads,
+                                 const BaselineConfig& cfg) {
+  BaselineResult res;
+  util::WallTimer timer;
+
+  // --- global frequency filter: DALIGNER, like diBELLA, ignores k-mers
+  // that are too rare (singletons) or too common (repeats). Counts must be
+  // global even under block decomposition, so they come from a dedicated
+  // serial counting pass.
+  std::vector<std::string> seqs;
+  seqs.reserve(reads.size());
+  for (const auto& r : reads) seqs.push_back(r.seq);
+  kmer::CountMap freq = kmer::count_canonical(seqs, cfg.k);
+  seqs.clear();
+  seqs.shrink_to_fit();
+  auto frequency_ok = [&](const kmer::Kmer& km) {
+    auto it = freq.find(km);
+    u64 c = it == freq.end() ? 0 : it->second;
+    return c >= cfg.min_count && c <= cfg.max_count;
+  };
+  res.seconds_sort += timer.seconds();
+
+  // --- block decomposition.
+  const u64 n = reads.size();
+  const u64 block = cfg.block_reads == 0 ? (n == 0 ? 1 : n) : cfg.block_reads;
+  const u64 nblocks = n == 0 ? 0 : (n + block - 1) / block;
+
+  auto tuples_of_block = [&](u64 bi) {
+    std::vector<KmerTuple> tuples;
+    u64 lo = bi * block, hi = std::min(n, lo + block);
+    for (u64 g = lo; g < hi; ++g) {
+      const auto& r = reads[static_cast<std::size_t>(g)];
+      kmer::for_each_canonical_kmer(r.seq, cfg.k, [&](const kmer::Occurrence& occ) {
+        if (!frequency_ok(occ.kmer)) return;
+        tuples.push_back(KmerTuple{occ.kmer, r.gid, occ.pos, occ.is_forward ? u8{1} : u8{0}});
+      });
+    }
+    return tuples;
+  };
+
+  // pair -> seed list, across all block pairs.
+  std::map<std::pair<u64, u64>, std::vector<overlap::SeedPair>> pairs;
+
+  for (u64 bi = 0; bi < nblocks; ++bi) {
+    auto tuples_i = tuples_of_block(bi);
+    for (u64 bj = 0; bj <= bi; ++bj) {
+      timer.reset();
+      // Merge the two blocks' tuples and sort by k-mer — DALIGNER's
+      // "block i against block j" job.
+      std::vector<KmerTuple> tuples;
+      if (bi == bj) {
+        tuples = tuples_i;
+      } else {
+        tuples = tuples_i;
+        auto tj = tuples_of_block(bj);
+        tuples.insert(tuples.end(), tj.begin(), tj.end());
+      }
+      std::sort(tuples.begin(), tuples.end(), tuple_less);
+      res.tuples_sorted += tuples.size();
+      res.seconds_sort += timer.seconds();
+
+      // Scan runs of equal k-mers; form cross-read pairs, restricted to
+      // (block bi, block bj) combinations so no pair is found twice.
+      timer.reset();
+      auto block_of = [&](u64 rid) { return rid / block; };
+      std::size_t i = 0;
+      while (i < tuples.size()) {
+        std::size_t j = i;
+        while (j < tuples.size() && tuples[j].km == tuples[i].km) ++j;
+        for (std::size_t x = i; x < j; ++x) {
+          for (std::size_t y = x + 1; y < j; ++y) {
+            const auto& ta = tuples[x];
+            const auto& tb = tuples[y];
+            if (ta.rid == tb.rid) continue;
+            u64 ba = block_of(ta.rid), bb = block_of(tb.rid);
+            bool wanted = (bi == bj) ? (ba == bi && bb == bi)
+                                     : ((ba == bi && bb == bj) || (ba == bj && bb == bi));
+            if (!wanted) continue;
+            u64 a = std::min(ta.rid, tb.rid), b = std::max(ta.rid, tb.rid);
+            u32 pa = ta.rid == a ? ta.pos : tb.pos;
+            u32 pb = ta.rid == a ? tb.pos : ta.pos;
+            pairs[{a, b}].push_back(
+                overlap::SeedPair{pa, pb, ta.is_forward == tb.is_forward ? u8{1} : u8{0}});
+          }
+        }
+        i = j;
+      }
+      res.seconds_pairs += timer.seconds();
+    }
+  }
+  res.read_pairs = pairs.size();
+
+  // --- seed filtering + x-drop alignment (diBELLA's kernel).
+  timer.reset();
+  for (auto& [key, seeds] : pairs) {
+    auto filtered = filter_seeds(std::move(seeds), cfg.seed_filter);
+    const std::string& a = reads[static_cast<std::size_t>(key.first)].seq;
+    const std::string& b = reads[static_cast<std::size_t>(key.second)].seq;
+    std::string b_rc;
+    align::AlignmentRecord best;
+    best.rid_a = key.first;
+    best.rid_b = key.second;
+    bool have = false;
+    for (const auto& seed : filtered) {
+      u64 pos_a = seed.pos_a;
+      u64 pos_b = seed.pos_b;
+      std::string_view bseq = b;
+      if (!seed.same_orientation) {
+        if (b_rc.empty()) b_rc = kmer::reverse_complement(b);
+        bseq = b_rc;
+        pos_b = b.size() - static_cast<u64>(cfg.k) - seed.pos_b;
+      }
+      if (pos_a + static_cast<u64>(cfg.k) > a.size() ||
+          pos_b + static_cast<u64>(cfg.k) > bseq.size()) {
+        continue;
+      }
+      auto sa = align::align_from_seed(a, bseq, pos_a, pos_b, cfg.k, cfg.scoring, cfg.xdrop);
+      ++res.alignments_computed;
+      if (!have || sa.score > best.score) {
+        have = true;
+        best.score = sa.score;
+        best.same_orientation = seed.same_orientation;
+        best.a_begin = static_cast<u32>(sa.a_begin);
+        best.a_end = static_cast<u32>(sa.a_end);
+        if (seed.same_orientation) {
+          best.b_begin = static_cast<u32>(sa.b_begin);
+          best.b_end = static_cast<u32>(sa.b_end);
+        } else {
+          best.b_begin = static_cast<u32>(b.size() - sa.b_end);
+          best.b_end = static_cast<u32>(b.size() - sa.b_begin);
+        }
+      }
+    }
+    best.seeds_explored = static_cast<u32>(filtered.size());
+    if (have && best.score >= cfg.min_score) res.alignments.push_back(best);
+  }
+  res.seconds_align += timer.seconds();
+
+  std::sort(res.alignments.begin(), res.alignments.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return x.rid_a != y.rid_a ? x.rid_a < y.rid_a : x.rid_b < y.rid_b;
+            });
+  return res;
+}
+
+}  // namespace dibella::baseline

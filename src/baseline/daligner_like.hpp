@@ -1,0 +1,52 @@
+#pragma once
+/// \file daligner_like.hpp
+/// Single-node DALIGNER-style overlapper — the Table 2 comparator.
+///
+/// DALIGNER (Myers 2014) finds shared k-mers by *sorting* (k-mer, read,
+/// position) tuples and merge-scanning runs, instead of hashing; it bounds
+/// memory by splitting the read set into blocks and processing block pairs
+/// independently (the script-driven scheme §11 describes, which is exactly
+/// what makes it awkward to scale across nodes). This reimplementation
+/// follows that structure — radix-style sort, run detection, block
+/// decomposition — and shares diBELLA's x-drop kernel so Table 2 compares
+/// algorithms, not kernels.
+
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+#include "align/scoring.hpp"
+#include "io/read.hpp"
+#include "overlap/seed_filter.hpp"
+#include "util/common.hpp"
+
+namespace dibella::baseline {
+
+struct BaselineConfig {
+  int k = 17;
+  u32 min_count = 2;  ///< singleton filter (same semantics as the pipeline)
+  u32 max_count = 8;  ///< high-frequency filter
+  overlap::SeedFilterConfig seed_filter = overlap::SeedFilterConfig::one_seed();
+  align::Scoring scoring;
+  int xdrop = 25;
+  int min_score = 0;
+  /// Reads per block; 0 = single block (whole data set at once). With B > 0
+  /// blocks, block pairs (i, j<=i) are processed independently — DALIGNER's
+  /// memory-bounding scheme.
+  u64 block_reads = 0;
+};
+
+struct BaselineResult {
+  std::vector<align::AlignmentRecord> alignments;  ///< sorted by (rid_a, rid_b)
+  u64 tuples_sorted = 0;
+  u64 read_pairs = 0;
+  u64 alignments_computed = 0;
+  double seconds_sort = 0.0;
+  double seconds_pairs = 0.0;
+  double seconds_align = 0.0;
+};
+
+/// Run the sort-merge overlapper + aligner on `reads` (gid-ordered).
+BaselineResult run_daligner_like(const std::vector<io::Read>& reads,
+                                 const BaselineConfig& cfg);
+
+}  // namespace dibella::baseline

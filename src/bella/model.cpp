@@ -1,0 +1,61 @@
+#include "bella/model.hpp"
+
+#include <cmath>
+
+namespace dibella::bella {
+
+double p_clean_kmer(double error_rate, int k) {
+  DIBELLA_CHECK(error_rate >= 0.0 && error_rate < 1.0, "error rate in [0,1)");
+  DIBELLA_CHECK(k >= 1, "k >= 1");
+  return std::pow(1.0 - error_rate, k);
+}
+
+double p_clean_pair_kmer(double error_rate, int k) {
+  return std::pow(1.0 - error_rate, 2 * k);
+}
+
+double p_shared_correct_kmer(double error_rate, int k, u64 overlap_len) {
+  if (overlap_len < static_cast<u64>(k)) return 0.0;
+  double p = p_clean_pair_kmer(error_rate, k);
+  double windows = static_cast<double>(overlap_len - static_cast<u64>(k) + 1);
+  // Independence approximation across windows (BELLA uses a refined Markov
+  // model; the independent bound is accurate for the parameter ranges here).
+  return 1.0 - std::pow(1.0 - p, windows);
+}
+
+int select_k(double error_rate, u64 min_overlap, double target_prob, int min_k,
+             int max_k) {
+  DIBELLA_CHECK(min_k >= 1 && min_k <= max_k, "bad k range");
+  int best = min_k;
+  for (int k = min_k; k <= max_k; ++k) {
+    if (p_shared_correct_kmer(error_rate, k, min_overlap) >= target_prob) {
+      best = k;  // keep growing k while the detection target holds
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+double poisson_cdf(double lambda, u64 x) {
+  DIBELLA_CHECK(lambda >= 0.0, "lambda >= 0");
+  // Sum of pmf terms computed iteratively in log-stable form.
+  double term = std::exp(-lambda);  // P[X = 0]
+  double cdf = term;
+  for (u64 i = 1; i <= x; ++i) {
+    term *= lambda / static_cast<double>(i);
+    cdf += term;
+  }
+  return cdf > 1.0 ? 1.0 : cdf;
+}
+
+u32 reliable_max_frequency(double coverage, double error_rate, int k, double epsilon) {
+  DIBELLA_CHECK(coverage > 0.0, "coverage > 0");
+  double lambda = coverage * p_clean_kmer(error_rate, k);
+  u32 m = 2;
+  // Smallest m with P[X > m] <= epsilon; cap the scan generously.
+  while (m < 100'000 && 1.0 - poisson_cdf(lambda, m) > epsilon) ++m;
+  return m;
+}
+
+}  // namespace dibella::bella

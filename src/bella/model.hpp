@@ -1,0 +1,45 @@
+#pragma once
+/// \file model.hpp
+/// BELLA's statistical model (Guidi et al. 2018, used by diBELLA §2):
+/// choosing the k-mer length from the data's error rate so that overlapping
+/// read pairs share at least one *correct* k-mer with high probability, and
+/// choosing the reliable-frequency upper threshold m from the coverage
+/// depth so that k-mers from repeats are filtered while k-mers from unique
+/// genomic sequence are retained.
+
+#include "util/common.hpp"
+
+namespace dibella::bella {
+
+/// P[a k-mer window of one read is error-free] = (1-e)^k.
+double p_clean_kmer(double error_rate, int k);
+
+/// P[a specific shared window is error-free in BOTH reads] = (1-e)^(2k)
+/// (independent errors in the two reads).
+double p_clean_pair_kmer(double error_rate, int k);
+
+/// P[two reads overlapping by `overlap_len` bases share >= 1 correct k-mer]
+/// under the independence approximation across the overlap's windows.
+double p_shared_correct_kmer(double error_rate, int k, u64 overlap_len);
+
+/// Largest k (in [min_k, max_k]) such that p_shared_correct_kmer >= target
+/// for the given minimum overlap. Longer k means fewer repeat-induced false
+/// seeds, so the largest feasible k is preferred (§2: "k should be short
+/// enough to identify at least one correct shared k-mer ... but long enough
+/// to minimize the number of repeated k-mers"). Returns min_k if even that
+/// fails the target.
+int select_k(double error_rate, u64 min_overlap, double target_prob, int min_k = 11,
+             int max_k = 21);
+
+/// Poisson CDF P[X <= x] for X ~ Poisson(lambda).
+double poisson_cdf(double lambda, u64 x);
+
+/// The reliable-frequency upper threshold m (§2, §7): a k-mer from a unique
+/// genomic position occurs ~Poisson(lambda) times with
+/// lambda = coverage * (1-e)^k. m is the smallest value with
+/// P[X > m] <= epsilon — higher-multiplicity k-mers are (w.h.p.) from
+/// repeats and get purged. Always >= 2 so retained k-mers can exist.
+u32 reliable_max_frequency(double coverage, double error_rate, int k,
+                           double epsilon = 1e-3);
+
+}  // namespace dibella::bella

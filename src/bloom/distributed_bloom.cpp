@@ -1,0 +1,94 @@
+#include "bloom/distributed_bloom.hpp"
+
+#include "bloom/bloom_filter.hpp"
+#include "bloom/distributed_cardinality.hpp"
+#include "bloom/hyperloglog.hpp"
+#include "core/kernel_costs.hpp"
+#include "kmer/occurrence_stream.hpp"
+
+namespace dibella::bloom {
+
+namespace {
+constexpr u64 kBloomSalt1 = 0xB100F117;
+constexpr u64 kBloomSalt2 = 0xB100F22E;
+}  // namespace
+
+BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& reads,
+                                 const BloomStageConfig& cfg,
+                                 dht::LocalKmerTable& table) {
+  auto& comm = ctx.comm;
+  const auto& costs = core::KernelCosts::get();
+  comm.set_stage("bloom");
+  const int P = comm.size();
+  BloomStageResult result;
+
+  // --- cardinality estimate sizes this rank's Bloom partition: either the
+  // a-priori Eq. 2 + singleton-ratio estimate (§6, the default) or the
+  // HipMer-style distributed HyperLogLog pass. Uniform hashing gives each
+  // rank ~1/P of the distinct set.
+  u64 est_distinct = 0;
+  if (cfg.use_hyperloglog_cardinality) {
+    auto card = estimate_cardinality_hll(ctx, reads, cfg.k);
+    est_distinct = static_cast<u64>(card.estimate * 1.1) + 64;  // 10% headroom
+  } else {
+    u64 local_windows = 0;
+    for (const auto& r : reads.local_reads()) {
+      local_windows += kmer::window_count(r.seq.size(), cfg.k);
+    }
+    u64 total_windows = comm.allreduce_sum(local_windows);
+    est_distinct = estimate_distinct_kmers(total_windows, cfg.assumed_error_rate, cfg.k);
+  }
+  u64 est_local = est_distinct / static_cast<u64>(P) + 64;
+  BloomFilter filter(est_local, cfg.bloom_fpr);
+  result.bloom_bits = filter.bit_count();
+
+  // --- memory-bounded streaming pass: pack -> exchange -> local insert.
+  // Compute accounting is work-based (see core/kernel_costs.hpp): the unit
+  // counts are exact, the per-unit costs calibrated on this host.
+  kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
+  bool more = true;
+  while (true) {
+    std::vector<std::vector<kmer::Kmer>> outgoing(static_cast<std::size_t>(P));
+    u64 parsed_this_batch = 0;
+    if (more) {
+      more = stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
+        outgoing[static_cast<std::size_t>(kmer_owner(occ.kmer, P))].push_back(occ.kmer);
+        ++parsed_this_batch;
+      });
+      result.parsed_instances += parsed_this_batch;
+    }
+    u64 buffered = 0;
+    for (const auto& v : outgoing) buffered += v.size() * sizeof(kmer::Kmer);
+    ctx.trace.add_compute("bloom:pack",
+                          static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                          buffered);
+
+    auto incoming = comm.alltoallv_flat(outgoing);
+    u64 hits = 0;
+    for (const auto& km : incoming) {
+      ++result.received_instances;
+      if (filter.test_and_insert(km.hash(kBloomSalt1), km.hash(kBloomSalt2))) {
+        table.insert_key(km);
+        ++hits;
+      }
+    }
+    ctx.trace.add_compute(
+        "bloom:local",
+        static_cast<double>(incoming.size()) * costs.bloom_insert +
+            static_cast<double>(hits) * costs.table_insert,
+        filter.memory_bytes() + table.memory_bytes());
+    ++result.batches;
+
+    bool all_done = comm.allreduce_and(!more);
+    if (all_done) break;
+  }
+
+  result.candidate_keys = table.size();
+  result.bloom_set_bits = filter.popcount();
+  // The Bloom filter is freed here (scope exit) once the table holds the
+  // candidate keys — matching §6: "After the hash table is initialized with
+  // k-mer keys, the Bloom filter is freed."
+  return result;
+}
+
+}  // namespace dibella::bloom

@@ -1,0 +1,57 @@
+#pragma once
+/// \file distributed_bloom.hpp
+/// Pipeline stage 1 (§6): distributed Bloom filter construction.
+///
+/// Every rank parses its reads into canonical k-mers and routes each to its
+/// owner rank (hash % P) in memory-bounded batches via the irregular
+/// all-to-all. The owner inserts into its Bloom filter partition; a k-mer
+/// seen for the (apparent) second time initializes a key in the owner's
+/// local hash-table partition. Roughly (P-1)/P of all k-mer instances cross
+/// the network — the paper's dominant stage-1 communication volume.
+
+#include "core/stage_context.hpp"
+#include "dht/local_table.hpp"
+#include "io/read_store.hpp"
+#include "util/common.hpp"
+
+namespace dibella::bloom {
+
+struct BloomStageConfig {
+  int k = 17;
+  /// Per-rank k-mer occurrences buffered per bulk-synchronous batch. The
+  /// memory bound of the streaming pass (§4): k-mers are never all resident.
+  u64 batch_kmers = 1u << 20;
+  double bloom_fpr = 0.05;
+  /// Assumed per-base error rate for the a-priori cardinality estimate.
+  double assumed_error_rate = 0.15;
+  /// Size the Bloom filter with a distributed HyperLogLog pass instead of
+  /// the a-priori Eq. 2 estimate — HipMer's fallback for extreme genomes
+  /// (§6). Costs one extra scan over the reads.
+  bool use_hyperloglog_cardinality = false;
+};
+
+struct BloomStageResult {
+  u64 parsed_instances = 0;    ///< k-mer occurrences parsed from this rank's reads
+  u64 received_instances = 0;  ///< occurrences routed to this rank (it owns them)
+  u64 candidate_keys = 0;      ///< keys initialized in this rank's table partition
+  u64 bloom_bits = 0;          ///< Bloom partition size
+  u64 bloom_set_bits = 0;      ///< occupancy after the pass
+  u64 batches = 0;             ///< bulk-synchronous batches executed
+};
+
+/// Hash salt reserved for owner-rank assignment (uniform k-mer load balance,
+/// identical in stages 1 and 2 so k-mers land on the same partitions).
+inline constexpr u64 kOwnerSalt = 0x0B7A1A5C;
+
+/// Owner rank of a k-mer.
+inline int kmer_owner(const kmer::Kmer& km, int ranks) {
+  return static_cast<int>(km.hash(kOwnerSalt) % static_cast<u64>(ranks));
+}
+
+/// Run stage 1 for this rank. `table` receives candidate (non-singleton)
+/// keys. Collective: every rank of the communicator must call this.
+BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& reads,
+                                 const BloomStageConfig& cfg,
+                                 dht::LocalKmerTable& table);
+
+}  // namespace dibella::bloom

@@ -1,0 +1,32 @@
+#pragma once
+/// \file distributed_cardinality.hpp
+/// Distributed k-mer cardinality estimation — the HipMer HyperLogLog
+/// fallback path (§6).
+///
+/// diBELLA normally sizes the Bloom filter from the a-priori estimate
+/// (Eq. 2 + typical singleton ratios) and the paper reports never needing
+/// more on its datasets, while noting that "for extremely large ... and
+/// repetitive genomes we may encounter the same issues that led to this
+/// optimization in HipMer". This module implements that optimization: each
+/// rank sketches its local k-mers into a HyperLogLog, the sketches are
+/// combined with a register-wise max (one allgatherv), and every rank
+/// obtains the same global distinct-k-mer estimate.
+
+#include "bloom/hyperloglog.hpp"
+#include "core/stage_context.hpp"
+#include "io/read_store.hpp"
+
+namespace dibella::bloom {
+
+struct CardinalityResult {
+  u64 local_instances = 0;  ///< k-mer occurrences this rank scanned
+  double estimate = 0.0;    ///< global distinct-k-mer estimate (same on all ranks)
+};
+
+/// Estimate the number of distinct canonical k-mers across all ranks' reads
+/// with one local scan + one sketch combine. Collective.
+CardinalityResult estimate_cardinality_hll(core::StageContext& ctx,
+                                           const io::ReadStore& reads, int k,
+                                           int precision_bits = 12);
+
+}  // namespace dibella::bloom

@@ -1,0 +1,69 @@
+#include "bloom/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace dibella::bloom {
+
+HyperLogLog::HyperLogLog(int precision_bits) : p_(precision_bits) {
+  DIBELLA_CHECK(p_ >= 4 && p_ <= 18, "HyperLogLog precision out of range");
+  m_ = u64{1} << p_;
+  reg_.assign(m_, 0);
+}
+
+void HyperLogLog::add(u64 hash) {
+  u64 idx = hash >> (64 - p_);
+  u64 rest = hash << p_;
+  // Rank of the leftmost 1-bit in the remaining 64-p bits (1-based);
+  // all-zero rest maps to the maximum rank.
+  int rho = rest == 0 ? (64 - p_ + 1) : (std::countl_zero(rest) + 1);
+  if (static_cast<u8>(rho) > reg_[idx]) reg_[idx] = static_cast<u8>(rho);
+}
+
+double HyperLogLog::estimate() const {
+  double alpha;
+  switch (m_) {
+    case 16: alpha = 0.673; break;
+    case 32: alpha = 0.697; break;
+    case 64: alpha = 0.709; break;
+    default: alpha = 0.7213 / (1.0 + 1.079 / static_cast<double>(m_));
+  }
+  double sum = 0.0;
+  u64 zeros = 0;
+  for (u8 r : reg_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double est = alpha * static_cast<double>(m_) * static_cast<double>(m_) / sum;
+  // Small-range correction: linear counting while registers are sparse.
+  if (est <= 2.5 * static_cast<double>(m_) && zeros > 0) {
+    est = static_cast<double>(m_) *
+          std::log(static_cast<double>(m_) / static_cast<double>(zeros));
+  }
+  return est;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  DIBELLA_CHECK(other.p_ == p_, "HyperLogLog merge: precision mismatch");
+  for (u64 i = 0; i < m_; ++i) reg_[i] = std::max(reg_[i], other.reg_[i]);
+}
+
+HyperLogLog HyperLogLog::from_registers(int precision_bits, std::vector<u8> regs) {
+  HyperLogLog h(precision_bits);
+  DIBELLA_CHECK(regs.size() == h.m_, "HyperLogLog: register count mismatch");
+  h.reg_ = std::move(regs);
+  return h;
+}
+
+u64 estimate_distinct_kmers(u64 parsed_instances, double error_rate, int k) {
+  // P[a k-mer window is error-free] = (1-e)^k; erroneous windows are almost
+  // surely unique (singletons), error-free windows collapse onto ~G genomic
+  // k-mers. distinct ~ errored + genomic ~ instances*(1-(1-e)^k) + margin.
+  double p_clean = std::pow(1.0 - error_rate, k);
+  double distinct = static_cast<double>(parsed_instances) * (1.0 - p_clean) +
+                    static_cast<double>(parsed_instances) * p_clean * 0.1;
+  // 10% safety headroom, and never size for zero.
+  return std::max<u64>(64, static_cast<u64>(distinct * 1.1));
+}
+
+}  // namespace dibella::bloom

@@ -1,0 +1,50 @@
+#pragma once
+/// \file hyperloglog.hpp
+/// HyperLogLog cardinality estimator.
+///
+/// §6 of the paper: sizing the Bloom filter needs the (unknown a priori)
+/// k-mer set cardinality. diBELLA normally estimates it from Eq. 2 and
+/// typical singleton ratios, falling back to HipMer's HyperLogLog pass for
+/// extreme genomes. We implement both paths; the estimator is also merged
+/// across ranks (register-wise max) exactly as a distributed pass would.
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::bloom {
+
+class HyperLogLog {
+ public:
+  /// `precision_bits` in [4, 18]: 2^p registers (default 12 -> 4096 B).
+  explicit HyperLogLog(int precision_bits = 12);
+
+  /// Add an element by its 64-bit hash.
+  void add(u64 hash);
+
+  /// Estimated number of distinct elements added, with linear-counting
+  /// correction for the small range.
+  double estimate() const;
+
+  /// Merge another sketch (register-wise max) — the distributed combine.
+  void merge(const HyperLogLog& other);
+
+  int precision_bits() const { return p_; }
+  const std::vector<u8>& registers() const { return reg_; }
+
+  /// Rebuild from raw registers (used to merge sketches shipped over comm).
+  static HyperLogLog from_registers(int precision_bits, std::vector<u8> regs);
+
+ private:
+  int p_;
+  u64 m_;  // register count = 2^p
+  std::vector<u8> reg_;
+};
+
+/// The paper's a-priori estimate (Eq. 2 + typical singleton ratios): the
+/// number of distinct k-mers is close to the number of parsed k-mer
+/// instances scaled by the fraction expected to be distinct. With long-read
+/// error rates, up to ~98% of k-mers are singletons, so distinct ~ instances.
+u64 estimate_distinct_kmers(u64 parsed_instances, double error_rate, int k);
+
+}  // namespace dibella::bloom

@@ -1,0 +1,43 @@
+#include "comm/communicator.hpp"
+
+#include "comm/detail/world_state.hpp"
+
+namespace dibella::comm {
+
+Communicator::Communicator(detail::WorldState& state, int rank)
+    : state_(state), rank_(rank), size_(state.ranks()) {
+  DIBELLA_CHECK(rank >= 0 && rank < size_, "Communicator: rank out of range");
+}
+
+void Communicator::barrier() {
+  util::WallTimer timer;
+  ExchangeRecord rec = start_record(CollectiveOp::kBarrier);
+  sync();
+  finish_record(std::move(rec), timer.seconds());
+}
+
+ExchangeRecord Communicator::start_record(CollectiveOp op) {
+  ExchangeRecord rec;
+  rec.op = op;
+  rec.stage = stage_;
+  rec.bytes_to_peer.assign(static_cast<std::size_t>(size_), 0);
+  return rec;
+}
+
+void Communicator::finish_record(ExchangeRecord rec, double wall_seconds) {
+  rec.wall_seconds = wall_seconds;
+  const ExchangeRecord& stored = state_.append_record(rank_, std::move(rec));
+  if (sink_) sink_(stored);
+}
+
+void Communicator::post_bytes(int dst, std::vector<u8> data) {
+  state_.slot(rank_, dst) = std::move(data);
+}
+
+std::vector<u8> Communicator::take_bytes(int src) {
+  return std::move(state_.slot(src, rank_));
+}
+
+void Communicator::sync() { state_.barrier(); }
+
+}  // namespace dibella::comm

@@ -1,0 +1,229 @@
+#pragma once
+/// \file communicator.hpp
+/// Per-rank handle providing MPI-style collectives over the in-process
+/// World. All operations are collective: every rank of the world must call
+/// them in the same order (standard SPMD contract). Payload element types
+/// must be trivially copyable — strings and other dynamic payloads are
+/// serialized explicitly by callers (as real MPI codes do).
+
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "comm/exchange_record.hpp"
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace dibella::comm {
+
+namespace detail {
+class WorldState;
+}
+
+class Communicator {
+ public:
+  Communicator(detail::WorldState& state, int rank);
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Tag subsequent exchange records with a pipeline stage name (e.g.
+  /// "bloom", "alignment"). Purely for accounting.
+  void set_stage(std::string stage) { stage_ = std::move(stage); }
+  const std::string& stage() const { return stage_; }
+
+  /// Optional per-record callback (used by the pipeline to interleave
+  /// exchange events with compute events in its rank trace).
+  void set_record_sink(std::function<void(const ExchangeRecord&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Irregular all-to-all (MPI_Alltoallv): send[d] goes to rank d; returns
+  /// recv where recv[s] is the payload from rank s.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
+    static_assert(std::is_trivially_copyable_v<T>, "alltoallv payload must be POD");
+    DIBELLA_CHECK(static_cast<int>(send.size()) == size_, "alltoallv: send.size() != P");
+    util::WallTimer timer;
+    ExchangeRecord rec = start_record(CollectiveOp::kAlltoallv);
+    for (int d = 0; d < size_; ++d) {
+      rec.bytes_to_peer[static_cast<std::size_t>(d)] =
+          send[static_cast<std::size_t>(d)].size() * sizeof(T);
+      post_bytes(d, to_bytes(send[static_cast<std::size_t>(d)]));
+    }
+    sync();
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(size_));
+    for (int s = 0; s < size_; ++s) {
+      recv[static_cast<std::size_t>(s)] = from_bytes<T>(take_bytes(s));
+    }
+    sync();
+    finish_record(std::move(rec), timer.seconds());
+    return recv;
+  }
+
+  /// All-to-all returning the concatenation of all received payloads in
+  /// source-rank order (the common consumption pattern in the pipeline).
+  template <class T>
+  std::vector<T> alltoallv_flat(const std::vector<std::vector<T>>& send) {
+    auto recv = alltoallv(send);
+    std::size_t total = 0;
+    for (const auto& v : recv) total += v.size();
+    std::vector<T> flat;
+    flat.reserve(total);
+    for (auto& v : recv) flat.insert(flat.end(), v.begin(), v.end());
+    return flat;
+  }
+
+  /// MPI_Allgather of one element per rank.
+  template <class T>
+  std::vector<T> allgather(const T& v) {
+    auto per_rank = allgatherv(std::vector<T>{v});
+    return per_rank;
+  }
+
+  /// MPI_Allgatherv: concatenation of every rank's vector, in rank order.
+  template <class T>
+  std::vector<T> allgatherv(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "allgatherv payload must be POD");
+    util::WallTimer timer;
+    ExchangeRecord rec = start_record(CollectiveOp::kAllgather);
+    for (int d = 0; d < size_; ++d) {
+      if (d != rank_) rec.bytes_to_peer[static_cast<std::size_t>(d)] = v.size() * sizeof(T);
+      post_bytes(d, to_bytes(v));
+    }
+    sync();
+    std::vector<T> out;
+    for (int s = 0; s < size_; ++s) {
+      auto part = from_bytes<T>(take_bytes(s));
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    sync();
+    finish_record(std::move(rec), timer.seconds());
+    return out;
+  }
+
+  /// MPI_Allreduce with an arbitrary associative op; deterministic
+  /// (reduction always applied in rank order).
+  template <class T, class Op>
+  T allreduce(const T& v, Op op) {
+    auto all = allgather(v);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+
+  u64 allreduce_sum(u64 v) {
+    return allreduce(v, [](u64 a, u64 b) { return a + b; });
+  }
+  double allreduce_sum(double v) {
+    return allreduce(v, [](double a, double b) { return a + b; });
+  }
+  u64 allreduce_max(u64 v) {
+    return allreduce(v, [](u64 a, u64 b) { return a > b ? a : b; });
+  }
+  double allreduce_max(double v) {
+    return allreduce(v, [](double a, double b) { return a > b ? a : b; });
+  }
+  bool allreduce_and(bool v) {
+    return allreduce(u8{v ? u8{1} : u8{0}}, [](u8 a, u8 b) { return static_cast<u8>(a & b); }) != 0;
+  }
+
+  /// Exclusive prefix sum over ranks (MPI_Exscan); rank 0 receives 0.
+  u64 exscan_sum(u64 v) {
+    auto all = allgather(v);
+    u64 acc = 0;
+    for (int r = 0; r < rank_; ++r) acc += all[static_cast<std::size_t>(r)];
+    return acc;
+  }
+
+  /// MPI_Bcast of a trivially-copyable value from `root`.
+  template <class T>
+  T broadcast(const T& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>, "broadcast payload must be POD");
+    util::WallTimer timer;
+    ExchangeRecord rec = start_record(CollectiveOp::kBroadcast);
+    if (rank_ == root) {
+      for (int d = 0; d < size_; ++d) {
+        if (d != root) rec.bytes_to_peer[static_cast<std::size_t>(d)] = sizeof(T);
+        post_bytes(d, to_bytes(std::vector<T>{v}));
+      }
+    } else {
+      for (int d = 0; d < size_; ++d) post_bytes(d, {});
+    }
+    sync();
+    auto got = from_bytes<T>(take_bytes(root));
+    sync();
+    finish_record(std::move(rec), timer.seconds());
+    DIBELLA_CHECK(got.size() == 1, "broadcast: bad payload");
+    return got[0];
+  }
+
+  /// MPI_Gatherv to `root`: root receives every rank's vector (indexed by
+  /// source rank); non-roots receive an empty result.
+  template <class T>
+  std::vector<std::vector<T>> gather(const std::vector<T>& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>, "gather payload must be POD");
+    util::WallTimer timer;
+    ExchangeRecord rec = start_record(CollectiveOp::kGather);
+    for (int d = 0; d < size_; ++d) {
+      if (d == root) {
+        if (d != rank_) rec.bytes_to_peer[static_cast<std::size_t>(d)] = v.size() * sizeof(T);
+        post_bytes(d, to_bytes(v));
+      } else {
+        post_bytes(d, {});
+      }
+    }
+    sync();
+    std::vector<std::vector<T>> out;
+    if (rank_ == root) {
+      out.resize(static_cast<std::size_t>(size_));
+      for (int s = 0; s < size_; ++s) {
+        out[static_cast<std::size_t>(s)] = from_bytes<T>(take_bytes(s));
+      }
+    } else {
+      for (int s = 0; s < size_; ++s) take_bytes(s);  // drain own slots
+    }
+    sync();
+    finish_record(std::move(rec), timer.seconds());
+    return out;
+  }
+
+ private:
+  ExchangeRecord start_record(CollectiveOp op);
+  void finish_record(ExchangeRecord rec, double wall_seconds);
+
+  /// Stage `data` for rank `dst`; visible to dst after the next sync().
+  void post_bytes(int dst, std::vector<u8> data);
+  /// Take the payload rank `src` staged for this rank.
+  std::vector<u8> take_bytes(int src);
+  /// Internal barrier separating the post and take phases of a collective.
+  void sync();
+
+  template <class T>
+  static std::vector<u8> to_bytes(const std::vector<T>& v) {
+    std::vector<u8> out(v.size() * sizeof(T));
+    if (!v.empty()) std::memcpy(out.data(), v.data(), out.size());
+    return out;
+  }
+
+  template <class T>
+  static std::vector<T> from_bytes(std::vector<u8> bytes) {
+    DIBELLA_CHECK(bytes.size() % sizeof(T) == 0, "payload size not a multiple of element");
+    std::vector<T> out(bytes.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  detail::WorldState& state_;
+  int rank_;
+  int size_;
+  std::string stage_;
+  std::function<void(const ExchangeRecord&)> sink_;
+};
+
+}  // namespace dibella::comm

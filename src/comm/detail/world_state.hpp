@@ -1,0 +1,120 @@
+#pragma once
+/// \file world_state.hpp
+/// Internal shared state of a World's ranks. Not part of the public API —
+/// include only from comm/*.cpp.
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "comm/exchange_record.hpp"
+#include "comm/world.hpp"
+#include "util/common.hpp"
+
+namespace dibella::comm::detail {
+
+/// Shared state of all ranks of a World: the staging slots used to move
+/// payload bytes between ranks, a generation-counting central barrier with
+/// poison support, and the per-rank exchange-record logs.
+class WorldState {
+ public:
+  WorldState(int ranks, double barrier_timeout_seconds)
+      : ranks_(ranks),
+        barrier_timeout_(barrier_timeout_seconds),
+        slots_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
+        records_(static_cast<std::size_t>(ranks)) {}
+
+  int ranks() const { return ranks_; }
+
+  /// Staging slot for payload src -> dst. Only written by src between
+  /// barriers and only read by dst after the following barrier, so access
+  /// needs no lock; the barrier provides the happens-before edges.
+  std::vector<u8>& slot(int src, int dst) {
+    return slots_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+                  static_cast<std::size_t>(dst)];
+  }
+
+  /// Central counting barrier. Throws WorldPoisoned if any rank failed.
+  void barrier() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (poisoned_) throw WorldPoisoned();
+    u64 gen = generation_;
+    if (++arrived_ == ranks_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    bool ok = cv_.wait_for(lock, std::chrono::duration<double>(barrier_timeout_),
+                           [&] { return generation_ != gen || poisoned_; });
+    if (poisoned_) throw WorldPoisoned();
+    if (!ok) {
+      // A rank never arrived: collective sequence mismatch or runaway
+      // compute. Poison so everything unwinds instead of hanging.
+      poison_locked(std::make_exception_ptr(
+          Error("barrier timeout: ranks executed mismatched collective sequences")));
+      throw WorldPoisoned();
+    }
+  }
+
+  /// Record a failure; wakes all barrier waiters. First failure wins.
+  void poison(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poison_locked(std::move(error));
+  }
+
+  bool poisoned() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return poisoned_;
+  }
+
+  std::exception_ptr first_error() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return first_error_;
+  }
+
+  void reset_poison() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = false;
+    first_error_ = nullptr;
+    arrived_ = 0;
+  }
+
+  /// Append a completed exchange record for `rank`, assigning the rank-local
+  /// sequence number (aligned across ranks because execution is SPMD).
+  const ExchangeRecord& append_record(int rank, ExchangeRecord rec) {
+    auto& log = records_[static_cast<std::size_t>(rank)];
+    rec.seq = log.size();
+    log.push_back(std::move(rec));
+    return log.back();
+  }
+
+  std::vector<std::vector<ExchangeRecord>> copy_records() const { return records_; }
+
+  void clear_records() {
+    for (auto& log : records_) log.clear();
+  }
+
+ private:
+  void poison_locked(std::exception_ptr error) {
+    if (!poisoned_) {
+      poisoned_ = true;
+      first_error_ = std::move(error);
+    }
+    cv_.notify_all();
+  }
+
+  const int ranks_;
+  const double barrier_timeout_;
+  std::vector<std::vector<u8>> slots_;
+  std::vector<std::vector<ExchangeRecord>> records_;  // written by owner rank only
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  u64 generation_ = 0;
+  bool poisoned_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dibella::comm::detail

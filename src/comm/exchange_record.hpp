@@ -1,0 +1,45 @@
+#pragma once
+/// \file exchange_record.hpp
+/// Per-collective communication accounting.
+///
+/// Every collective a rank executes produces one ExchangeRecord describing
+/// exactly what an MPI implementation would have put on the wire: the
+/// destination-resolved byte counts. The netsim cost model replays these
+/// records against a platform description (Table 1) to produce the paper's
+/// cross-architecture exchange times — see DESIGN.md §2.
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::comm {
+
+/// Collective operation kinds (named after their MPI equivalents).
+enum class CollectiveOp : u8 {
+  kAlltoallv,
+  kAllgather,
+  kAllreduce,
+  kBroadcast,
+  kGather,
+  kBarrier,
+};
+
+const char* collective_op_name(CollectiveOp op);
+
+/// One rank's view of one collective call.
+struct ExchangeRecord {
+  u64 seq = 0;                   ///< collective sequence number (aligned across ranks)
+  CollectiveOp op = CollectiveOp::kBarrier;
+  std::string stage;             ///< pipeline stage tag active at call time
+  std::vector<u64> bytes_to_peer;  ///< bytes this rank sent to each rank (size P)
+  double wall_seconds = 0.0;     ///< measured wall time of the call (this rank)
+
+  u64 total_bytes() const {
+    u64 s = 0;
+    for (u64 b : bytes_to_peer) s += b;
+    return s;
+  }
+};
+
+}  // namespace dibella::comm

@@ -1,0 +1,58 @@
+#include "comm/world.hpp"
+
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "comm/detail/world_state.hpp"
+
+namespace dibella::comm {
+
+const char* collective_op_name(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kAlltoallv: return "alltoallv";
+    case CollectiveOp::kAllgather: return "allgather";
+    case CollectiveOp::kAllreduce: return "allreduce";
+    case CollectiveOp::kBroadcast: return "broadcast";
+    case CollectiveOp::kGather: return "gather";
+    case CollectiveOp::kBarrier: return "barrier";
+  }
+  return "unknown";
+}
+
+World::World(int ranks, double barrier_timeout_seconds) : ranks_(ranks) {
+  DIBELLA_CHECK(ranks >= 1, "World needs at least 1 rank");
+  state_ = std::make_shared<detail::WorldState>(ranks, barrier_timeout_seconds);
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  state_->reset_poison();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      Communicator comm(*state_, r);
+      try {
+        fn(comm);
+      } catch (const WorldPoisoned&) {
+        // Another rank failed first; unwind quietly.
+      } catch (...) {
+        state_->poison(std::current_exception());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (auto err = state_->first_error()) {
+    state_->reset_poison();
+    std::rethrow_exception(err);
+  }
+}
+
+std::vector<std::vector<ExchangeRecord>> World::exchange_records() const {
+  return state_->copy_records();
+}
+
+void World::clear_exchange_records() { state_->clear_records(); }
+
+}  // namespace dibella::comm

@@ -1,0 +1,69 @@
+#pragma once
+/// \file world.hpp
+/// The SPMD execution substrate: P "ranks" run as OS threads inside one
+/// process, communicating only through MPI-style collectives on a
+/// Communicator (see communicator.hpp).
+///
+/// This substitutes for MPI in the paper's design (DESIGN.md §2): pipeline
+/// code is written exactly as a bulk-synchronous MPI program would be —
+/// per-destination buffers, irregular all-to-all exchanges, barriers — and
+/// every byte that would cross the network is recorded per (src, dst) pair
+/// for the network cost model. Rank failures poison the world so sibling
+/// ranks blocked in collectives terminate instead of deadlocking, and the
+/// first exception is rethrown from World::run.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/exchange_record.hpp"
+#include "util/common.hpp"
+
+namespace dibella::comm {
+
+class Communicator;
+namespace detail {
+class WorldState;
+}
+
+/// Thrown inside sibling ranks when some rank failed; World::run swallows
+/// these and rethrows the originating exception.
+class WorldPoisoned : public Error {
+ public:
+  WorldPoisoned() : Error("world poisoned by failure on another rank") {}
+};
+
+/// A fixed-size group of SPMD ranks.
+class World {
+ public:
+  /// Create a world of `ranks` ranks. Barrier waits exceeding
+  /// `barrier_timeout_seconds` abort the run (guards against mismatched
+  /// collective sequences, which would otherwise deadlock).
+  explicit World(int ranks, double barrier_timeout_seconds = 300.0);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return ranks_; }
+
+  /// Run `fn(comm)` on every rank concurrently; returns when all ranks
+  /// complete. Rethrows the first rank exception, if any. A World can run
+  /// multiple successive SPMD regions; collective sequence numbers continue
+  /// across them.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// All exchange records accumulated so far, indexed [rank][call].
+  /// Records are aligned: records[r][i] across ranks r describe the same
+  /// collective (same seq).
+  std::vector<std::vector<ExchangeRecord>> exchange_records() const;
+
+  /// Drop accumulated exchange records (e.g. between benchmark repetitions).
+  void clear_exchange_records();
+
+ private:
+  int ranks_;
+  std::shared_ptr<detail::WorldState> state_;
+};
+
+}  // namespace dibella::comm

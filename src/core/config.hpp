@@ -1,0 +1,37 @@
+#pragma once
+/// \file config.hpp
+/// Full pipeline configuration. Defaults mirror the paper's settings for
+/// PacBio data: k = 17, singleton floor 2, high-frequency ceiling m from
+/// BELLA's model (auto), one seed per pair (the low-intensity workload of
+/// most paper figures).
+
+#include "align/scoring.hpp"
+#include "overlap/seed_filter.hpp"
+#include "util/common.hpp"
+
+namespace dibella::core {
+
+struct PipelineConfig {
+  // --- k-mer analysis
+  int k = 17;
+  u32 min_kmer_count = 2;   ///< below: singleton (ignored)
+  u32 max_kmer_count = 0;   ///< above: repeat (purged); 0 = auto via BELLA model
+  double assumed_error_rate = 0.15;  ///< data model input for auto thresholds
+  double assumed_coverage = 30.0;    ///< data model input for auto m
+
+  // --- streaming / memory bounds
+  u64 batch_kmers = 1u << 20;  ///< per-rank occurrences per BSP batch
+  double bloom_fpr = 0.05;
+
+  // --- overlap / alignment
+  overlap::SeedFilterConfig seed_filter = overlap::SeedFilterConfig::one_seed();
+  align::Scoring scoring;
+  int xdrop = 25;
+  int min_report_score = 0;  ///< drop alignments scoring below this
+
+  /// Resolved high-frequency ceiling (max_kmer_count, or the BELLA model
+  /// value when max_kmer_count == 0).
+  u32 resolved_max_kmer_count() const;
+};
+
+}  // namespace dibella::core

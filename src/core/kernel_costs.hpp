@@ -1,0 +1,37 @@
+#pragma once
+/// \file kernel_costs.hpp
+/// Calibrated per-unit kernel costs for compute-time accounting.
+///
+/// Why this exists: pipeline compute segments at high simulated rank counts
+/// are sub-millisecond, and sandboxed/virtualized kernels often advance the
+/// per-thread CPU clock in multi-millisecond ticks (this host: 10 ms),
+/// making direct segment timing pure noise. Instead, every stage counts its
+/// *work units* exactly (k-mer windows parsed, Bloom insertions, table
+/// insertions, DP cells, bytes copied) and converts them to seconds with
+/// per-unit costs measured once per process by long (>= 100 ms)
+/// single-threaded calibration loops against the fine-grained monotonic
+/// clock. Compute accounting becomes deterministic while remaining tied to
+/// this machine's real kernel speeds; data-dependent behaviour (x-drop
+/// early exit, read-length variance) is preserved exactly because the unit
+/// *counts* are exact. See DESIGN.md §2 and EXPERIMENTS.md "Methodology".
+
+#include "util/common.hpp"
+
+namespace dibella::core {
+
+/// Seconds per unit of each kernel, measured on this host.
+struct KernelCosts {
+  double parse_per_kmer = 0.0;      ///< rolling canonical parse + buffer push
+  double bloom_insert = 0.0;        ///< Bloom filter test_and_insert
+  double table_insert = 0.0;        ///< hash table insert/add_occurrence
+  double table_traverse = 0.0;      ///< per-key traversal (overlap stage)
+  double pair_consolidate = 0.0;    ///< per-task map-based consolidation
+  double xdrop_per_cell = 0.0;      ///< per DP cell of x-drop extension
+  double per_byte_copy = 0.0;       ///< bulk byte marshalling
+
+  /// The process-wide calibrated instance (measured on first use; takes
+  /// roughly half a second once).
+  static const KernelCosts& get();
+};
+
+}  // namespace dibella::core

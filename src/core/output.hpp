@@ -1,0 +1,25 @@
+#pragma once
+/// \file output.hpp
+/// Result serialization: PAF-like records for aligned overlaps (the lingua
+/// franca of long-read overlappers — minimap2, BELLA and DALIGNER wrappers
+/// all speak a variant of it).
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+#include "io/read.hpp"
+
+namespace dibella::core {
+
+/// Write alignments as PAF: qname qlen qstart qend strand tname tlen tstart
+/// tend score alnlen mapq. `reads` must be gid-indexed (reads[gid].gid == gid).
+void write_paf(std::ostream& os, const std::vector<align::AlignmentRecord>& alignments,
+               const std::vector<io::Read>& reads);
+
+/// One PAF line (for tests / spot checks).
+std::string paf_line(const align::AlignmentRecord& rec, const io::Read& a,
+                     const io::Read& b);
+
+}  // namespace dibella::core

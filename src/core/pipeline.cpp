@@ -1,0 +1,122 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "bella/model.hpp"
+#include "core/stage_context.hpp"
+
+namespace dibella::core {
+
+u32 PipelineConfig::resolved_max_kmer_count() const {
+  if (max_kmer_count != 0) return max_kmer_count;
+  return bella::reliable_max_frequency(assumed_coverage, assumed_error_rate, k);
+}
+
+netsim::TimingReport PipelineOutput::evaluate(const netsim::Platform& platform,
+                                              const netsim::Topology& topology) const {
+  netsim::CostModel model(platform, topology);
+  return model.evaluate(traces, exchange_log);
+}
+
+PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
+                            const PipelineConfig& config) {
+  const int P = world.size();
+  const u32 max_count = config.resolved_max_kmer_count();
+
+  std::vector<u64> lens;
+  lens.reserve(reads.size());
+  for (const auto& r : reads) lens.push_back(r.seq.size());
+  io::ReadPartition partition(lens, P);
+
+  // Per-rank result slots (each rank writes only its own index).
+  std::vector<netsim::RankTrace> traces(static_cast<std::size_t>(P));
+  std::vector<bloom::BloomStageResult> bloom_res(static_cast<std::size_t>(P));
+  std::vector<dht::HashTableStageResult> ht_res(static_cast<std::size_t>(P));
+  std::vector<overlap::OverlapStageResult> ov_res(static_cast<std::size_t>(P));
+  std::vector<align::ReadExchangeResult> rx_res(static_cast<std::size_t>(P));
+  std::vector<align::AlignmentStageResult> al_res(static_cast<std::size_t>(P));
+  std::vector<std::vector<align::AlignmentRecord>> records(static_cast<std::size_t>(P));
+
+  world.clear_exchange_records();
+  world.run([&](comm::Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    StageContext ctx{comm, traces[rank]};
+    ctx.attach();
+
+    io::ReadStore store(reads, partition, comm.rank());
+
+    // Stage 1: distributed Bloom filter; initializes candidate keys.
+    dht::LocalKmerTable table(1024, max_count + 1);
+    bloom::BloomStageConfig bcfg;
+    bcfg.k = config.k;
+    bcfg.batch_kmers = config.batch_kmers;
+    bcfg.bloom_fpr = config.bloom_fpr;
+    bcfg.assumed_error_rate = config.assumed_error_rate;
+    bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
+
+    // Stage 2: distributed hash table with occurrence metadata + purge.
+    dht::HashTableStageConfig hcfg;
+    hcfg.k = config.k;
+    hcfg.batch_instances = config.batch_kmers;
+    hcfg.min_count = config.min_kmer_count;
+    hcfg.max_count = max_count;
+    ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
+
+    // Stage 3: overlap detection (Algorithm 1) + task exchange.
+    overlap::OverlapStageConfig ocfg;
+    ocfg.seed_filter = config.seed_filter;
+    auto tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
+
+    // Stage 4a: replicate remote reads to match the task distribution.
+    rx_res[rank] = align::run_read_exchange(ctx, store, tasks);
+
+    // Stage 4b: embarrassingly parallel x-drop alignment.
+    align::AlignmentStageConfig acfg;
+    acfg.scoring = config.scoring;
+    acfg.xdrop = config.xdrop;
+    acfg.k = config.k;
+    acfg.min_score = config.min_report_score;
+    records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
+  });
+
+  // --- merge per-rank outputs.
+  PipelineOutput out;
+  out.partition = partition;
+  out.traces = std::move(traces);
+  out.exchange_log = world.exchange_records();
+
+  std::size_t total_records = 0;
+  for (const auto& v : records) total_records += v.size();
+  out.alignments.reserve(total_records);
+  for (auto& v : records) {
+    out.alignments.insert(out.alignments.end(), v.begin(), v.end());
+  }
+  std::sort(out.alignments.begin(), out.alignments.end(),
+            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
+              return x.rid_a != y.rid_a ? x.rid_a < y.rid_a : x.rid_b < y.rid_b;
+            });
+
+  auto& c = out.counters;
+  c.max_kmer_count = max_count;
+  out.per_rank_pairs_aligned.resize(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    const auto rank = static_cast<std::size_t>(r);
+    out.per_rank_pairs_aligned[rank] = al_res[rank].pairs_aligned;
+    c.kmers_parsed += bloom_res[rank].parsed_instances;
+    c.candidate_keys += bloom_res[rank].candidate_keys;
+    c.retained_kmers += ht_res[rank].retained_keys;
+    c.purged_keys += ht_res[rank].purged_keys;
+    c.overlap_tasks += ov_res[rank].pair_tasks_formed;
+    c.read_pairs += ov_res[rank].distinct_pairs;
+    c.seeds_after_filter += ov_res[rank].seeds_after_filter;
+    c.reads_exchanged += rx_res[rank].reads_requested;
+    c.read_bytes_exchanged += rx_res[rank].bytes_received;
+    c.pairs_aligned += al_res[rank].pairs_aligned;
+    c.alignments_computed += al_res[rank].alignments_computed;
+    c.dp_cells += al_res[rank].dp_cells;
+    c.alignments_reported += al_res[rank].records_kept;
+  }
+  return out;
+}
+
+}  // namespace dibella::core

@@ -1,0 +1,72 @@
+#pragma once
+/// \file pipeline.hpp
+/// The diBELLA pipeline (§4): the four bulk-synchronous stages — distributed
+/// Bloom filter, distributed hash table, overlap detection, read exchange +
+/// x-drop alignment — orchestrated over a World of SPMD ranks.
+///
+/// The pipeline produces (a) the alignment records, (b) aggregated stage
+/// counters, and (c) the raw per-rank traces + exchange records that the
+/// netsim cost model replays to obtain platform-scaled timings for the
+/// paper's figures.
+
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+#include "align/read_exchange.hpp"
+#include "bloom/distributed_bloom.hpp"
+#include "comm/world.hpp"
+#include "core/config.hpp"
+#include "dht/distributed_table.hpp"
+#include "io/read_store.hpp"
+#include "netsim/cost_model.hpp"
+#include "overlap/overlapper.hpp"
+
+namespace dibella::core {
+
+/// Globally aggregated stage counters (sums over ranks).
+struct PipelineCounters {
+  // stage 1
+  u64 kmers_parsed = 0;          ///< k-mer instances routed in stage 1
+  u64 candidate_keys = 0;        ///< non-singleton candidates (Bloom-approved)
+  // stage 2
+  u64 retained_kmers = 0;        ///< keys surviving the [min, m] purge
+  u64 purged_keys = 0;
+  // stage 3
+  u64 overlap_tasks = 0;         ///< (pair, seed) tasks exchanged
+  u64 read_pairs = 0;            ///< distinct overlapping pairs
+  u64 seeds_after_filter = 0;
+  // stage 4
+  u64 reads_exchanged = 0;       ///< remote reads replicated
+  u64 read_bytes_exchanged = 0;
+  u64 pairs_aligned = 0;
+  u64 alignments_computed = 0;   ///< seed extensions (Fig 7/13's unit)
+  u64 dp_cells = 0;
+  u64 alignments_reported = 0;
+  // resolved parameters
+  u32 max_kmer_count = 0;        ///< the m actually used
+};
+
+/// Everything a pipeline run yields.
+struct PipelineOutput {
+  std::vector<align::AlignmentRecord> alignments;  ///< merged, sorted by (rid_a, rid_b)
+  PipelineCounters counters;
+  std::vector<netsim::RankTrace> traces;                       ///< per rank
+  std::vector<std::vector<comm::ExchangeRecord>> exchange_log;  ///< per rank
+  io::ReadPartition partition;
+  /// Alignment tasks each rank owned — the paper's §9 point that the count
+  /// balance is near perfect even when the time balance is not (Fig 8).
+  std::vector<u64> per_rank_pairs_aligned;
+
+  /// Per-rank alignment-stage virtual seconds under a cost model — the Fig 8
+  /// load-imbalance input.
+  netsim::TimingReport evaluate(const netsim::Platform& platform,
+                                const netsim::Topology& topology) const;
+};
+
+/// Run the full pipeline on `reads` (gid-ordered) over `world`.
+/// Deterministic in (reads, config) and independent of world.size() in its
+/// alignment output (the property the integration tests pin down).
+PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
+                            const PipelineConfig& config);
+
+}  // namespace dibella::core

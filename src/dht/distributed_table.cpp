@@ -1,0 +1,69 @@
+#include "dht/distributed_table.hpp"
+
+#include "bloom/distributed_bloom.hpp"  // kmer_owner: same routing as stage 1
+#include "core/kernel_costs.hpp"
+#include "kmer/occurrence_stream.hpp"
+
+namespace dibella::dht {
+
+HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
+                                         const io::ReadStore& reads,
+                                         const HashTableStageConfig& cfg,
+                                         LocalKmerTable& table) {
+  auto& comm = ctx.comm;
+  const auto& costs = core::KernelCosts::get();
+  comm.set_stage("ht");
+  const int P = comm.size();
+  HashTableStageResult result;
+  result.keys_before_purge = table.size();
+
+  kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
+  bool more = true;
+  while (true) {
+    std::vector<std::vector<KmerInstance>> outgoing(static_cast<std::size_t>(P));
+    u64 parsed_this_batch = 0;
+    if (more) {
+      more = stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
+        KmerInstance inst;
+        inst.km = occ.kmer;
+        inst.rid = rid;
+        inst.pos = occ.pos;
+        inst.is_forward = occ.is_forward ? 1 : 0;
+        outgoing[static_cast<std::size_t>(bloom::kmer_owner(occ.kmer, P))].push_back(inst);
+        ++parsed_this_batch;
+      });
+      result.parsed_instances += parsed_this_batch;
+    }
+    u64 buffered = 0;
+    for (const auto& v : outgoing) buffered += v.size() * sizeof(KmerInstance);
+    ctx.trace.add_compute("ht:pack",
+                          static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                          buffered);
+
+    auto incoming = comm.alltoallv_flat(outgoing);
+    for (const auto& inst : incoming) {
+      ++result.received_instances;
+      ReadOccurrence occ{inst.rid, inst.pos, inst.is_forward};
+      if (table.add_occurrence(inst.km, occ)) ++result.inserted_occurrences;
+    }
+    ctx.trace.add_compute("ht:local",
+                          static_cast<double>(incoming.size()) * costs.table_insert,
+                          table.memory_bytes());
+    ++result.batches;
+
+    bool all_done = comm.allreduce_and(!more);
+    if (all_done) break;
+  }
+
+  // Purge: false-positive singletons and high-frequency k-mers (> m). The
+  // partitions are traversed independently in parallel — no communication.
+  u64 keys_before = table.size();
+  result.purged_keys = table.purge_outside(cfg.min_count, cfg.max_count);
+  ctx.trace.add_compute("ht:local",
+                        static_cast<double>(keys_before) * costs.table_traverse,
+                        table.memory_bytes());
+  result.retained_keys = table.size();
+  return result;
+}
+
+}  // namespace dibella::dht

@@ -1,0 +1,104 @@
+#pragma once
+/// \file local_table.hpp
+/// One rank's partition of the distributed k-mer hash table.
+///
+/// Maps a canonical k-mer to its global count and the list of
+/// (read id, position, orientation) occurrences — the payload that makes
+/// this table a *read-overlap* graph rather than HipMer's de Bruijn graph
+/// (§11). Open addressing with linear probing over power-of-two capacity;
+/// occurrence lists live in a side pool of linked nodes so slots stay
+/// trivially relocatable on rehash.
+///
+/// Memory bound: occurrence storage is capped per key at `occurrence_cap`
+/// (pipeline sets it to m+1): any k-mer with more occurrences than the
+/// high-frequency threshold will be purged anyway, so storing its full list
+/// would only waste memory. Counting continues past the cap.
+
+#include <vector>
+
+#include "kmer/kmer.hpp"
+#include "util/common.hpp"
+
+namespace dibella::dht {
+
+/// One observation of a k-mer inside a read.
+struct ReadOccurrence {
+  u64 rid = 0;       ///< global read id
+  u32 pos = 0;       ///< window start within the read
+  u8 is_forward = 1;  ///< 1 when the canonical form equals the read-local form
+};
+
+class LocalKmerTable {
+ public:
+  explicit LocalKmerTable(std::size_t expected_keys = 1024, u32 occurrence_cap = 256);
+
+  /// Register a key with zero count (stage 1: Bloom-approved candidates).
+  /// Returns true when the key was newly inserted.
+  bool insert_key(const kmer::Kmer& km);
+
+  bool contains(const kmer::Kmer& km) const;
+
+  /// Record one occurrence of a *resident* key (stage 2); increments the
+  /// count and stores the occurrence while under the cap. Returns false
+  /// (and does nothing) when the key is not resident.
+  bool add_occurrence(const kmer::Kmer& km, const ReadOccurrence& occ);
+
+  /// Count of a key (0 when absent).
+  u32 count(const kmer::Kmer& km) const;
+
+  /// Stored occurrences of a key, in insertion order.
+  std::vector<ReadOccurrence> occurrences(const kmer::Kmer& km) const;
+
+  /// Remove every key whose count lies outside [min_count, max_count] —
+  /// the singleton / high-frequency purge of §7. Returns number removed.
+  std::size_t purge_outside(u32 min_count, u32 max_count);
+
+  /// Visit every resident key: fn(const kmer::Kmer&, u32 count,
+  /// const std::vector<ReadOccurrence>& occurrences).
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (state_[i] != SlotState::kFull) continue;
+      fn(slots_[i].key, slots_[i].count, collect_occurrences(i));
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return slots_.size(); }
+  u32 occurrence_cap() const { return occ_cap_; }
+  double load_factor() const {
+    return slots_.empty() ? 0.0
+                          : static_cast<double>(size_) / static_cast<double>(slots_.size());
+  }
+  /// Approximate heap bytes (table + occurrence pool) — the working-set
+  /// figure fed to the cache model.
+  u64 memory_bytes() const;
+
+ private:
+  enum class SlotState : u8 { kEmpty = 0, kFull = 1 };
+
+  struct Slot {
+    kmer::Kmer key;
+    u32 count = 0;
+    i32 head = -1;  ///< first occurrence node index, -1 = none
+    u32 stored = 0;  ///< occurrences stored (<= occ_cap_)
+  };
+
+  struct OccNode {
+    ReadOccurrence occ;
+    i32 next = -1;
+  };
+
+  std::size_t probe(const kmer::Kmer& km) const;  // slot of key or its insert point
+  void maybe_grow();
+  void rehash(std::size_t new_capacity);
+  std::vector<ReadOccurrence> collect_occurrences(std::size_t slot) const;
+
+  std::vector<Slot> slots_;
+  std::vector<SlotState> state_;
+  std::vector<OccNode> pool_;
+  std::size_t size_ = 0;
+  u32 occ_cap_;
+};
+
+}  // namespace dibella::dht

@@ -1,0 +1,110 @@
+#include "graph/overlap_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace dibella::graph {
+
+OverlapGraph OverlapGraph::from_alignments(
+    const std::vector<align::AlignmentRecord>& records, u64 num_reads, i32 min_score) {
+  OverlapGraph g;
+  g.adj_.resize(num_reads);
+  // Deduplicate by pair, keeping the best score.
+  std::map<std::pair<u64, u64>, const align::AlignmentRecord*> best;
+  for (const auto& rec : records) {
+    if (rec.score < min_score) continue;
+    DIBELLA_CHECK(rec.rid_a < num_reads && rec.rid_b < num_reads,
+                  "from_alignments: record references unknown read");
+    auto key = std::make_pair(std::min(rec.rid_a, rec.rid_b),
+                              std::max(rec.rid_a, rec.rid_b));
+    auto [it, inserted] = best.try_emplace(key, &rec);
+    if (!inserted && rec.score > it->second->score) it->second = &rec;
+  }
+  for (const auto& [key, rec] : best) {
+    u32 len = std::max(rec->a_end - rec->a_begin, rec->b_end - rec->b_begin);
+    g.adj_[static_cast<std::size_t>(key.first)].push_back(
+        OverlapEdge{key.second, rec->score, len, rec->same_orientation, false});
+    g.adj_[static_cast<std::size_t>(key.second)].push_back(
+        OverlapEdge{key.first, rec->score, len, rec->same_orientation, false});
+    ++g.edges_;
+  }
+  return g;
+}
+
+std::vector<u64> OverlapGraph::connected_components() const {
+  const u64 n = num_vertices();
+  std::vector<u64> comp(n, ~u64{0});
+  u64 next = 0;
+  std::vector<u64> stack;
+  for (u64 s = 0; s < n; ++s) {
+    if (comp[static_cast<std::size_t>(s)] != ~u64{0}) continue;
+    u64 id = next++;
+    stack.push_back(s);
+    comp[static_cast<std::size_t>(s)] = id;
+    while (!stack.empty()) {
+      u64 v = stack.back();
+      stack.pop_back();
+      for (const auto& e : adj_[static_cast<std::size_t>(v)]) {
+        if (e.removed) continue;
+        if (comp[static_cast<std::size_t>(e.to)] == ~u64{0}) {
+          comp[static_cast<std::size_t>(e.to)] = id;
+          stack.push_back(e.to);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+u64 OverlapGraph::num_components() const {
+  auto comp = connected_components();
+  return comp.empty() ? 0 : *std::max_element(comp.begin(), comp.end()) + 1;
+}
+
+util::Histogram OverlapGraph::degree_histogram() const {
+  util::Histogram h;
+  for (const auto& edges : adj_) {
+    u64 deg = 0;
+    for (const auto& e : edges) {
+      if (!e.removed) ++deg;
+    }
+    h.add(deg);
+  }
+  return h;
+}
+
+u64 OverlapGraph::transitive_reduction() {
+  u64 removed = 0;
+  // For each vertex a, test each live edge (a, c) against two-hop paths.
+  for (u64 a = 0; a < num_vertices(); ++a) {
+    auto& a_edges = adj_[static_cast<std::size_t>(a)];
+    for (auto& ac : a_edges) {
+      if (ac.removed || ac.to < a) continue;  // handle each undirected edge once
+      bool transitive = false;
+      for (const auto& ab : a_edges) {
+        if (ab.removed || ab.to == ac.to) continue;
+        if (ab.overlap_len < ac.overlap_len) continue;
+        // Is (b, c) an edge at least as strong as (a, c)?
+        for (const auto& bc : adj_[static_cast<std::size_t>(ab.to)]) {
+          if (!bc.removed && bc.to == ac.to && bc.overlap_len >= ac.overlap_len) {
+            transitive = true;
+            break;
+          }
+        }
+        if (transitive) break;
+      }
+      if (transitive) {
+        ac.removed = true;
+        for (auto& rev : adj_[static_cast<std::size_t>(ac.to)]) {
+          if (rev.to == a) rev.removed = true;
+        }
+        ++removed;
+        --edges_;
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace dibella::graph

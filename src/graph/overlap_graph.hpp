@@ -1,0 +1,58 @@
+#pragma once
+/// \file overlap_graph.hpp
+/// The read-overlap graph downstream assemblers consume (§1, §11: "This
+/// graph representation, often known as the overlap graph ... is more
+/// robust to sequencing errors"). Built from the pipeline's alignment
+/// records; provides the standard assembly-prep analyses: connected
+/// components, degree statistics, and transitive reduction.
+
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+#include "util/common.hpp"
+#include "util/histogram.hpp"
+
+namespace dibella::graph {
+
+/// One undirected overlap edge.
+struct OverlapEdge {
+  u64 to = 0;
+  i32 score = 0;
+  u32 overlap_len = 0;     ///< max of the two aligned span lengths
+  u8 same_orientation = 1;
+  bool removed = false;    ///< marked by transitive reduction
+};
+
+class OverlapGraph {
+ public:
+  /// Build from alignment records; edges scoring below `min_score` are
+  /// dropped. Duplicate pairs keep the best-scoring record.
+  static OverlapGraph from_alignments(const std::vector<align::AlignmentRecord>& records,
+                                      u64 num_reads, i32 min_score = 0);
+
+  u64 num_vertices() const { return adj_.size(); }
+  u64 num_edges() const { return edges_; }  ///< undirected edge count (live)
+
+  const std::vector<OverlapEdge>& neighbors(u64 v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Component id per vertex (ids are dense, smallest-vertex-first).
+  std::vector<u64> connected_components() const;
+  u64 num_components() const;
+
+  /// Histogram of live vertex degrees.
+  util::Histogram degree_histogram() const;
+
+  /// Myers-style transitive reduction: an edge (a, c) is marked removed when
+  /// some b neighbours both a and c with overlap(a,b) >= overlap(a,c) and
+  /// overlap(b,c) >= overlap(a,c) — i.e. the a-c adjacency is explained by
+  /// the path through b. Returns the number of (undirected) edges removed.
+  u64 transitive_reduction();
+
+ private:
+  std::vector<std::vector<OverlapEdge>> adj_;
+  u64 edges_ = 0;
+};
+
+}  // namespace dibella::graph

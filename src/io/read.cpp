@@ -1,0 +1,11 @@
+#include "io/read.hpp"
+
+namespace dibella::io {
+
+u64 total_sequence_bytes(const std::vector<Read>& reads) {
+  u64 n = 0;
+  for (const auto& r : reads) n += r.seq.size();
+  return n;
+}
+
+}  // namespace dibella::io

@@ -1,0 +1,26 @@
+#pragma once
+/// \file read.hpp
+/// The fundamental record of the pipeline: one sequencing read. Global read
+/// IDs (gids) are dense 0..N-1 indices assigned in input order; the paper's
+/// Algorithm 1 and the odd/even owner heuristic operate on these IDs.
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::io {
+
+/// A single long read.
+struct Read {
+  u64 gid = 0;        ///< dense global id (input order)
+  std::string name;   ///< FASTQ/FASTA header (without '@'/'>')
+  std::string seq;    ///< base sequence
+  std::string qual;   ///< per-base quality string (may be empty for FASTA)
+};
+
+/// Total sequence bytes over a set of reads (the partitioning weight the
+/// paper uses: "by the read size in memory").
+u64 total_sequence_bytes(const std::vector<Read>& reads);
+
+}  // namespace dibella::io

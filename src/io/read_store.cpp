@@ -1,0 +1,101 @@
+#include "io/read_store.hpp"
+
+#include <algorithm>
+
+#include "util/common.hpp"
+
+namespace dibella::io {
+
+ReadPartition::ReadPartition(const std::vector<u64>& seq_lengths, int ranks) {
+  DIBELLA_CHECK(ranks >= 1, "ReadPartition needs >= 1 rank");
+  u64 total = 0;
+  for (u64 len : seq_lengths) total += len;
+  first_gid_.assign(static_cast<std::size_t>(ranks) + 1, 0);
+  u64 gid = 0;
+  u64 accumulated = 0;
+  for (int r = 0; r < ranks; ++r) {
+    first_gid_[static_cast<std::size_t>(r)] = gid;
+    // Target for ranks [0, r] combined; keeps the split stable and contiguous.
+    u64 target = total * static_cast<u64>(r + 1) / static_cast<u64>(ranks);
+    while (gid < seq_lengths.size() && accumulated < target) {
+      accumulated += seq_lengths[static_cast<std::size_t>(gid)];
+      ++gid;
+    }
+  }
+  first_gid_[static_cast<std::size_t>(ranks)] = static_cast<u64>(seq_lengths.size());
+  // Ensure the last rank absorbs any remainder (loop above already guarantees
+  // gid == N when r == ranks-1 because target == total).
+}
+
+int ReadPartition::owner_of(u64 gid) const {
+  DIBELLA_CHECK(gid < total_reads(), "owner_of: gid out of range");
+  auto it = std::upper_bound(first_gid_.begin(), first_gid_.end(), gid);
+  return static_cast<int>(it - first_gid_.begin()) - 1;
+}
+
+ReadStore::ReadStore(const std::vector<Read>& all, const ReadPartition& partition,
+                     int rank)
+    : rank_(rank), partition_(partition) {
+  u64 lo = partition_.first_gid(rank);
+  u64 hi = lo + partition_.count(rank);
+  local_.reserve(hi - lo);
+  for (u64 g = lo; g < hi; ++g) {
+    DIBELLA_CHECK(all[static_cast<std::size_t>(g)].gid == g,
+                  "ReadStore: input reads must be gid-ordered");
+    local_.push_back(all[static_cast<std::size_t>(g)]);
+  }
+}
+
+ReadStore ReadStore::from_local_block(std::vector<Read> local,
+                                      const ReadPartition& partition, int rank) {
+  DIBELLA_CHECK(local.size() == partition.count(rank),
+                "ReadStore: local read count does not match partition");
+  u64 lo = partition.first_gid(rank);
+  for (std::size_t i = 0; i < local.size(); ++i) {
+    DIBELLA_CHECK(local[i].gid == lo + i, "ReadStore: local reads must be a gid block");
+  }
+  ReadStore store;
+  store.rank_ = rank;
+  store.partition_ = partition;
+  store.local_ = std::move(local);
+  return store;
+}
+
+bool ReadStore::is_local(u64 gid) const {
+  u64 lo = partition_.first_gid(rank_);
+  return gid >= lo && gid < lo + partition_.count(rank_);
+}
+
+const Read& ReadStore::local_read(u64 gid) const {
+  DIBELLA_CHECK(is_local(gid), "local_read: gid not owned by this rank");
+  return local_[static_cast<std::size_t>(gid - partition_.first_gid(rank_))];
+}
+
+void ReadStore::cache_remote(Read r) {
+  remote_.push_back(std::move(r));
+  rebuild_remote_index();
+}
+
+void ReadStore::cache_remote_bulk(std::vector<Read> rs) {
+  remote_.reserve(remote_.size() + rs.size());
+  for (auto& r : rs) remote_.push_back(std::move(r));
+  rebuild_remote_index();
+}
+
+void ReadStore::rebuild_remote_index() {
+  remote_index_.resize(remote_.size());
+  for (std::size_t i = 0; i < remote_.size(); ++i) remote_index_[i] = i;
+  std::sort(remote_index_.begin(), remote_index_.end(),
+            [&](std::size_t a, std::size_t b) { return remote_[a].gid < remote_[b].gid; });
+}
+
+const Read& ReadStore::get(u64 gid) const {
+  if (is_local(gid)) return local_read(gid);
+  auto it = std::lower_bound(remote_index_.begin(), remote_index_.end(), gid,
+                             [&](std::size_t idx, u64 g) { return remote_[idx].gid < g; });
+  DIBELLA_CHECK(it != remote_index_.end() && remote_[*it].gid == gid,
+                "ReadStore::get: read neither local nor cached");
+  return remote_[*it];
+}
+
+}  // namespace dibella::io

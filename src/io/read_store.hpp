@@ -1,0 +1,97 @@
+#pragma once
+/// \file read_store.hpp
+/// Block distribution of reads across ranks.
+///
+/// As in the paper (§9): "the input reads are not ordered, and our algorithm
+/// partitions them as uniformly as possible at the beginning of the
+/// computation (by the read size in memory)". The partition is computed
+/// identically on every rank from the global read-count/size information, so
+/// gid -> owner lookups need no communication.
+
+#include <vector>
+
+#include "io/read.hpp"
+
+namespace dibella::io {
+
+/// Contiguous-block partition of gids [0, N) over P ranks, weighted by
+/// per-read sequence bytes.
+class ReadPartition {
+ public:
+  ReadPartition() = default;
+
+  /// Build the partition from every read's sequence length (indexed by gid).
+  /// Greedy contiguous split: rank boundaries advance once a rank has
+  /// accumulated total/P bytes.
+  ReadPartition(const std::vector<u64>& seq_lengths, int ranks);
+
+  int ranks() const { return static_cast<int>(first_gid_.size()) - 1; }
+  u64 total_reads() const { return first_gid_.empty() ? 0 : first_gid_.back(); }
+
+  /// First gid owned by `rank` (range is [first_gid(rank), first_gid(rank+1))).
+  u64 first_gid(int rank) const { return first_gid_[static_cast<std::size_t>(rank)]; }
+
+  /// Number of reads owned by `rank`.
+  u64 count(int rank) const {
+    return first_gid_[static_cast<std::size_t>(rank) + 1] -
+           first_gid_[static_cast<std::size_t>(rank)];
+  }
+
+  /// The rank owning read `gid`.
+  int owner_of(u64 gid) const;
+
+ private:
+  std::vector<u64> first_gid_;  // size ranks+1; first_gid_[ranks] == N
+};
+
+/// A rank's view of the distributed read set: its owned block plus a cache of
+/// remote reads fetched during the alignment stage's read exchange.
+class ReadStore {
+ public:
+  ReadStore() = default;
+
+  /// Construct rank `rank`'s store from the full read vector (reads are
+  /// copied out of the owned block only). `all` must be gid-ordered.
+  ReadStore(const std::vector<Read>& all, const ReadPartition& partition, int rank);
+
+  /// Construct from already-local reads (e.g. parsed from this rank's file
+  /// byte range). `local` must be this rank's contiguous gid block.
+  static ReadStore from_local_block(std::vector<Read> local,
+                                    const ReadPartition& partition, int rank);
+
+  int rank() const { return rank_; }
+  const ReadPartition& partition() const { return partition_; }
+  const std::vector<Read>& local_reads() const { return local_; }
+
+  bool is_local(u64 gid) const;
+
+  /// Sequence of a locally-owned read.
+  const Read& local_read(u64 gid) const;
+
+  /// Add a remote read fetched in the alignment read-exchange.
+  void cache_remote(Read r);
+
+  /// Bulk-add remote reads (single index rebuild; use for the read exchange).
+  void cache_remote_bulk(std::vector<Read> rs);
+
+  /// Look up a read by gid: local block first, then the remote cache.
+  /// Throws when the read is neither local nor cached.
+  const Read& get(u64 gid) const;
+
+  /// Number of remote reads currently cached (replication metric).
+  std::size_t remote_cache_size() const { return remote_.size(); }
+  void clear_remote_cache() {
+    remote_.clear();
+    remote_index_.clear();
+  }
+
+ private:
+  int rank_ = 0;
+  ReadPartition partition_;
+  std::vector<Read> local_;
+  std::vector<Read> remote_;                 // cached remote reads
+  std::vector<std::size_t> remote_index_;    // sorted by gid -> index into remote_
+  void rebuild_remote_index();
+};
+
+}  // namespace dibella::io

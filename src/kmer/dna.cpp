@@ -1,0 +1,24 @@
+#include "kmer/dna.hpp"
+
+#include <algorithm>
+
+namespace dibella::kmer {
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out(seq.size(), 'N');
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    out[seq.size() - 1 - i] = complement_base(seq[i]);
+  }
+  return out;
+}
+
+bool is_valid_dna(std::string_view seq) {
+  return std::all_of(seq.begin(), seq.end(), [](char c) { return encode_base(c) >= 0; });
+}
+
+std::size_t count_valid_bases(std::string_view seq) {
+  return static_cast<std::size_t>(
+      std::count_if(seq.begin(), seq.end(), [](char c) { return encode_base(c) >= 0; }));
+}
+
+}  // namespace dibella::kmer

@@ -1,0 +1,54 @@
+#pragma once
+/// \file dna.hpp
+/// The DNA alphabet: 2-bit base codes, complements, and string-level
+/// reverse-complement. Everything higher up (k-mers, simulators, aligners)
+/// funnels through these primitives.
+
+#include <string>
+#include <string_view>
+
+#include "util/common.hpp"
+
+namespace dibella::kmer {
+
+/// 2-bit base codes. The complement of code c is (3 - c) with this ordering.
+enum BaseCode : u8 { kA = 0, kC = 1, kG = 2, kT = 3 };
+
+/// Map an ASCII base (case-insensitive) to its 2-bit code, or -1 when the
+/// character is not one of ACGT (e.g. 'N'). Parsers must reset their rolling
+/// window when they see -1.
+inline int encode_base(char c) {
+  switch (c) {
+    case 'A': case 'a': return kA;
+    case 'C': case 'c': return kC;
+    case 'G': case 'g': return kG;
+    case 'T': case 't': return kT;
+    default: return -1;
+  }
+}
+
+/// Inverse of encode_base for valid codes.
+inline char decode_base(u8 code) {
+  constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  return kBases[code & 3u];
+}
+
+/// Watson–Crick complement in code space: A<->T, C<->G.
+inline u8 complement_code(u8 code) { return static_cast<u8>(3u - (code & 3u)); }
+
+/// Complement of an ASCII base; non-ACGT characters map to 'N'.
+inline char complement_base(char c) {
+  int code = encode_base(c);
+  return code < 0 ? 'N' : decode_base(complement_code(static_cast<u8>(code)));
+}
+
+/// Reverse complement of a sequence ('N's stay 'N').
+std::string reverse_complement(std::string_view seq);
+
+/// True when every character of `seq` is one of ACGTacgt.
+bool is_valid_dna(std::string_view seq);
+
+/// Count of valid ACGT characters in `seq`.
+std::size_t count_valid_bases(std::string_view seq);
+
+}  // namespace dibella::kmer

@@ -1,0 +1,52 @@
+#pragma once
+/// \file occurrence_stream.hpp
+/// Resumable, memory-bounded k-mer scan over a rank's reads.
+///
+/// The pipeline makes two passes over the input (§4) and "executes in a
+/// streaming fashion with a subset of input data at a time to limit the
+/// memory consumption". This stream supports that: fill() emits up to a
+/// budget of k-mer occurrences and can be resumed, pausing at read
+/// granularity (a single long read may overshoot the budget by its own
+/// k-mer count, which is the same granularity the paper's implementation
+/// batches at).
+
+#include <vector>
+
+#include "io/read.hpp"
+#include "kmer/parser.hpp"
+
+namespace dibella::kmer {
+
+class OccurrenceStream {
+ public:
+  OccurrenceStream(const std::vector<io::Read>& reads, int k)
+      : reads_(&reads), k_(k) {}
+
+  /// Emit occurrences of whole reads until at least `budget` occurrences
+  /// have been produced in this call (or input is exhausted).
+  /// fn(u64 rid, const Occurrence&). Returns true while input remains.
+  template <class Fn>
+  bool fill(u64 budget, Fn&& fn) {
+    u64 produced = 0;
+    while (next_read_ < reads_->size() && produced < budget) {
+      const io::Read& r = (*reads_)[next_read_];
+      for_each_canonical_kmer(r.seq, k_, [&](const Occurrence& occ) {
+        fn(r.gid, occ);
+        ++produced;
+      });
+      ++next_read_;
+    }
+    return next_read_ < reads_->size();
+  }
+
+  bool exhausted() const { return next_read_ >= reads_->size(); }
+
+  void reset() { next_read_ = 0; }
+
+ private:
+  const std::vector<io::Read>* reads_;
+  int k_;
+  std::size_t next_read_ = 0;
+};
+
+}  // namespace dibella::kmer

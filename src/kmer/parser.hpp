@@ -1,0 +1,62 @@
+#pragma once
+/// \file parser.hpp
+/// Rolling extraction of canonical k-mers (and their in-read positions and
+/// orientations) from a sequence, skipping windows containing non-ACGT
+/// characters. This is the inner loop of pipeline stages 1 and 2, so it is a
+/// header-only template taking a callback.
+
+#include <string_view>
+
+#include "kmer/kmer.hpp"
+
+namespace dibella::kmer {
+
+/// One canonical k-mer occurrence within a read.
+struct Occurrence {
+  Kmer kmer;         ///< canonical form
+  u32 pos = 0;       ///< 0-based offset of the window start within the read
+  bool is_forward = true;  ///< true when the canonical form equals the forward form
+};
+
+/// Invoke `fn(const Occurrence&)` for every k-mer window of `seq`.
+/// Windows containing a non-ACGT character are skipped; the rolling state
+/// resets after each invalid base, exactly as a production k-mer scanner
+/// must. Reads shorter than k produce no occurrences.
+template <class Fn>
+void for_each_canonical_kmer(std::string_view seq, int k, Fn&& fn) {
+  DIBELLA_CHECK(k >= 1 && k <= Kmer::max_k(), "k out of range");
+  if (seq.size() < static_cast<std::size_t>(k)) return;
+  Kmer fwd;
+  Kmer rc;
+  int run = 0;  // number of consecutive valid bases ending at current position
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    int code = encode_base(seq[i]);
+    if (code < 0) {
+      run = 0;
+      fwd = Kmer{};
+      rc = Kmer{};
+      continue;
+    }
+    fwd.append(static_cast<u8>(code), k);
+    rc.rc_prepend(static_cast<u8>(code), k);
+    if (run < k) ++run;
+    if (run >= k) {
+      Occurrence occ;
+      bool fwd_is_canonical = fwd <= rc;
+      occ.kmer = fwd_is_canonical ? fwd : rc;
+      occ.pos = static_cast<u32>(i + 1 - static_cast<std::size_t>(k));
+      occ.is_forward = fwd_is_canonical;
+      fn(static_cast<const Occurrence&>(occ));
+    }
+  }
+}
+
+/// Number of k-mer windows a sequence of length n contributes (ignoring
+/// invalid characters): max(0, n - k + 1). The paper approximates this as ~n
+/// for long reads (§3, Eq. 2).
+inline u64 window_count(std::size_t n, int k) {
+  return n >= static_cast<std::size_t>(k) ? static_cast<u64>(n - static_cast<std::size_t>(k) + 1)
+                                          : 0;
+}
+
+}  // namespace dibella::kmer

@@ -1,0 +1,33 @@
+#include "kmer/spectrum.hpp"
+
+#include "kmer/parser.hpp"
+
+namespace dibella::kmer {
+
+CountMap count_canonical(const std::vector<std::string>& seqs, int k) {
+  CountMap counts;
+  for (const auto& s : seqs) {
+    for_each_canonical_kmer(s, k, [&](const Occurrence& occ) { ++counts[occ.kmer]; });
+  }
+  return counts;
+}
+
+util::Histogram frequency_spectrum(const CountMap& counts) {
+  util::Histogram h;
+  for (const auto& [km, c] : counts) {
+    (void)km;
+    h.add(c);
+  }
+  return h;
+}
+
+u64 distinct_in_range(const CountMap& counts, u64 lo, u64 hi) {
+  u64 n = 0;
+  for (const auto& [km, c] : counts) {
+    (void)km;
+    if (c >= lo && c <= hi) ++n;
+  }
+  return n;
+}
+
+}  // namespace dibella::kmer

@@ -1,0 +1,28 @@
+#pragma once
+/// \file spectrum.hpp
+/// Serial, single-node k-mer counting and frequency-spectrum helpers. These
+/// act as the trusted oracle the distributed Bloom/hash stages are tested
+/// against, and feed the DALIGNER-like baseline.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kmer/kmer.hpp"
+#include "util/histogram.hpp"
+
+namespace dibella::kmer {
+
+/// Canonical k-mer -> number of occurrences across all sequences.
+using CountMap = std::unordered_map<Kmer, u64, KmerHasher>;
+
+/// Count canonical k-mers of all sequences serially (test oracle).
+CountMap count_canonical(const std::vector<std::string>& seqs, int k);
+
+/// Frequency spectrum (multiplicity -> number of distinct k-mers with it).
+util::Histogram frequency_spectrum(const CountMap& counts);
+
+/// Number of distinct k-mers with multiplicity in [lo, hi].
+u64 distinct_in_range(const CountMap& counts, u64 lo, u64 hi);
+
+}  // namespace dibella::kmer

@@ -1,0 +1,92 @@
+#pragma once
+/// \file cost_model.hpp
+/// The network/compute cost model: replays per-rank traces and exchange
+/// records against a Platform + Topology, producing the virtual (simulated)
+/// per-stage timings the figure benches report.
+///
+/// Model summary (parameters in platform.hpp):
+///  * Compute: measured thread-CPU seconds x core_time_factor x
+///    cache_penalty(working_set / per-rank cache share). BSP semantics —
+///    each superstep costs the max over ranks.
+///  * Exchange (alltoallv and friends): per rank r,
+///        t_r = sum_msgs latency + max(send_inter, recv_inter)/bw_rank
+///              + (send_intra + recv_intra)/intra_bw
+///    with bw_rank = node injection bandwidth / ranks-per-node; the
+///    collective costs max_r t_r. The first alltoallv additionally pays a
+///    per-peer setup cost (the paper's observed first-call anomaly, §6/§10).
+///  * Barrier: a log2(P)-depth latency tree.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "comm/exchange_record.hpp"
+#include "netsim/platform.hpp"
+#include "netsim/rank_trace.hpp"
+
+namespace dibella::netsim {
+
+/// Simulated + measured timing for one pipeline stage.
+struct StageTiming {
+  double compute_virtual = 0.0;   ///< platform-scaled compute (BSP max per superstep)
+  double exchange_virtual = 0.0;  ///< modeled exchange time
+  double compute_cpu_max = 0.0;   ///< measured per-rank CPU seconds, max over ranks
+  double exchange_wall_max = 0.0; ///< measured wall of collectives (max over ranks per call)
+  u64 exchange_bytes = 0;         ///< total bytes over all ranks and calls
+  u64 exchange_calls = 0;         ///< number of collectives attributed to this stage
+
+  double total_virtual() const { return compute_virtual + exchange_virtual; }
+};
+
+/// Full evaluation result for one run.
+struct TimingReport {
+  /// Stage tag -> timing. A compute tag "bloom:pack" contributes to stage
+  /// "bloom" with sub-tag "pack"; both granularities are kept.
+  std::map<std::string, StageTiming> stages;
+  std::vector<std::string> stage_order;  ///< first-appearance order of top-level stages
+
+  /// Per-rank virtual seconds per top-level stage (compute + that rank's own
+  /// exchange cost) — the input to the paper's load-imbalance metric (Fig 8).
+  std::map<std::string, std::vector<double>> per_rank_stage_seconds;
+
+  double total_virtual() const;
+  double total_compute_virtual() const;
+  double total_exchange_virtual() const;
+
+  const StageTiming& stage(const std::string& name) const;
+  bool has_stage(const std::string& name) const { return stages.count(name) > 0; }
+};
+
+/// Strip a ":sub" suffix: top_level_stage("bloom:pack") == "bloom".
+std::string top_level_stage(const std::string& stage);
+
+class CostModel {
+ public:
+  CostModel(Platform platform, Topology topology);
+
+  const Platform& platform() const { return platform_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Compute-time multiplier for a segment with the given working set:
+  /// core_time_factor x cache penalty.
+  double compute_scale(u64 working_set_bytes) const;
+
+  /// Modeled time of one collective, given every rank's record for the same
+  /// seq. `per_rank_seconds`, when non-null, receives each rank's own cost.
+  /// `is_first_alltoallv` applies the first-call setup surcharge.
+  double exchange_time(const std::vector<comm::ExchangeRecord>& per_rank,
+                       bool is_first_alltoallv,
+                       std::vector<double>* per_rank_seconds = nullptr) const;
+
+  /// Replay traces + records into a report. `traces[r]` and `records[r]`
+  /// describe rank r; records must be seq-aligned across ranks (the World
+  /// guarantees this for SPMD programs).
+  TimingReport evaluate(const std::vector<RankTrace>& traces,
+                        const std::vector<std::vector<comm::ExchangeRecord>>& records) const;
+
+ private:
+  Platform platform_;
+  Topology topology_;
+};
+
+}  // namespace dibella::netsim

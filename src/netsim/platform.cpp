@@ -1,0 +1,87 @@
+#include "netsim/platform.hpp"
+
+namespace dibella::netsim {
+
+Platform cori() {
+  Platform p;
+  p.name = "Cori (XC40)";
+  p.network = "Aries Dragonfly";
+  p.cores_per_node = 32;
+  p.cpu_ghz = 2.3;
+  p.memory_gb = 128;
+  p.core_time_factor = 1.0;  // reference: Haswell core
+  p.inter_latency_s = 2.7e-6;   // Table 1
+  p.node_bw_bytes_per_s = 113.0e6;  // Table 1 (8K messages)
+  p.llc_bytes_per_node = 80e6;  // 2 sockets x 40 MB Haswell LLC
+  return p;
+}
+
+Platform edison() {
+  Platform p;
+  p.name = "Edison (XC30)";
+  p.network = "Aries Dragonfly";
+  p.cores_per_node = 24;
+  p.cpu_ghz = 2.4;
+  p.memory_gb = 64;
+  p.core_time_factor = 1.15;  // Ivy Bridge: slightly slower per core than Haswell
+  p.inter_latency_s = 0.8e-6;       // Table 1
+  p.node_bw_bytes_per_s = 436.2e6;  // Table 1 — best per-node bandwidth of the set
+  p.llc_bytes_per_node = 60e6;      // 2 sockets x 30 MB Ivy Bridge LLC
+  return p;
+}
+
+Platform titan() {
+  Platform p;
+  p.name = "Titan (XK7)";
+  p.network = "Gemini 3D Torus";
+  p.cores_per_node = 16;  // integer cores; GPUs unused (§5)
+  p.cpu_ghz = 2.2;
+  p.memory_gb = 32;
+  p.core_time_factor = 2.3;  // Opteron integer core, much slower than Haswell
+  p.inter_latency_s = 1.1e-6;      // Table 1
+  p.node_bw_bytes_per_s = 99.2e6;  // Table 1
+  p.llc_bytes_per_node = 16e6;     // Opteron 6274 L3
+  return p;
+}
+
+Platform aws() {
+  Platform p;
+  p.name = "AWS";
+  p.network = "10 GbE (placement group)";
+  p.cores_per_node = 16;
+  p.cpu_ghz = 2.8;  // c3.8xlarge E5-2680v2; hyperthreads not counted
+  p.memory_gb = 60;
+  // §5: "the AWS node has similar performance to a Titan CPU node" — with
+  // 16 cores on both, per-core factors land close together.
+  p.core_time_factor = 2.2;
+  // AWS does not publish latency; commodity TCP/ethernet stacks measure
+  // tens of microseconds vs the Crays' ~1 us RDMA.
+  p.inter_latency_s = 30e-6;
+  // Nominal 10 Gbit/s injection (~1250 MB/s), but effective throughput at
+  // diBELLA's 8K message sizes over TCP is far lower; the paper's AWS
+  // exchange-efficiency collapse (Figs 4, 12) pins this at the bottom of
+  // the set.
+  p.node_bw_bytes_per_s = 45e6;
+  p.llc_bytes_per_node = 50e6;  // 2 x 25 MB Ivy Bridge EP
+  p.first_alltoallv_setup_s_per_peer = 4e-5;  // TCP connection establishment
+  return p;
+}
+
+std::vector<Platform> table1_platforms() { return {cori(), edison(), titan(), aws()}; }
+
+Platform local_host() {
+  Platform p;
+  p.name = "local";
+  p.network = "shared-memory";
+  p.cores_per_node = 1;
+  p.core_time_factor = 1.0;
+  p.inter_latency_s = 0.0;
+  p.intra_latency_s = 0.0;
+  p.node_bw_bytes_per_s = 1e12;
+  p.intra_bw_bytes_per_s_per_rank = 1e12;
+  p.cache_miss_penalty = 1.0;
+  p.first_alltoallv_setup_s_per_peer = 0.0;
+  return p;
+}
+
+}  // namespace dibella::netsim

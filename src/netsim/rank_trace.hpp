@@ -1,0 +1,79 @@
+#pragma once
+/// \file rank_trace.hpp
+/// Per-rank execution trace: an ordered stream of compute segments and
+/// collective (exchange) events. The pipeline records one trace per rank;
+/// the cost model replays traces superstep-by-superstep to produce
+/// platform-scaled stage timings (BSP semantics: a superstep's duration is
+/// the max over ranks).
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::netsim {
+
+/// One element of a rank's trace.
+struct TraceEvent {
+  enum class Kind : u8 { kCompute, kExchange };
+  Kind kind = Kind::kCompute;
+
+  // kCompute fields:
+  std::string stage;           ///< pipeline stage tag, may contain a ":sub" suffix
+  double cpu_seconds = 0.0;    ///< measured thread-CPU time of the segment
+  u64 working_set_bytes = 0;   ///< approximate bytes touched (cache model input)
+
+  // kExchange fields:
+  u64 exchange_seq = 0;  ///< aligns with ExchangeRecord::seq in the world log
+};
+
+/// Ordered trace of one rank's execution.
+class RankTrace {
+ public:
+  /// Record a compute segment (CPU seconds measured with the thread clock).
+  void add_compute(std::string stage, double cpu_seconds, u64 working_set_bytes) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kCompute;
+    ev.stage = std::move(stage);
+    ev.cpu_seconds = cpu_seconds;
+    ev.working_set_bytes = working_set_bytes;
+    events_.push_back(std::move(ev));
+  }
+
+  /// Record that the rank participated in collective `seq`.
+  void add_exchange(u64 seq) {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kExchange;
+    ev.exchange_seq = seq;
+    events_.push_back(std::move(ev));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Mutable access for post-processing (e.g. replacing measured CPU times
+  /// with medians across repeated runs in benchmark harnesses).
+  std::vector<TraceEvent>& mutable_events() { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Total measured CPU seconds across all compute segments.
+  double total_cpu_seconds() const {
+    double s = 0.0;
+    for (const auto& ev : events_) {
+      if (ev.kind == TraceEvent::Kind::kCompute) s += ev.cpu_seconds;
+    }
+    return s;
+  }
+
+  /// Number of exchange events in the trace.
+  std::size_t exchange_count() const {
+    std::size_t n = 0;
+    for (const auto& ev : events_) {
+      if (ev.kind == TraceEvent::Kind::kExchange) ++n;
+    }
+    return n;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace dibella::netsim

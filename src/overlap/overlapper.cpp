@@ -1,0 +1,111 @@
+#include "overlap/overlapper.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/kernel_costs.hpp"
+
+namespace dibella::overlap {
+
+int task_owner_read(u64 ra, u64 rb) {
+  // Algorithm 1 (§8), verbatim: even ra takes tasks whose partner is
+  // "sufficiently below" it, odd ra takes those above; everything else goes
+  // to rb. With unordered, uniformly distributed read IDs this balances
+  // task counts to within a fraction of a percent (§9: < 0.002%).
+  if (ra % 2 == 0 && ra > rb + 1) return 0;  // owner of ra
+  if (ra % 2 != 0 && ra < rb + 1) return 0;  // owner of ra
+  return 1;                                  // owner of rb
+}
+
+std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
+                                             const dht::LocalKmerTable& table,
+                                             const io::ReadPartition& partition,
+                                             const OverlapStageConfig& cfg,
+                                             OverlapStageResult* result) {
+  auto& comm = ctx.comm;
+  comm.set_stage("overlap");
+  const int P = comm.size();
+  OverlapStageResult res;
+
+  const auto& costs = core::KernelCosts::get();
+
+  // --- Algorithm 1: traverse the partition, form all pairs per key, buffer
+  // each task for the owner of one of its reads.
+  std::vector<std::vector<OverlapTaskWire>> outgoing(static_cast<std::size_t>(P));
+  {
+    table.for_each([&](const kmer::Kmer& /*km*/, u32 /*count*/,
+                       const std::vector<dht::ReadOccurrence>& occs_in) {
+      ++res.retained_kmers;
+      // Deterministic pair formation independent of arrival order.
+      std::vector<dht::ReadOccurrence> occs = occs_in;
+      std::sort(occs.begin(), occs.end(),
+                [](const dht::ReadOccurrence& x, const dht::ReadOccurrence& y) {
+                  return x.rid != y.rid ? x.rid < y.rid : x.pos < y.pos;
+                });
+      for (std::size_t i = 0; i + 1 < occs.size(); ++i) {
+        for (std::size_t j = i + 1; j < occs.size(); ++j) {
+          const auto& oa = occs[i];
+          const auto& ob = occs[j];
+          if (oa.rid == ob.rid) continue;  // a repeat within one read is not an overlap
+          OverlapTaskWire task;
+          task.rid_a = oa.rid;
+          task.rid_b = ob.rid;
+          task.pos_a = oa.pos;
+          task.pos_b = ob.pos;
+          task.same_orientation = oa.is_forward == ob.is_forward ? 1 : 0;
+          u64 owner_rid = task_owner_read(oa.rid, ob.rid) == 0 ? oa.rid : ob.rid;
+          outgoing[static_cast<std::size_t>(partition.owner_of(owner_rid))].push_back(task);
+          ++res.pair_tasks_formed;
+        }
+      }
+    });
+    u64 buffered = 0;
+    for (const auto& v : outgoing) buffered += v.size() * sizeof(OverlapTaskWire);
+    ctx.trace.add_compute(
+        "overlap:traverse",
+        static_cast<double>(res.retained_kmers) * costs.table_traverse +
+            static_cast<double>(buffered) * costs.per_byte_copy,
+        table.memory_bytes() + buffered);
+  }
+
+  // --- one irregular all-to-all of buffered tasks.
+  auto incoming = comm.alltoallv_flat(outgoing);
+  outgoing.clear();
+  outgoing.shrink_to_fit();
+
+  // --- consolidate per-pair seed lists, then apply the seed policy.
+  std::vector<AlignmentTask> tasks;
+  {
+    res.pair_tasks_received = incoming.size();
+    std::map<std::pair<u64, u64>, std::vector<SeedPair>> pairs;
+    for (const auto& t : incoming) {
+      u64 a = t.rid_a, b = t.rid_b;
+      u32 pa = t.pos_a, pb = t.pos_b;
+      if (a > b) {
+        std::swap(a, b);
+        std::swap(pa, pb);
+      }
+      pairs[{a, b}].push_back(SeedPair{pa, pb, t.same_orientation});
+    }
+    res.distinct_pairs = pairs.size();
+    tasks.reserve(pairs.size());
+    for (auto& [key, seeds] : pairs) {
+      res.seeds_before_filter += seeds.size();
+      AlignmentTask task;
+      task.rid_a = key.first;
+      task.rid_b = key.second;
+      task.seeds = filter_seeds(std::move(seeds), cfg.seed_filter);
+      res.seeds_after_filter += task.seeds.size();
+      tasks.push_back(std::move(task));
+    }
+    ctx.trace.add_compute(
+        "overlap:consolidate",
+        static_cast<double>(res.pair_tasks_received) * costs.pair_consolidate,
+        incoming.size() * sizeof(OverlapTaskWire));
+  }
+
+  if (result) *result = res;
+  return tasks;
+}
+
+}  // namespace dibella::overlap

@@ -1,0 +1,67 @@
+#pragma once
+/// \file overlapper.hpp
+/// Pipeline stage 3 (§8): overlap detection from the distributed hash table.
+///
+/// Each rank traverses its hash-table partition independently (Algorithm 1):
+/// every retained k-mer's occurrence list contributes all pairs of distinct
+/// reads sharing it. Each pair is an alignment task, buffered for the owner
+/// of one of its two reads chosen by the paper's odd/even heuristic (so the
+/// task's destination already holds one read locally, halving the read
+/// movement of stage 4). Tasks travel in one irregular all-to-all; the
+/// receiving rank consolidates per-pair seed lists and applies the seed
+/// policy.
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+#include "dht/local_table.hpp"
+#include "io/read_store.hpp"
+#include "overlap/seed_filter.hpp"
+#include "util/common.hpp"
+
+namespace dibella::overlap {
+
+/// Consolidated alignment task: a read pair and its (filtered) seeds.
+/// Invariant: rid_a < rid_b.
+struct AlignmentTask {
+  u64 rid_a = 0;
+  u64 rid_b = 0;
+  std::vector<SeedPair> seeds;
+};
+
+/// Wire format of a single (pair, seed) discovery (pre-consolidation).
+struct OverlapTaskWire {
+  u64 rid_a = 0;
+  u64 rid_b = 0;
+  u32 pos_a = 0;
+  u32 pos_b = 0;
+  u8 same_orientation = 1;
+};
+static_assert(std::is_trivially_copyable_v<OverlapTaskWire>);
+
+struct OverlapStageConfig {
+  SeedFilterConfig seed_filter = SeedFilterConfig::one_seed();
+};
+
+struct OverlapStageResult {
+  u64 retained_kmers = 0;       ///< keys traversed in this rank's partition
+  u64 pair_tasks_formed = 0;    ///< (pair, seed) tasks buffered for owners
+  u64 pair_tasks_received = 0;  ///< tasks routed to this rank
+  u64 distinct_pairs = 0;       ///< consolidated pairs owned by this rank
+  u64 seeds_before_filter = 0;
+  u64 seeds_after_filter = 0;
+};
+
+/// The paper's Algorithm 1 owner heuristic: route task (ra, rb) to the owner
+/// of ra or rb such that, over unordered random IDs, tasks spread evenly.
+int task_owner_read(u64 ra, u64 rb);
+
+/// Run stage 3 for this rank. Returns the alignment tasks this rank owns.
+/// Collective.
+std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
+                                             const dht::LocalKmerTable& table,
+                                             const io::ReadPartition& partition,
+                                             const OverlapStageConfig& cfg,
+                                             OverlapStageResult* result = nullptr);
+
+}  // namespace dibella::overlap

@@ -1,0 +1,49 @@
+#include "overlap/seed_filter.hpp"
+
+#include <algorithm>
+
+namespace dibella::overlap {
+
+std::vector<SeedPair> filter_seeds(std::vector<SeedPair> seeds,
+                                   const SeedFilterConfig& cfg) {
+  if (seeds.empty()) return seeds;
+  std::sort(seeds.begin(), seeds.end(), [](const SeedPair& x, const SeedPair& y) {
+    if (x.same_orientation != y.same_orientation)
+      return x.same_orientation > y.same_orientation;
+    if (x.pos_a != y.pos_a) return x.pos_a < y.pos_a;
+    return x.pos_b < y.pos_b;
+  });
+  seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+
+  std::vector<SeedPair> out;
+  if (cfg.policy == SeedFilterConfig::Policy::kOneSeed) {
+    // Prefer the dominant orientation group, take its median seed.
+    std::size_t fwd = 0;
+    while (fwd < seeds.size() && seeds[fwd].same_orientation) ++fwd;
+    std::size_t rev = seeds.size() - fwd;
+    std::size_t begin = fwd >= rev ? 0 : fwd;
+    std::size_t len = fwd >= rev ? fwd : rev;
+    if (len == 0) {  // single orientation only
+      begin = 0;
+      len = seeds.size();
+    }
+    out.push_back(seeds[begin + len / 2]);
+  } else {
+    u8 group = 2;  // sentinel distinct from 0/1
+    u64 next_ok = 0;
+    for (const auto& s : seeds) {
+      if (s.same_orientation != group) {
+        group = s.same_orientation;
+        next_ok = 0;
+      }
+      if (s.pos_a >= next_ok) {
+        out.push_back(s);
+        next_ok = static_cast<u64>(s.pos_a) + cfg.min_distance;
+      }
+    }
+  }
+  if (cfg.max_seeds > 0 && out.size() > cfg.max_seeds) out.resize(cfg.max_seeds);
+  return out;
+}
+
+}  // namespace dibella::overlap

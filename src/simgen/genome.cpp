@@ -1,0 +1,30 @@
+#include "simgen/genome.hpp"
+
+#include "kmer/dna.hpp"
+#include "util/random.hpp"
+
+namespace dibella::simgen {
+
+std::string generate_genome(const GenomeSpec& spec) {
+  DIBELLA_CHECK(spec.length >= 1, "genome length must be positive");
+  util::Xoshiro256 rng(spec.seed);
+  std::string genome(spec.length, 'A');
+  for (auto& c : genome) c = kmer::decode_base(static_cast<u8>(rng.uniform_below(4)));
+
+  // Inject repeat families: pick a source segment, paste copies elsewhere.
+  if (spec.repeat_length > 0 && spec.repeat_length < spec.length) {
+    for (int fam = 0; fam < spec.repeat_families; ++fam) {
+      u64 src = rng.uniform_below(spec.length - spec.repeat_length);
+      std::string segment = genome.substr(src, spec.repeat_length);
+      for (int copy = 0; copy < spec.repeat_copies; ++copy) {
+        u64 dst = rng.uniform_below(spec.length - spec.repeat_length);
+        bool rc = spec.repeat_allow_rc && rng.bernoulli(0.5);
+        const std::string& paste = rc ? kmer::reverse_complement(segment) : segment;
+        genome.replace(dst, spec.repeat_length, paste);
+      }
+    }
+  }
+  return genome;
+}
+
+}  // namespace dibella::simgen

@@ -1,0 +1,30 @@
+#pragma once
+/// \file genome.hpp
+/// Synthetic genome generation.
+///
+/// Substitutes for the real E. coli MG1655 reference the paper's datasets
+/// were sequenced from. The generator produces a uniform-random genome and
+/// then injects repeated segments (optionally reverse-complemented), which is
+/// what creates the high-frequency k-mers the pipeline's upper threshold m
+/// exists to filter (§2).
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace dibella::simgen {
+
+/// Parameters for synthetic genome construction.
+struct GenomeSpec {
+  u64 length = 100'000;      ///< genome length in bases
+  u64 seed = 1;              ///< RNG seed (fully determines the genome)
+  int repeat_families = 4;   ///< number of distinct repeated segments
+  int repeat_copies = 6;     ///< extra copies inserted per family
+  u64 repeat_length = 400;   ///< length of each repeated segment
+  bool repeat_allow_rc = true;  ///< insert some copies reverse-complemented
+};
+
+/// Generate the genome described by `spec`. Deterministic in the spec.
+std::string generate_genome(const GenomeSpec& spec);
+
+}  // namespace dibella::simgen

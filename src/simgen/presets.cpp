@@ -1,0 +1,79 @@
+#include "simgen/presets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dibella::simgen {
+
+namespace {
+
+/// Scale a length, keeping a sane lower bound so tiny scales stay usable.
+u64 scaled_length(double scale, u64 full, u64 minimum) {
+  double v = scale * static_cast<double>(full);
+  return std::max(minimum, static_cast<u64>(v));
+}
+
+}  // namespace
+
+DatasetPreset ecoli30x_like(double scale) {
+  DatasetPreset p;
+  p.name = "ecoli30x";
+  p.genome.length = scaled_length(scale, kEcoliGenomeLength, 40'000);
+  p.genome.seed = 0xEC011;
+  p.genome.repeat_families = 5;
+  p.genome.repeat_copies = 6;
+  p.genome.repeat_length = std::min<u64>(2'000, p.genome.length / 20);
+  p.reads.coverage = 30.0;
+  p.reads.mean_read_len =
+      std::min<double>(9'958.0, static_cast<double>(p.genome.length) / 8.0);
+  p.reads.len_sigma = 0.35;
+  p.reads.min_read_len = std::max<u64>(200, static_cast<u64>(p.reads.mean_read_len / 10));
+  p.reads.error_rate = 0.15;
+  p.reads.seed = 0x5EED30;
+  p.min_true_overlap = std::max<u64>(500, static_cast<u64>(p.reads.mean_read_len / 5));
+  return p;
+}
+
+DatasetPreset ecoli100x_like(double scale) {
+  DatasetPreset p;
+  p.name = "ecoli100x";
+  p.genome.length = scaled_length(scale, kEcoliGenomeLength, 40'000);
+  p.genome.seed = 0xEC011;  // same strain: same genome as the 30x preset
+  p.genome.repeat_families = 5;
+  p.genome.repeat_copies = 6;
+  p.genome.repeat_length = std::min<u64>(2'000, p.genome.length / 20);
+  p.reads.coverage = 100.0;
+  p.reads.mean_read_len =
+      std::min<double>(6'934.0, static_cast<double>(p.genome.length) / 8.0);
+  p.reads.len_sigma = 0.35;
+  p.reads.min_read_len = std::max<u64>(200, static_cast<u64>(p.reads.mean_read_len / 10));
+  p.reads.error_rate = 0.15;
+  p.reads.seed = 0x5EED100;
+  p.min_true_overlap = std::max<u64>(500, static_cast<u64>(p.reads.mean_read_len / 5));
+  return p;
+}
+
+DatasetPreset tiny_test(u64 seed) {
+  DatasetPreset p;
+  p.name = "tiny";
+  p.genome.length = 20'000;
+  p.genome.seed = seed;
+  p.genome.repeat_families = 2;
+  p.genome.repeat_copies = 3;
+  p.genome.repeat_length = 300;
+  p.reads.coverage = 20.0;
+  p.reads.mean_read_len = 2'000;
+  p.reads.len_sigma = 0.3;
+  p.reads.min_read_len = 300;
+  p.reads.error_rate = 0.12;
+  p.reads.seed = seed ^ 0xBADC0FFE;
+  p.min_true_overlap = 500;
+  return p;
+}
+
+SimulatedReads make_dataset(const DatasetPreset& preset) {
+  std::string genome = generate_genome(preset.genome);
+  return simulate_reads(genome, preset.reads);
+}
+
+}  // namespace dibella::simgen

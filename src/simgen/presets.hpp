@@ -1,0 +1,43 @@
+#pragma once
+/// \file presets.hpp
+/// Named dataset presets mirroring the paper's experimental inputs (§5):
+///   * E. coli 30x  — PacBio RS II P5-C3, 16,890 reads, mean length 9,958 bp
+///   * E. coli 100x — PacBio RS II P4-C2, 91,394 reads, mean length 6,934 bp
+/// Both from the 4.64 Mbp E. coli MG1655 genome.
+///
+/// A `scale` factor shrinks the genome (and with it the read count) so the
+/// full benchmark suite runs in minutes on small machines while preserving
+/// coverage, read-length, and error characteristics. scale=1.0 reproduces
+/// paper-sized inputs.
+
+#include <string>
+
+#include "simgen/genome.hpp"
+#include "simgen/read_sim.hpp"
+
+namespace dibella::simgen {
+
+/// Length of the real E. coli MG1655 genome, the reference for scale=1.0.
+inline constexpr u64 kEcoliGenomeLength = 4'641'652;
+
+/// A fully-specified synthetic dataset.
+struct DatasetPreset {
+  std::string name;
+  GenomeSpec genome;
+  ReadSimSpec reads;
+  u64 min_true_overlap = 2000;  ///< oracle threshold, scaled with the preset
+};
+
+/// E. coli 30x-like dataset at the given genome scale (0 < scale <= 1).
+DatasetPreset ecoli30x_like(double scale);
+
+/// E. coli 100x-like dataset at the given genome scale.
+DatasetPreset ecoli100x_like(double scale);
+
+/// A very small, fast dataset for unit tests (genome ~20 kbp, ~20x).
+DatasetPreset tiny_test(u64 seed = 42);
+
+/// Generate the genome and reads for a preset.
+SimulatedReads make_dataset(const DatasetPreset& preset);
+
+}  // namespace dibella::simgen

@@ -1,0 +1,114 @@
+#include "simgen/read_sim.hpp"
+
+#include <algorithm>
+
+#include "kmer/dna.hpp"
+#include "util/random.hpp"
+
+namespace dibella::simgen {
+
+namespace {
+
+/// Apply the PacBio-style error channel to a template sequence.
+std::string apply_errors(const std::string& tmpl, const ReadSimSpec& spec,
+                         util::Xoshiro256& rng) {
+  std::string out;
+  out.reserve(tmpl.size() + tmpl.size() / 8);
+  for (char base : tmpl) {
+    // Insertions *before* the current base; geometric number of them.
+    while (rng.bernoulli(spec.error_rate * spec.ins_frac)) {
+      out.push_back(kmer::decode_base(static_cast<u8>(rng.uniform_below(4))));
+    }
+    double roll = rng.uniform();
+    double p_del = spec.error_rate * spec.del_frac;
+    double p_sub = spec.error_rate * (1.0 - spec.ins_frac - spec.del_frac);
+    if (roll < p_del) {
+      continue;  // base deleted
+    }
+    if (roll < p_del + p_sub) {
+      // Substitute with one of the three other bases.
+      int orig = kmer::encode_base(base);
+      int sub = (orig + 1 + static_cast<int>(rng.uniform_below(3))) & 3;
+      out.push_back(kmer::decode_base(static_cast<u8>(sub)));
+      continue;
+    }
+    out.push_back(base);
+  }
+  return out;
+}
+
+}  // namespace
+
+SimulatedReads simulate_reads(const std::string& genome, const ReadSimSpec& spec) {
+  DIBELLA_CHECK(!genome.empty(), "simulate_reads: empty genome");
+  DIBELLA_CHECK(spec.coverage > 0.0, "coverage must be positive");
+  util::Xoshiro256 rng(spec.seed);
+  SimulatedReads out;
+  out.genome_length = genome.size();
+
+  const u64 glen = genome.size();
+  const u64 target_bases = static_cast<u64>(spec.coverage * static_cast<double>(glen));
+  u64 sampled_bases = 0;
+  u64 gid = 0;
+  while (sampled_bases < target_bases) {
+    u64 len = static_cast<u64>(rng.lognormal(spec.mean_read_len, spec.len_sigma));
+    len = std::max(len, spec.min_read_len);
+    len = std::min(len, glen);
+    u64 start = glen == len ? 0 : rng.uniform_below(glen - len + 1);
+    std::string tmpl = genome.substr(start, len);
+    bool rc = spec.sample_both_strands && rng.bernoulli(0.5);
+    if (rc) tmpl = kmer::reverse_complement(tmpl);
+
+    io::Read r;
+    r.gid = gid;
+    r.name = "sim_read_" + std::to_string(gid) + "/" + std::to_string(start) + "_" +
+             std::to_string(start + len) + (rc ? "_rc" : "_fwd");
+    r.seq = apply_errors(tmpl, spec, rng);
+    r.qual.assign(r.seq.size(), 'I');
+    out.reads.push_back(std::move(r));
+    out.truth.push_back(TrueInterval{start, start + len, rc});
+
+    sampled_bases += len;
+    ++gid;
+  }
+  return out;
+}
+
+TruthOracle::TruthOracle(std::vector<TrueInterval> truth, u64 min_overlap)
+    : truth_(std::move(truth)), min_overlap_(min_overlap) {}
+
+u64 TruthOracle::overlap_length(u64 gid_a, u64 gid_b) const {
+  DIBELLA_CHECK(gid_a < truth_.size() && gid_b < truth_.size(),
+                "TruthOracle: gid out of range");
+  const auto& a = truth_[static_cast<std::size_t>(gid_a)];
+  const auto& b = truth_[static_cast<std::size_t>(gid_b)];
+  u64 lo = std::max(a.start, b.start);
+  u64 hi = std::min(a.end, b.end);
+  return hi > lo ? hi - lo : 0;
+}
+
+std::vector<std::pair<u64, u64>> TruthOracle::all_true_pairs() const {
+  // Sweep over interval starts: sort gids by start; for each read, scan
+  // forward while candidate.start + min_overlap <= current.end.
+  std::vector<u64> order(truth_.size());
+  for (u64 i = 0; i < truth_.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](u64 x, u64 y) {
+    return truth_[static_cast<std::size_t>(x)].start < truth_[static_cast<std::size_t>(y)].start;
+  });
+  std::vector<std::pair<u64, u64>> pairs;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& a = truth_[static_cast<std::size_t>(order[i])];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const auto& b = truth_[static_cast<std::size_t>(order[j])];
+      if (b.start + min_overlap_ > a.end) break;  // sorted by start: no more hits
+      if (truly_overlaps(order[i], order[j])) {
+        u64 x = order[i], y = order[j];
+        pairs.emplace_back(std::min(x, y), std::max(x, y));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace dibella::simgen

@@ -1,0 +1,15 @@
+#include "util/common.hpp"
+
+#include <sstream>
+
+namespace dibella::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "DIBELLA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace dibella::detail

@@ -1,0 +1,30 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace dibella::util {
+
+i64 env_i64(const char* name, i64 fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<i64>(parsed);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v) return fallback;
+  return parsed;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v && *v) ? std::string(v) : fallback;
+}
+
+}  // namespace dibella::util

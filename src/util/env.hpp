@@ -1,0 +1,22 @@
+#pragma once
+/// \file env.hpp
+/// Typed environment-variable lookups with defaults. Bench harnesses use
+/// these for scaling knobs (e.g. DIBELLA_BENCH_SCALE) so the committed code
+/// never needs editing to run larger experiments.
+
+#include <string>
+
+#include "util/common.hpp"
+
+namespace dibella::util {
+
+/// Read an env var as i64; returns `fallback` when unset or unparsable.
+i64 env_i64(const char* name, i64 fallback);
+
+/// Read an env var as double; returns `fallback` when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Read an env var as string; returns `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace dibella::util

@@ -1,0 +1,65 @@
+#include "util/histogram.hpp"
+
+#include <sstream>
+
+namespace dibella::util {
+
+void Histogram::add(u64 value, u64 count) {
+  bins_[value] += count;
+  total_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [v, c] : other.bins_) add(v, c);
+}
+
+u64 Histogram::count_of(u64 value) const {
+  auto it = bins_.find(value);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+u64 Histogram::weighted_sum() const {
+  u64 s = 0;
+  for (const auto& [v, c] : bins_) s += v * c;
+  return s;
+}
+
+u64 Histogram::min_value() const { return bins_.empty() ? 0 : bins_.begin()->first; }
+
+u64 Histogram::max_value() const { return bins_.empty() ? 0 : bins_.rbegin()->first; }
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(weighted_sum()) / static_cast<double>(total_);
+}
+
+u64 Histogram::quantile(double q) const {
+  if (bins_.empty()) return 0;
+  if (q <= 0.0) return min_value();
+  u64 target = static_cast<u64>(q * static_cast<double>(total_));
+  if (target >= total_) return max_value();
+  u64 seen = 0;
+  for (const auto& [v, c] : bins_) {
+    seen += c;
+    if (seen > target) return v;
+  }
+  return max_value();
+}
+
+u64 Histogram::count_in_range(u64 lo, u64 hi) const {
+  u64 s = 0;
+  for (auto it = bins_.lower_bound(lo); it != bins_.end() && it->first <= hi; ++it) {
+    s += it->second;
+  }
+  return s;
+}
+
+std::string Histogram::summary(const std::string& label) const {
+  std::ostringstream os;
+  os << label << ": n=" << total_ << " distinct=" << distinct_values()
+     << " min=" << min_value() << " mean=" << mean() << " p50=" << quantile(0.5)
+     << " p95=" << quantile(0.95) << " max=" << max_value();
+  return os.str();
+}
+
+}  // namespace dibella::util

@@ -1,0 +1,52 @@
+#pragma once
+/// \file histogram.hpp
+/// Integer-valued histogram with exact counts for small values, used for
+/// k-mer frequency spectra, read-length distributions and overlap-degree
+/// statistics.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::util {
+
+/// Exact histogram over non-negative integer values (sparse map backed).
+class Histogram {
+ public:
+  /// Record one observation of `value` (optionally weighted).
+  void add(u64 value, u64 count = 1);
+
+  /// Merge another histogram into this one.
+  void merge(const Histogram& other);
+
+  u64 total_count() const { return total_; }
+  u64 distinct_values() const { return static_cast<u64>(bins_.size()); }
+  u64 count_of(u64 value) const;
+
+  /// Sum of value*count (e.g. total k-mer instances from a frequency spectrum).
+  u64 weighted_sum() const;
+
+  u64 min_value() const;
+  u64 max_value() const;
+  double mean() const;
+
+  /// Smallest value v such that at least `q` fraction of observations are <= v.
+  u64 quantile(double q) const;
+
+  /// Number of observations with value in [lo, hi] inclusive.
+  u64 count_in_range(u64 lo, u64 hi) const;
+
+  /// Iterate over (value, count) pairs in increasing value order.
+  const std::map<u64, u64>& bins() const { return bins_; }
+
+  /// Render a compact text summary (for logs / examples).
+  std::string summary(const std::string& label) const;
+
+ private:
+  std::map<u64, u64> bins_;
+  u64 total_ = 0;
+};
+
+}  // namespace dibella::util

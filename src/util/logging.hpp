@@ -1,0 +1,50 @@
+#pragma once
+/// \file logging.hpp
+/// Minimal thread-safe leveled logger.
+///
+/// Rank-parallel code logs through LOG_* macros; output is serialized with a
+/// global mutex and can be silenced globally (tests set level to kError).
+
+#include <sstream>
+#include <string>
+
+namespace dibella::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread safe). Prefer the LOG_* macros.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <class T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dibella::util
+
+#define DIBELLA_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::dibella::util::log_level())) \
+    ;                                                           \
+  else                                                          \
+    ::dibella::util::detail::LogStream(level)
+
+#define LOG_DEBUG DIBELLA_LOG(::dibella::util::LogLevel::kDebug)
+#define LOG_INFO DIBELLA_LOG(::dibella::util::LogLevel::kInfo)
+#define LOG_WARN DIBELLA_LOG(::dibella::util::LogLevel::kWarn)
+#define LOG_ERROR DIBELLA_LOG(::dibella::util::LogLevel::kError)

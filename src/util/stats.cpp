@@ -1,0 +1,18 @@
+#include "util/stats.hpp"
+
+namespace dibella::util {
+
+double load_imbalance(const std::vector<double>& per_rank) {
+  if (per_rank.empty()) return 1.0;
+  double mx = vec_max(per_rank);
+  double avg = vec_mean(per_rank);
+  if (avg <= 0.0) return 1.0;
+  return mx / avg;
+}
+
+double vec_mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return vec_sum(v) / static_cast<double>(v.size());
+}
+
+}  // namespace dibella::util

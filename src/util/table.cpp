@@ -1,0 +1,97 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace dibella::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::start_row() { rows_.emplace_back(); }
+
+void Table::cell(const std::string& v) {
+  DIBELLA_CHECK(!rows_.empty(), "cell() before start_row()");
+  DIBELLA_CHECK(rows_.back().size() < headers_.size(), "row has too many cells");
+  rows_.back().push_back(v);
+}
+
+void Table::cell(double v, int precision) { cell(format_double(v, precision)); }
+
+void Table::cell(u64 v) { cell(std::to_string(v)); }
+
+void Table::cell(i64 v) { cell(std::to_string(v)); }
+
+void Table::add_row(std::vector<std::string> row) {
+  DIBELLA_CHECK(row.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::to_text(const std::string& title) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!title.empty()) os << "== " << title << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      os << (c ? "  " : "");
+      os << v;
+      os << std::string(widths[c] - v.size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(const std::string& title) const {
+  std::fputs(to_text(title).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_si(double v, int precision) {
+  const char* suffix = "";
+  double a = std::fabs(v);
+  if (a >= 1e9) {
+    v /= 1e9;
+    suffix = "G";
+  } else if (a >= 1e6) {
+    v /= 1e6;
+    suffix = "M";
+  } else if (a >= 1e3) {
+    v /= 1e3;
+    suffix = "k";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%s", precision, v, suffix);
+  return buf;
+}
+
+}  // namespace dibella::util

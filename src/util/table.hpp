@@ -1,0 +1,49 @@
+#pragma once
+/// \file table.hpp
+/// Aligned ASCII table / CSV emitter used by every bench binary to print the
+/// rows and series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// sensible precision. Print as aligned text (default) or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  void start_row();
+  void cell(const std::string& v);
+  void cell(const char* v) { cell(std::string(v)); }
+  void cell(double v, int precision = 3);
+  void cell(u64 v);
+  void cell(i64 v);
+  void cell(int v) { cell(static_cast<i64>(v)); }
+
+  /// Convenience: append a fully-formed row.
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with aligned columns; `title` prints as a header line if nonempty.
+  std::string to_text(const std::string& title = "") const;
+  std::string to_csv() const;
+
+  /// Print to stdout (text form).
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string format_double(double v, int precision = 3);
+std::string format_si(double v, int precision = 2);  // 1.23M, 45.6k, ...
+
+}  // namespace dibella::util

@@ -1,0 +1,64 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock and per-thread CPU timers.
+///
+/// The distinction matters for this project: rank "compute" time must be
+/// measured with the per-thread CPU clock so that oversubscription (running
+/// 128 simulated ranks on 2 physical cores) does not inflate measurements,
+/// while end-to-end runs (Table 2) use wall clock.
+
+#include <chrono>
+
+namespace dibella::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  /// Restart the stopwatch from zero.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID).
+/// Only counts time the calling thread actually spent on a core, so it is
+/// immune to scheduling delays from rank oversubscription.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+
+  void reset() { start_ = now(); }
+
+  /// CPU seconds consumed by this thread since construction/reset.
+  double seconds() const { return now() - start_; }
+
+  /// Current per-thread CPU time in seconds (monotonic within a thread).
+  static double now();
+
+ private:
+  double start_ = 0.0;
+};
+
+/// RAII helper: adds elapsed wall seconds to a target accumulator on scope exit.
+class ScopedWallAccumulator {
+ public:
+  explicit ScopedWallAccumulator(double& target) : target_(target) {}
+  ~ScopedWallAccumulator() { target_ += timer_.seconds(); }
+  ScopedWallAccumulator(const ScopedWallAccumulator&) = delete;
+  ScopedWallAccumulator& operator=(const ScopedWallAccumulator&) = delete;
+
+ private:
+  double& target_;
+  WallTimer timer_;
+};
+
+}  // namespace dibella::util

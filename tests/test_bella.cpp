@@ -1,0 +1,85 @@
+// Tests for BELLA's statistical model: k-mer correctness probabilities,
+// k selection, Poisson machinery, and the reliable-frequency threshold m.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bella/model.hpp"
+
+namespace bm = dibella::bella;
+
+TEST(BellaModel, CleanKmerProbability) {
+  EXPECT_DOUBLE_EQ(bm::p_clean_kmer(0.0, 17), 1.0);
+  EXPECT_NEAR(bm::p_clean_kmer(0.15, 17), std::pow(0.85, 17), 1e-12);
+  // Monotone: longer k or higher error -> lower probability.
+  EXPECT_LT(bm::p_clean_kmer(0.15, 21), bm::p_clean_kmer(0.15, 17));
+  EXPECT_LT(bm::p_clean_kmer(0.20, 17), bm::p_clean_kmer(0.15, 17));
+  EXPECT_THROW(bm::p_clean_kmer(1.0, 17), dibella::Error);
+  EXPECT_THROW(bm::p_clean_kmer(0.1, 0), dibella::Error);
+}
+
+TEST(BellaModel, PairProbabilityIsSquaredSingle) {
+  EXPECT_NEAR(bm::p_clean_pair_kmer(0.15, 17),
+              bm::p_clean_kmer(0.15, 17) * bm::p_clean_kmer(0.15, 17), 1e-12);
+}
+
+TEST(BellaModel, SharedSeedProbability) {
+  // Zero when the overlap is shorter than k.
+  EXPECT_DOUBLE_EQ(bm::p_shared_correct_kmer(0.15, 17, 10), 0.0);
+  // Error-free data with any window: certainty.
+  EXPECT_DOUBLE_EQ(bm::p_shared_correct_kmer(0.0, 17, 100), 1.0);
+  // The paper's working point: 15% error, k=17, 2 kbp overlap — detection is
+  // nearly certain (this is why 17-mers work for PacBio data).
+  double p = bm::p_shared_correct_kmer(0.15, 17, 2000);
+  EXPECT_GT(p, 0.99);
+  // Monotone in overlap length.
+  EXPECT_LT(bm::p_shared_correct_kmer(0.15, 17, 200), p);
+}
+
+TEST(BellaModel, SelectKTradesDetectionForSpecificity) {
+  // Low error admits long k; high error forces short k.
+  int k_clean = bm::select_k(0.05, 2000, 0.9);
+  int k_noisy = bm::select_k(0.25, 2000, 0.9);
+  EXPECT_GT(k_clean, k_noisy);
+  EXPECT_GE(k_noisy, 11);
+  EXPECT_LE(k_clean, 21);
+  // The paper's typical setting lands at the top of the range for 15% error
+  // with long overlaps: "17-mers are typical".
+  int k_paper = bm::select_k(0.15, 2000, 0.9, 11, 17);
+  EXPECT_EQ(k_paper, 17);
+}
+
+TEST(BellaModel, PoissonCdf) {
+  // Known values: P[X<=0 | lambda=1] = e^-1.
+  EXPECT_NEAR(bm::poisson_cdf(1.0, 0), std::exp(-1.0), 1e-12);
+  // P[X<=1 | 1] = 2e^-1.
+  EXPECT_NEAR(bm::poisson_cdf(1.0, 1), 2.0 * std::exp(-1.0), 1e-12);
+  // CDF is monotone and bounded.
+  double prev = 0.0;
+  for (dibella::u64 x = 0; x < 30; ++x) {
+    double c = bm::poisson_cdf(8.0, x);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(bm::poisson_cdf(8.0, 29), 1.0, 1e-8);
+}
+
+TEST(BellaModel, ReliableMaxFrequencyGrowsWithCoverage) {
+  dibella::u32 m30 = bm::reliable_max_frequency(30.0, 0.15, 17);
+  dibella::u32 m100 = bm::reliable_max_frequency(100.0, 0.15, 17);
+  EXPECT_GT(m100, m30);
+  EXPECT_GE(m30, 2u);
+  // Higher error rate -> fewer clean occurrences -> lower lambda -> lower m.
+  dibella::u32 m_noisier = bm::reliable_max_frequency(30.0, 0.25, 17);
+  EXPECT_LE(m_noisier, m30);
+  // Sanity: lambda = 30 * 0.85^17 ~ 1.9, so m lands in single digits.
+  EXPECT_LT(m30, 12u);
+}
+
+TEST(BellaModel, TighterEpsilonRaisesThreshold) {
+  dibella::u32 loose = bm::reliable_max_frequency(50.0, 0.15, 17, 1e-2);
+  dibella::u32 tight = bm::reliable_max_frequency(50.0, 0.15, 17, 1e-6);
+  EXPECT_GE(tight, loose);
+}

@@ -1,0 +1,297 @@
+// Tests for the comm substrate: the threads-as-ranks World and its
+// MPI-style collectives. These are the MPI-semantics contracts the pipeline
+// depends on (see DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "util/random.hpp"
+
+namespace dc = dibella::comm;
+using dibella::u32;
+using dibella::u64;
+using dibella::u8;
+
+TEST(World, SingleRankRuns) {
+  dc::World world(1);
+  int visits = 0;
+  world.run([&](dc::Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(World, AllRanksRunConcurrently) {
+  const int P = 8;
+  dc::World world(P);
+  std::atomic<int> concurrent{0}, peak{0};
+  world.run([&](dc::Communicator& comm) {
+    int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    comm.barrier();  // all ranks must be alive simultaneously to pass this
+    --concurrent;
+  });
+  EXPECT_EQ(peak.load(), P);
+}
+
+TEST(World, BarrierOrdersPhases) {
+  const int P = 6;
+  dc::World world(P);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  world.run([&](dc::Communicator& comm) {
+    ++phase1;
+    comm.barrier();
+    if (phase1.load() != P) violated = true;
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(World, ExceptionPropagatesAndSiblingsUnwind) {
+  const int P = 4;
+  dc::World world(P, /*barrier_timeout_seconds=*/30.0);
+  EXPECT_THROW(
+      world.run([&](dc::Communicator& comm) {
+        if (comm.rank() == 2) throw dibella::Error("rank 2 exploded");
+        // Other ranks block in a barrier; poisoning must wake them.
+        comm.barrier();
+        comm.barrier();
+      }),
+      dibella::Error);
+  // The world is reusable after a failure.
+  int ok = 0;
+  world.run([&](dc::Communicator& comm) {
+    comm.barrier();
+    if (comm.rank() == 0) ++ok;
+  });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(Comm, AlltoallvDeliversExactPayloads) {
+  const int P = 5;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    int me = comm.rank();
+    std::vector<std::vector<u32>> send(P);
+    for (int d = 0; d < P; ++d) {
+      // Rank r sends d+1 values tagged with (src, dst).
+      for (int i = 0; i <= d; ++i) {
+        send[static_cast<std::size_t>(d)].push_back(
+            static_cast<u32>(me * 1000 + d * 10 + i));
+      }
+    }
+    auto recv = comm.alltoallv(send);
+    ASSERT_EQ(recv.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) {
+      const auto& v = recv[static_cast<std::size_t>(s)];
+      ASSERT_EQ(v.size(), static_cast<std::size_t>(me + 1)) << "from " << s;
+      for (int i = 0; i <= me; ++i) {
+        EXPECT_EQ(v[static_cast<std::size_t>(i)],
+                  static_cast<u32>(s * 1000 + me * 10 + i));
+      }
+    }
+  });
+}
+
+TEST(Comm, AlltoallvRandomizedMatchesReference) {
+  const int P = 7;
+  // Precompute what every rank sends: payload[src][dst] = vector<u64>.
+  std::vector<std::vector<std::vector<u64>>> payload(
+      P, std::vector<std::vector<u64>>(P));
+  dibella::util::Xoshiro256 rng(99);
+  for (int s = 0; s < P; ++s) {
+    for (int d = 0; d < P; ++d) {
+      std::size_t n = rng.uniform_below(50);  // includes empty payloads
+      for (std::size_t i = 0; i < n; ++i) payload[s][d].push_back(rng.next());
+    }
+  }
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    int me = comm.rank();
+    auto recv = comm.alltoallv(payload[static_cast<std::size_t>(me)]);
+    for (int s = 0; s < P; ++s) {
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)],
+                payload[static_cast<std::size_t>(s)][static_cast<std::size_t>(me)]);
+    }
+  });
+}
+
+TEST(Comm, AlltoallvFlatConcatenatesInRankOrder) {
+  const int P = 3;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    std::vector<std::vector<u32>> send(P);
+    for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)] = {static_cast<u32>(comm.rank())};
+    auto flat = comm.alltoallv_flat(send);
+    ASSERT_EQ(flat.size(), static_cast<std::size_t>(P));
+    for (int s = 0; s < P; ++s) EXPECT_EQ(flat[static_cast<std::size_t>(s)], static_cast<u32>(s));
+  });
+}
+
+TEST(Comm, AllgatherAndAllgatherv) {
+  const int P = 6;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    auto all = comm.allgather(static_cast<u64>(comm.rank() * comm.rank()));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r) EXPECT_EQ(all[static_cast<std::size_t>(r)], static_cast<u64>(r * r));
+
+    // allgatherv with rank-dependent sizes.
+    std::vector<u32> mine(static_cast<std::size_t>(comm.rank()), static_cast<u32>(comm.rank()));
+    auto cat = comm.allgatherv(mine);
+    std::size_t expected_size = static_cast<std::size_t>(P * (P - 1) / 2);
+    ASSERT_EQ(cat.size(), expected_size);
+    std::size_t at = 0;
+    for (int r = 0; r < P; ++r) {
+      for (int i = 0; i < r; ++i) EXPECT_EQ(cat[at++], static_cast<u32>(r));
+    }
+  });
+}
+
+TEST(Comm, Reductions) {
+  const int P = 9;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    u64 r = static_cast<u64>(comm.rank());
+    EXPECT_EQ(comm.allreduce_sum(r), static_cast<u64>(P * (P - 1) / 2));
+    EXPECT_EQ(comm.allreduce_max(r), static_cast<u64>(P - 1));
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(0.5), 0.5 * P);
+    EXPECT_FALSE(comm.allreduce_and(comm.rank() != 3));
+    EXPECT_TRUE(comm.allreduce_and(true));
+    EXPECT_EQ(comm.exscan_sum(1), static_cast<u64>(comm.rank()));
+    // exscan with rank-dependent values: rank r holds r, prefix = r(r-1)/2.
+    EXPECT_EQ(comm.exscan_sum(r), static_cast<u64>(comm.rank() * (comm.rank() - 1) / 2));
+  });
+}
+
+TEST(Comm, BroadcastAndGather) {
+  const int P = 4;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    struct Payload {
+      u64 a;
+      double b;
+    };
+    Payload p{0, 0.0};
+    if (comm.rank() == 2) p = {77, 2.5};
+    Payload got = comm.broadcast(p, 2);
+    EXPECT_EQ(got.a, 77u);
+    EXPECT_DOUBLE_EQ(got.b, 2.5);
+
+    std::vector<u32> mine = {static_cast<u32>(comm.rank() + 100)};
+    auto rows = comm.gather(mine, 1);
+    if (comm.rank() == 1) {
+      ASSERT_EQ(rows.size(), static_cast<std::size_t>(P));
+      for (int s = 0; s < P; ++s) {
+        ASSERT_EQ(rows[static_cast<std::size_t>(s)].size(), 1u);
+        EXPECT_EQ(rows[static_cast<std::size_t>(s)][0], static_cast<u32>(s + 100));
+      }
+    } else {
+      EXPECT_TRUE(rows.empty());
+    }
+  });
+}
+
+TEST(Comm, ExchangeRecordsAlignedAndAccurate) {
+  const int P = 3;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    comm.set_stage("phase_one");
+    std::vector<std::vector<u64>> send(P);
+    for (int d = 0; d < P; ++d) {
+      send[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(comm.rank() + 1), 7);
+    }
+    comm.alltoallv(send);
+    comm.set_stage("phase_two");
+    comm.barrier();
+  });
+  auto records = world.exchange_records();
+  ASSERT_EQ(records.size(), static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    const auto& log = records[static_cast<std::size_t>(r)];
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].seq, 0u);
+    EXPECT_EQ(log[0].op, dc::CollectiveOp::kAlltoallv);
+    EXPECT_EQ(log[0].stage, "phase_one");
+    // Rank r sent (r+1) u64s to each of P peers.
+    EXPECT_EQ(log[0].total_bytes(), static_cast<u64>((r + 1) * 8 * P));
+    EXPECT_EQ(log[1].op, dc::CollectiveOp::kBarrier);
+    EXPECT_EQ(log[1].stage, "phase_two");
+    EXPECT_GE(log[0].wall_seconds, 0.0);
+  }
+  world.clear_exchange_records();
+  EXPECT_TRUE(world.exchange_records()[0].empty());
+}
+
+TEST(Comm, RecordSinkObservesCalls) {
+  const int P = 2;
+  dc::World world(P);
+  std::atomic<int> observed{0};
+  world.run([&](dc::Communicator& comm) {
+    comm.set_record_sink([&](const dc::ExchangeRecord& rec) {
+      if (rec.op == dc::CollectiveOp::kAllgather) ++observed;
+    });
+    comm.allgather(u64{1});
+    comm.allgather(u64{2});
+  });
+  EXPECT_EQ(observed.load(), 2 * P);
+}
+
+TEST(Comm, ManySuccessiveCollectivesStayAligned) {
+  // Stress: a mixed sequence of collectives with data-dependent sizes.
+  const int P = 4;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    u64 acc = static_cast<u64>(comm.rank());
+    for (int round = 0; round < 30; ++round) {
+      acc = comm.allreduce_sum(acc) % 1000 + static_cast<u64>(comm.rank());
+      std::vector<std::vector<u64>> send(P);
+      for (int d = 0; d < P; ++d) {
+        send[static_cast<std::size_t>(d)].assign((acc + static_cast<u64>(d)) % 5, acc);
+      }
+      auto recv = comm.alltoallv(send);
+      u64 sum = 0;
+      for (const auto& v : recv) sum += std::accumulate(v.begin(), v.end(), u64{0});
+      acc = comm.allreduce_max(sum);
+    }
+    // All ranks converge to the same value because every input to acc is a
+    // collective result (plus the rank term removed by the final max).
+    auto all = comm.allgather(acc);
+    for (u64 v : all) EXPECT_EQ(v, all[0]);
+  });
+}
+
+TEST(Comm, LargePayloadIntegrity) {
+  const int P = 2;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    std::vector<std::vector<u64>> send(P);
+    dibella::util::Xoshiro256 rng(static_cast<u64>(comm.rank()) + 1);
+    for (int d = 0; d < P; ++d) {
+      send[static_cast<std::size_t>(d)].resize(100'000);
+      for (auto& v : send[static_cast<std::size_t>(d)]) v = rng.next();
+    }
+    auto recv = comm.alltoallv(send);
+    // Regenerate the peer's stream to verify integrity.
+    for (int s = 0; s < P; ++s) {
+      dibella::util::Xoshiro256 peer(static_cast<u64>(s) + 1);
+      std::vector<u64> expect;
+      for (int d = 0; d < P; ++d) {
+        for (int i = 0; i < 100'000; ++i) {
+          u64 v = peer.next();
+          if (d == comm.rank()) expect.push_back(v);
+        }
+      }
+      EXPECT_EQ(recv[static_cast<std::size_t>(s)], expect);
+    }
+  });
+}

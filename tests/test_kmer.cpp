@@ -1,0 +1,258 @@
+// Unit and property tests for the k-mer module: DNA primitives, packed
+// representation, rolling canonical parser, hashing, serial spectrum oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kmer/dna.hpp"
+#include "kmer/kmer.hpp"
+#include "kmer/parser.hpp"
+#include "kmer/spectrum.hpp"
+#include "util/random.hpp"
+
+namespace dk = dibella::kmer;
+using dibella::u64;
+using dibella::u8;
+
+namespace {
+
+std::string random_dna(dibella::util::Xoshiro256& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = dk::decode_base(static_cast<u8>(rng.uniform_below(4)));
+  return s;
+}
+
+/// Naive canonical form by string comparison — the packed comparison must
+/// agree with this because the packing is lexicographic by construction.
+std::string naive_canonical(const std::string& window) {
+  std::string rc = dk::reverse_complement(window);
+  return std::min(window, rc);
+}
+
+}  // namespace
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  for (char c : {'A', 'C', 'G', 'T'}) {
+    int code = dk::encode_base(c);
+    ASSERT_GE(code, 0);
+    EXPECT_EQ(dk::decode_base(static_cast<u8>(code)), c);
+  }
+  EXPECT_EQ(dk::encode_base('a'), dk::encode_base('A'));
+  EXPECT_EQ(dk::encode_base('N'), -1);
+  EXPECT_EQ(dk::encode_base('x'), -1);
+}
+
+TEST(Dna, ComplementPairs) {
+  EXPECT_EQ(dk::complement_base('A'), 'T');
+  EXPECT_EQ(dk::complement_base('T'), 'A');
+  EXPECT_EQ(dk::complement_base('C'), 'G');
+  EXPECT_EQ(dk::complement_base('G'), 'C');
+  EXPECT_EQ(dk::complement_base('N'), 'N');
+}
+
+TEST(Dna, ReverseComplement) {
+  EXPECT_EQ(dk::reverse_complement("ACGT"), "ACGT");  // palindrome
+  EXPECT_EQ(dk::reverse_complement("AACC"), "GGTT");
+  EXPECT_EQ(dk::reverse_complement(""), "");
+  EXPECT_EQ(dk::reverse_complement("ANA"), "TNT");
+}
+
+TEST(Dna, ReverseComplementIsInvolution) {
+  dibella::util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string s = random_dna(rng, 1 + rng.uniform_below(100));
+    EXPECT_EQ(dk::reverse_complement(dk::reverse_complement(s)), s);
+  }
+}
+
+TEST(Dna, Validation) {
+  EXPECT_TRUE(dk::is_valid_dna("ACGTacgt"));
+  EXPECT_FALSE(dk::is_valid_dna("ACGN"));
+  EXPECT_EQ(dk::count_valid_bases("ANCNG"), 3u);
+}
+
+TEST(PackedKmer, FromStringToStringRoundTrip) {
+  for (int k : {1, 2, 15, 17, 31, 32}) {
+    dibella::util::Xoshiro256 rng(k);
+    std::string s = random_dna(rng, static_cast<std::size_t>(k));
+    auto km = dk::Kmer::from_string(s, k);
+    EXPECT_EQ(km.to_string(k), s) << "k=" << k;
+  }
+}
+
+TEST(PackedKmer, ComparisonIsLexicographic) {
+  dibella::util::Xoshiro256 rng(5);
+  const int k = 17;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a = random_dna(rng, k), b = random_dna(rng, k);
+    auto ka = dk::Kmer::from_string(a, k);
+    auto kb = dk::Kmer::from_string(b, k);
+    EXPECT_EQ(ka < kb, a < b);
+    EXPECT_EQ(ka == kb, a == b);
+  }
+}
+
+TEST(PackedKmer, ReverseComplementMatchesString) {
+  dibella::util::Xoshiro256 rng(6);
+  for (int k : {3, 17, 31}) {
+    for (int trial = 0; trial < 50; ++trial) {
+      std::string s = random_dna(rng, static_cast<std::size_t>(k));
+      auto km = dk::Kmer::from_string(s, k);
+      EXPECT_EQ(km.reverse_complement(k).to_string(k), dk::reverse_complement(s));
+    }
+  }
+}
+
+TEST(PackedKmer, CanonicalMatchesNaive) {
+  dibella::util::Xoshiro256 rng(7);
+  for (int k : {5, 16, 17}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string s = random_dna(rng, static_cast<std::size_t>(k));
+      bool fwd = false;
+      auto canon = dk::Kmer::from_string(s, k).canonical(k, &fwd);
+      EXPECT_EQ(canon.to_string(k), naive_canonical(s));
+      EXPECT_EQ(fwd, naive_canonical(s) == s);
+    }
+  }
+}
+
+TEST(PackedKmer, MultiWordWidthsWork) {
+  // Exercise the multi-word shift paths with a 64-base capacity k-mer.
+  using WideKmer = dk::PackedKmer<64>;
+  static_assert(WideKmer::kWords == 2);
+  dibella::util::Xoshiro256 rng(8);
+  for (int k : {33, 48, 64}) {
+    std::string s = random_dna(rng, static_cast<std::size_t>(k));
+    auto km = WideKmer::from_string(s, k);
+    EXPECT_EQ(km.to_string(k), s);
+    EXPECT_EQ(km.reverse_complement(k).to_string(k), dk::reverse_complement(s));
+  }
+}
+
+TEST(PackedKmer, AppendRollsWindow) {
+  const int k = 4;
+  auto km = dk::Kmer::from_string("ACGT", k);
+  km.append(dk::kA, k);  // window becomes CGTA
+  EXPECT_EQ(km.to_string(k), "CGTA");
+  km.append(dk::kC, k);
+  EXPECT_EQ(km.to_string(k), "GTAC");
+}
+
+TEST(PackedKmer, HashSaltsAreIndependent) {
+  auto km = dk::Kmer::from_string("ACGTACGTACGTACGTA", 17);
+  EXPECT_NE(km.hash(0), km.hash(1));
+  EXPECT_EQ(km.hash(3), km.hash(3));
+}
+
+TEST(PackedKmer, HashSpreadsOverBuckets) {
+  dibella::util::Xoshiro256 rng(9);
+  const int k = 17;
+  const int buckets = 16;
+  std::vector<int> counts(buckets, 0);
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    auto km = dk::Kmer::from_string(random_dna(rng, k), k);
+    ++counts[km.hash() % buckets];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, n / buckets / 2);
+    EXPECT_LT(c, n / buckets * 2);
+  }
+}
+
+TEST(Parser, MatchesNaiveWindowScan) {
+  dibella::util::Xoshiro256 rng(10);
+  for (int k : {3, 11, 17}) {
+    std::string seq = random_dna(rng, 300);
+    std::vector<dk::Occurrence> got;
+    dk::for_each_canonical_kmer(seq, k, [&](const dk::Occurrence& o) { got.push_back(o); });
+    ASSERT_EQ(got.size(), seq.size() - static_cast<std::size_t>(k) + 1);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      std::string window = seq.substr(i, static_cast<std::size_t>(k));
+      EXPECT_EQ(got[i].pos, i);
+      EXPECT_EQ(got[i].kmer.to_string(k), naive_canonical(window));
+      EXPECT_EQ(got[i].is_forward, naive_canonical(window) == window);
+    }
+  }
+}
+
+TEST(Parser, SkipsWindowsWithInvalidBases) {
+  const int k = 3;
+  std::string seq = "ACGTNACG";  // windows covering the N must be skipped
+  std::vector<dk::Occurrence> got;
+  dk::for_each_canonical_kmer(seq, k, [&](const dk::Occurrence& o) { got.push_back(o); });
+  // Valid windows: ACG(0), CGT(1), ACG(5).
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].pos, 0u);
+  EXPECT_EQ(got[1].pos, 1u);
+  EXPECT_EQ(got[2].pos, 5u);
+}
+
+TEST(Parser, ShortSequencesYieldNothing) {
+  std::vector<dk::Occurrence> got;
+  dk::for_each_canonical_kmer("ACG", 4, [&](const dk::Occurrence& o) { got.push_back(o); });
+  EXPECT_TRUE(got.empty());
+  dk::for_each_canonical_kmer("", 4, [&](const dk::Occurrence& o) { got.push_back(o); });
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Parser, WindowCount) {
+  EXPECT_EQ(dk::window_count(100, 17), 84u);
+  EXPECT_EQ(dk::window_count(17, 17), 1u);
+  EXPECT_EQ(dk::window_count(16, 17), 0u);
+}
+
+TEST(Parser, CanonicalFormInvariantUnderReverseComplement) {
+  // The multiset of canonical k-mers of a read and of its reverse complement
+  // must be identical — this is what makes strand-unaware seeding work.
+  dibella::util::Xoshiro256 rng(11);
+  const int k = 11;
+  std::string seq = random_dna(rng, 200);
+  std::string rc = dk::reverse_complement(seq);
+  auto counts_fwd = dk::count_canonical({seq}, k);
+  auto counts_rc = dk::count_canonical({rc}, k);
+  EXPECT_EQ(counts_fwd.size(), counts_rc.size());
+  for (const auto& [km, c] : counts_fwd) {
+    auto it = counts_rc.find(km);
+    ASSERT_NE(it, counts_rc.end());
+    EXPECT_EQ(it->second, c);
+  }
+}
+
+TEST(Spectrum, CountsMatchMapOracle) {
+  dibella::util::Xoshiro256 rng(12);
+  const int k = 5;
+  std::vector<std::string> seqs = {random_dna(rng, 100), random_dna(rng, 60),
+                                   random_dna(rng, 40)};
+  auto counts = dk::count_canonical(seqs, k);
+  std::map<std::string, u64> oracle;
+  for (const auto& s : seqs) {
+    for (std::size_t i = 0; i + k <= s.size(); ++i) {
+      ++oracle[naive_canonical(s.substr(i, k))];
+    }
+  }
+  ASSERT_EQ(counts.size(), oracle.size());
+  u64 total = 0;
+  for (const auto& [km, c] : counts) {
+    EXPECT_EQ(oracle.at(km.to_string(k)), c);
+    total += c;
+  }
+  EXPECT_EQ(total, (100 - k + 1) + (60 - k + 1) + (40 - k + 1));
+}
+
+TEST(Spectrum, FrequencyHistogramAndRangeCount) {
+  // Build sequences with a known repeated k-mer.
+  std::vector<std::string> seqs = {"AAAAAA"};  // 5-mer AAAAA twice... compute:
+  const int k = 5;
+  auto counts = dk::count_canonical(seqs, k);
+  // "AAAAAA" has windows AAAAA, AAAAA -> one distinct canonical kmer
+  // (canonical(AAAAA)=min(AAAAA, TTTTT)=AAAAA) with count 2.
+  ASSERT_EQ(counts.size(), 1u);
+  auto spec = dk::frequency_spectrum(counts);
+  EXPECT_EQ(spec.count_of(2), 1u);
+  EXPECT_EQ(dk::distinct_in_range(counts, 2, 2), 1u);
+  EXPECT_EQ(dk::distinct_in_range(counts, 3, 100), 0u);
+}

@@ -1,0 +1,254 @@
+// Tests for the netsim module: platform presets, topology, the cache-aware
+// compute scaling, the alpha-beta exchange model, and full trace evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "comm/communicator.hpp"
+#include "comm/world.hpp"
+#include "netsim/cost_model.hpp"
+#include "netsim/platform.hpp"
+#include "netsim/rank_trace.hpp"
+
+namespace dn = dibella::netsim;
+namespace dc = dibella::comm;
+using dibella::u64;
+
+namespace {
+
+/// Build a P-rank alltoallv record set where rank r sends bytes[r][d] to d.
+std::vector<dc::ExchangeRecord> make_alltoallv(
+    const std::vector<std::vector<u64>>& bytes, const std::string& stage = "s") {
+  std::vector<dc::ExchangeRecord> recs(bytes.size());
+  for (std::size_t r = 0; r < bytes.size(); ++r) {
+    recs[r].op = dc::CollectiveOp::kAlltoallv;
+    recs[r].stage = stage;
+    recs[r].bytes_to_peer = bytes[r];
+    recs[r].seq = 0;
+  }
+  return recs;
+}
+
+}  // namespace
+
+TEST(Platform, Table1PresetsMatchPaper) {
+  auto platforms = dn::table1_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].cores_per_node, 32);  // Cori
+  EXPECT_EQ(platforms[1].cores_per_node, 24);  // Edison
+  EXPECT_EQ(platforms[2].cores_per_node, 16);  // Titan
+  EXPECT_EQ(platforms[3].cores_per_node, 16);  // AWS
+  // Table 1 BW/node ordering: Edison >> Cori > Titan; AWS estimated lowest.
+  EXPECT_GT(platforms[1].node_bw_bytes_per_s, platforms[0].node_bw_bytes_per_s);
+  EXPECT_GT(platforms[0].node_bw_bytes_per_s, platforms[2].node_bw_bytes_per_s);
+  EXPECT_GT(platforms[2].node_bw_bytes_per_s, platforms[3].node_bw_bytes_per_s);
+  // Latency: Edison lowest among Crays (0.8us); AWS far above all.
+  EXPECT_LT(platforms[1].inter_latency_s, platforms[2].inter_latency_s);
+  EXPECT_LT(platforms[2].inter_latency_s, platforms[0].inter_latency_s);
+  EXPECT_GT(platforms[3].inter_latency_s, 10 * platforms[0].inter_latency_s);
+  // Per-core speed: Cori fastest; Titan and AWS comparable (paper §5).
+  EXPECT_LT(platforms[0].core_time_factor, platforms[1].core_time_factor);
+  EXPECT_NEAR(platforms[2].core_time_factor, platforms[3].core_time_factor, 0.3);
+}
+
+TEST(Topology, NodePlacement) {
+  dn::Topology topo{4, 8};
+  EXPECT_EQ(topo.total_ranks(), 32);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(7), 0);
+  EXPECT_EQ(topo.node_of(8), 1);
+  EXPECT_EQ(topo.node_of(31), 3);
+  EXPECT_TRUE(topo.same_node(0, 7));
+  EXPECT_FALSE(topo.same_node(7, 8));
+}
+
+TEST(TopLevelStage, StripsSubTag) {
+  EXPECT_EQ(dn::top_level_stage("bloom:pack"), "bloom");
+  EXPECT_EQ(dn::top_level_stage("bloom"), "bloom");
+  EXPECT_EQ(dn::top_level_stage(""), "");
+}
+
+TEST(CostModel, ComputeScaleCacheBehaviour) {
+  auto p = dn::cori();
+  dn::CostModel model(p, dn::Topology{1, 32});
+  double cache_share = p.llc_bytes_per_node / 32.0;
+  // Fits in cache: just the core factor.
+  EXPECT_DOUBLE_EQ(model.compute_scale(static_cast<u64>(cache_share / 2)),
+                   p.core_time_factor);
+  // Monotone growth beyond the share, bounded by the penalty cap.
+  double s2 = model.compute_scale(static_cast<u64>(2 * cache_share));
+  double s8 = model.compute_scale(static_cast<u64>(8 * cache_share));
+  EXPECT_GT(s2, p.core_time_factor);
+  EXPECT_GT(s8, s2);
+  EXPECT_LT(s8, p.core_time_factor * p.cache_miss_penalty);
+  // Fewer ranks per node -> bigger share -> smaller penalty at equal ws.
+  dn::CostModel spread(p, dn::Topology{32, 1});
+  EXPECT_LT(spread.compute_scale(static_cast<u64>(2 * cache_share)), s2);
+}
+
+TEST(CostModel, ComputeScaleDisabledOnLocalHost) {
+  dn::CostModel model(dn::local_host(), dn::Topology{1, 4});
+  EXPECT_DOUBLE_EQ(model.compute_scale(1u << 30), 1.0);
+}
+
+TEST(CostModel, ExchangeIntraNodeOnly) {
+  auto p = dn::cori();
+  dn::CostModel model(p, dn::Topology{1, 2});
+  // 2 ranks, same node: 1 MB each way.
+  auto recs = make_alltoallv({{0, 1'000'000}, {1'000'000, 0}});
+  std::vector<double> per_rank;
+  double t = model.exchange_time(recs, false, &per_rank);
+  double expect = p.intra_latency_s + 2e6 / p.intra_bw_bytes_per_s_per_rank;
+  EXPECT_NEAR(t, expect, 1e-9);
+  EXPECT_NEAR(per_rank[0], expect, 1e-9);
+}
+
+TEST(CostModel, ExchangeInterNodeUsesNodeBandwidth) {
+  auto p = dn::cori();
+  dn::CostModel model(p, dn::Topology{2, 1});
+  auto recs = make_alltoallv({{0, 8'000'000}, {0, 0}});  // 8 MB rank0 -> rank1
+  double t = model.exchange_time(recs, false);
+  // One inter-node message: latency + bytes / (node_bw / 1 rank-per-node).
+  double expect = p.inter_latency_s + 8e6 / p.node_bw_bytes_per_s;
+  EXPECT_NEAR(t, expect, expect * 1e-9);
+}
+
+TEST(CostModel, ExchangeReceiverCanBeBottleneck) {
+  auto p = dn::cori();
+  dn::CostModel model(p, dn::Topology{3, 1});
+  // Ranks 0 and 1 each send 4 MB to rank 2: rank 2's receive side dominates.
+  auto recs = make_alltoallv({{0, 0, 4'000'000}, {0, 0, 4'000'000}, {0, 0, 0}});
+  std::vector<double> per_rank;
+  double t = model.exchange_time(recs, false, &per_rank);
+  EXPECT_NEAR(per_rank[2], 8e6 / p.node_bw_bytes_per_s, 1e-6);
+  EXPECT_NEAR(t, per_rank[2], 1e-12);
+  EXPECT_LT(per_rank[0], per_rank[2]);
+}
+
+TEST(CostModel, FirstAlltoallvPaysSetup) {
+  auto p = dn::cori();
+  dn::CostModel model(p, dn::Topology{2, 2});
+  auto recs = make_alltoallv({{0, 10, 10, 10}, {10, 0, 10, 10}, {10, 10, 0, 10}, {10, 10, 10, 0}});
+  double plain = model.exchange_time(recs, false);
+  double first = model.exchange_time(recs, true);
+  EXPECT_NEAR(first - plain, p.first_alltoallv_setup_s_per_peer * 4, 1e-12);
+}
+
+TEST(CostModel, BarrierIsLatencyTree) {
+  auto p = dn::edison();
+  dn::CostModel model(p, dn::Topology{4, 2});
+  std::vector<dc::ExchangeRecord> recs(8);
+  for (auto& r : recs) {
+    r.op = dc::CollectiveOp::kBarrier;
+    r.bytes_to_peer.assign(8, 0);
+  }
+  double t = model.exchange_time(recs, false);
+  EXPECT_NEAR(t, 2.0 * 3.0 * p.inter_latency_s, 1e-12);  // log2(8) = 3
+}
+
+TEST(CostModel, SlowerNetworkCostsMore) {
+  dn::Topology topo{4, 4};
+  std::vector<std::vector<u64>> bytes(16, std::vector<u64>(16, 4096));
+  for (int r = 0; r < 16; ++r) bytes[static_cast<std::size_t>(r)][static_cast<std::size_t>(r)] = 0;
+  auto recs = make_alltoallv(bytes);
+  double t_edison = dn::CostModel(dn::edison(), topo).exchange_time(recs, false);
+  double t_cori = dn::CostModel(dn::cori(), topo).exchange_time(recs, false);
+  double t_aws = dn::CostModel(dn::aws(), topo).exchange_time(recs, false);
+  EXPECT_LT(t_edison, t_cori);  // Edison's 436 MB/s node bandwidth wins
+  EXPECT_LT(t_cori, t_aws);     // commodity cloud network loses
+}
+
+TEST(CostModel, EvaluateAggregatesSuperstepsBspStyle) {
+  // Two ranks, one superstep of compute, one exchange, another compute.
+  dn::Topology topo{2, 1};
+  dn::CostModel model(dn::local_host(), topo);
+
+  std::vector<dn::RankTrace> traces(2);
+  traces[0].add_compute("alpha", 1.0, 0);
+  traces[1].add_compute("alpha", 3.0, 0);  // slow rank dominates superstep
+  traces[0].add_exchange(0);
+  traces[1].add_exchange(0);
+  traces[0].add_compute("beta", 2.0, 0);
+  traces[1].add_compute("beta", 1.0, 0);
+
+  std::vector<std::vector<dc::ExchangeRecord>> records(2);
+  for (int r = 0; r < 2; ++r) {
+    dc::ExchangeRecord rec;
+    rec.op = dc::CollectiveOp::kAlltoallv;
+    rec.stage = "alpha";
+    rec.seq = 0;
+    rec.bytes_to_peer = {0, 0};
+    rec.bytes_to_peer[static_cast<std::size_t>(1 - r)] = 500;
+    rec.wall_seconds = 0.25;
+    records[static_cast<std::size_t>(r)].push_back(rec);
+  }
+
+  auto report = model.evaluate(traces, records);
+  ASSERT_TRUE(report.has_stage("alpha"));
+  ASSERT_TRUE(report.has_stage("beta"));
+  EXPECT_DOUBLE_EQ(report.stage("alpha").compute_virtual, 3.0);  // max over ranks
+  EXPECT_DOUBLE_EQ(report.stage("beta").compute_virtual, 2.0);
+  EXPECT_EQ(report.stage("alpha").exchange_calls, 1u);
+  EXPECT_EQ(report.stage("alpha").exchange_bytes, 1000u);
+  EXPECT_DOUBLE_EQ(report.stage("alpha").exchange_wall_max, 0.25);
+  EXPECT_DOUBLE_EQ(report.stage("alpha").compute_cpu_max, 3.0);
+  // Per-rank times preserved for imbalance metrics.
+  ASSERT_EQ(report.per_rank_stage_seconds.at("beta").size(), 2u);
+  EXPECT_DOUBLE_EQ(report.per_rank_stage_seconds.at("beta")[0], 2.0);
+  EXPECT_DOUBLE_EQ(report.per_rank_stage_seconds.at("beta")[1], 1.0);
+  // Stage order follows first appearance.
+  ASSERT_EQ(report.stage_order.size(), 2u);
+  EXPECT_EQ(report.stage_order[0], "alpha");
+  EXPECT_EQ(report.stage_order[1], "beta");
+  EXPECT_DOUBLE_EQ(report.total_virtual(),
+                   report.total_compute_virtual() + report.total_exchange_virtual());
+}
+
+TEST(CostModel, EvaluateSubStagesTracked) {
+  dn::Topology topo{1, 1};
+  dn::CostModel model(dn::local_host(), topo);
+  std::vector<dn::RankTrace> traces(1);
+  traces[0].add_compute("bloom:pack", 1.0, 0);
+  traces[0].add_compute("bloom:local", 2.0, 0);
+  std::vector<std::vector<dc::ExchangeRecord>> records(1);
+  auto report = model.evaluate(traces, records);
+  EXPECT_DOUBLE_EQ(report.stage("bloom").compute_virtual, 3.0);
+  EXPECT_DOUBLE_EQ(report.stage("bloom:pack").compute_virtual, 1.0);
+  EXPECT_DOUBLE_EQ(report.stage("bloom:local").compute_virtual, 2.0);
+  // Only top-level stages appear in stage_order (totals would double count).
+  ASSERT_EQ(report.stage_order.size(), 1u);
+  EXPECT_EQ(report.stage_order[0], "bloom");
+}
+
+TEST(CostModel, EvaluateRejectsMisalignedTraces) {
+  dn::CostModel model(dn::local_host(), dn::Topology{2, 1});
+  std::vector<dn::RankTrace> traces(2);
+  traces[0].add_exchange(0);  // rank 1 has no exchange: SPMD violation
+  std::vector<std::vector<dc::ExchangeRecord>> records(2);
+  EXPECT_THROW(model.evaluate(traces, records), dibella::Error);
+}
+
+TEST(CostModel, EndToEndWithRealWorldRecords) {
+  // Drive a real World, feed its records + traces through the model.
+  const int P = 4;
+  dc::World world(P);
+  std::vector<dn::RankTrace> traces(P);
+  world.run([&](dc::Communicator& comm) {
+    auto& trace = traces[static_cast<std::size_t>(comm.rank())];
+    comm.set_record_sink(
+        [&trace](const dc::ExchangeRecord& rec) { trace.add_exchange(rec.seq); });
+    comm.set_stage("work");
+    trace.add_compute("work", 0.001 * (comm.rank() + 1), 1 << 20);
+    std::vector<std::vector<u64>> send(P);
+    for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)].assign(100, 1);
+    comm.alltoallv(send);
+  });
+  dn::CostModel model(dn::titan(), dn::Topology{2, 2});
+  auto report = model.evaluate(traces, world.exchange_records());
+  ASSERT_TRUE(report.has_stage("work"));
+  // Compute: max cpu = 0.004 scaled by at least the core factor.
+  EXPECT_GE(report.stage("work").compute_virtual, 0.004 * dn::titan().core_time_factor * 0.99);
+  EXPECT_GT(report.stage("work").exchange_virtual, 0.0);
+  EXPECT_EQ(report.stage("work").exchange_bytes, static_cast<u64>(P * P * 100 * 8));
+}

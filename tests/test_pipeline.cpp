@@ -1,0 +1,237 @@
+// Integration tests for the full diBELLA pipeline: end-to-end behaviour,
+// determinism, rank-count invariance, recall against ground truth, counter
+// conservation, cost-model evaluation, and PAF output.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "comm/world.hpp"
+#include "core/output.hpp"
+#include "core/pipeline.hpp"
+#include "netsim/platform.hpp"
+#include "simgen/presets.hpp"
+
+namespace dc = dibella::core;
+using dibella::u32;
+using dibella::u64;
+
+namespace {
+
+dc::PipelineConfig tiny_config() {
+  dc::PipelineConfig cfg;
+  cfg.k = 17;
+  cfg.assumed_error_rate = 0.12;  // matches tiny_test preset
+  cfg.assumed_coverage = 20.0;
+  cfg.batch_kmers = 50'000;
+  return cfg;
+}
+
+struct PairKey {
+  u64 a, b;
+  bool operator<(const PairKey& o) const { return a != o.a ? a < o.a : b < o.b; }
+};
+
+}  // namespace
+
+TEST(Pipeline, EndToEndProducesValidAlignments) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test());
+  dibella::comm::World world(4);
+  auto out = run_pipeline(world, sim.reads, tiny_config());
+
+  ASSERT_GT(out.alignments.size(), 50u);
+  std::set<std::pair<u64, u64>> seen;
+  for (const auto& rec : out.alignments) {
+    EXPECT_LT(rec.rid_a, rec.rid_b);
+    EXPECT_TRUE(seen.insert({rec.rid_a, rec.rid_b}).second) << "duplicate pair";
+    const auto& a = sim.reads[static_cast<std::size_t>(rec.rid_a)];
+    const auto& b = sim.reads[static_cast<std::size_t>(rec.rid_b)];
+    EXPECT_LE(rec.a_end, a.seq.size());
+    EXPECT_LE(rec.b_end, b.seq.size());
+    EXPECT_LT(rec.a_begin, rec.a_end);
+    EXPECT_LT(rec.b_begin, rec.b_end);
+    // Every reported alignment contains its seed: score >= k * match.
+    EXPECT_GE(rec.score, 17);
+    EXPECT_GE(rec.seeds_explored, 1u);
+  }
+  // Counter coherence.
+  EXPECT_EQ(out.counters.read_pairs, out.counters.pairs_aligned);
+  EXPECT_EQ(out.counters.alignments_reported, out.alignments.size());
+  EXPECT_GT(out.counters.retained_kmers, 0u);
+  EXPECT_GT(out.counters.kmers_parsed, out.counters.retained_kmers);
+  // One-seed policy: one extension per pair.
+  EXPECT_EQ(out.counters.alignments_computed, out.counters.pairs_aligned);
+  EXPECT_EQ(out.counters.seeds_after_filter, out.counters.read_pairs);
+}
+
+TEST(Pipeline, OutputIndependentOfRankCount) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(3));
+  auto cfg = tiny_config();
+
+  dibella::comm::World w1(1), w6(6);
+  auto out1 = run_pipeline(w1, sim.reads, cfg);
+  auto out6 = run_pipeline(w6, sim.reads, cfg);
+
+  ASSERT_EQ(out1.alignments.size(), out6.alignments.size());
+  for (std::size_t i = 0; i < out1.alignments.size(); ++i) {
+    const auto& x = out1.alignments[i];
+    const auto& y = out6.alignments[i];
+    EXPECT_EQ(x.rid_a, y.rid_a);
+    EXPECT_EQ(x.rid_b, y.rid_b);
+    EXPECT_EQ(x.score, y.score);
+    EXPECT_EQ(x.a_begin, y.a_begin);
+    EXPECT_EQ(x.a_end, y.a_end);
+    EXPECT_EQ(x.b_begin, y.b_begin);
+    EXPECT_EQ(x.b_end, y.b_end);
+    EXPECT_EQ(x.same_orientation, y.same_orientation);
+  }
+  EXPECT_EQ(out1.counters.retained_kmers, out6.counters.retained_kmers);
+  EXPECT_EQ(out1.counters.read_pairs, out6.counters.read_pairs);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(17));
+  auto cfg = tiny_config();
+  dibella::comm::World world(3);
+  auto a = run_pipeline(world, sim.reads, cfg);
+  auto b = run_pipeline(world, sim.reads, cfg);
+  ASSERT_EQ(a.alignments.size(), b.alignments.size());
+  for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+    EXPECT_EQ(a.alignments[i].score, b.alignments[i].score);
+    EXPECT_EQ(a.alignments[i].rid_a, b.alignments[i].rid_a);
+  }
+}
+
+TEST(Pipeline, RecallAgainstGroundTruth) {
+  // The pipeline must rediscover the overlaps the simulator planted. With
+  // 12% error and k=17 BELLA's model puts detection probability near 1 for
+  // long overlaps (test_bella), so missing many would be a bug. A repeat-
+  // free genome keeps the precision check meaningful: with repeats,
+  // cross-copy alignments are genuinely similar sequences that do not
+  // intersect positionally, and would be miscounted as false positives.
+  auto preset = dibella::simgen::tiny_test(29);
+  preset.genome.repeat_families = 0;
+  auto sim = make_dataset(preset);
+  dibella::simgen::TruthOracle oracle(sim.truth, /*min_overlap=*/800);
+  auto true_pairs = oracle.all_true_pairs();
+  ASSERT_GT(true_pairs.size(), 50u);
+
+  auto cfg = tiny_config();
+  cfg.seed_filter = dibella::overlap::SeedFilterConfig::spaced(500);
+  dibella::comm::World world(4);
+  auto out = run_pipeline(world, sim.reads, cfg);
+
+  std::set<std::pair<u64, u64>> found;
+  for (const auto& rec : out.alignments) {
+    if (rec.score >= 100) found.insert({rec.rid_a, rec.rid_b});
+  }
+  u64 hit = 0;
+  for (auto& p : true_pairs) {
+    if (found.count(p)) ++hit;
+  }
+  double recall = static_cast<double>(hit) / static_cast<double>(true_pairs.size());
+  EXPECT_GT(recall, 0.75) << "recall of " << true_pairs.size() << " true overlaps";
+
+  // Precision against a loose truth (any genomic intersection at all):
+  // most reported strong alignments correspond to genuine overlaps.
+  dibella::simgen::TruthOracle loose(sim.truth, 1);
+  u64 good = 0;
+  for (auto& p : found) {
+    if (loose.truly_overlaps(p.first, p.second)) ++good;
+  }
+  EXPECT_GT(static_cast<double>(good) / static_cast<double>(found.size()), 0.95);
+}
+
+TEST(Pipeline, SeedPolicyIntensityOrdering) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(31));
+  auto base = tiny_config();
+  dibella::comm::World world(2);
+
+  auto cfg_one = base;
+  cfg_one.seed_filter = dibella::overlap::SeedFilterConfig::one_seed();
+  auto cfg_1k = base;
+  cfg_1k.seed_filter = dibella::overlap::SeedFilterConfig::spaced(1000);
+  auto cfg_all = base;
+  cfg_all.seed_filter = dibella::overlap::SeedFilterConfig::all_seeds(base.k);
+
+  auto one = run_pipeline(world, sim.reads, cfg_one);
+  auto spaced = run_pipeline(world, sim.reads, cfg_1k);
+  auto all = run_pipeline(world, sim.reads, cfg_all);
+
+  // Same pair universe, growing alignment work — the paper's three
+  // computational-intensity settings (§5).
+  EXPECT_EQ(one.counters.read_pairs, all.counters.read_pairs);
+  EXPECT_LE(one.counters.alignments_computed, spaced.counters.alignments_computed);
+  EXPECT_LE(spaced.counters.alignments_computed, all.counters.alignments_computed);
+  EXPECT_LT(one.counters.dp_cells, all.counters.dp_cells);
+}
+
+TEST(Pipeline, CostModelEvaluationHasAllStages) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(37));
+  dibella::comm::World world(8);
+  auto out = run_pipeline(world, sim.reads, tiny_config());
+
+  auto report = out.evaluate(dibella::netsim::cori(), dibella::netsim::Topology{2, 4});
+  for (const char* stage : {"bloom", "ht", "overlap", "align"}) {
+    ASSERT_TRUE(report.has_stage(stage)) << stage;
+    EXPECT_GT(report.stage(stage).compute_virtual, 0.0) << stage;
+  }
+  EXPECT_GT(report.stage("bloom").exchange_virtual, 0.0);
+  EXPECT_GT(report.total_virtual(), 0.0);
+  // Stage 2 moves ~2.5x the bytes of stage 1 (k-mer + rid + pos vs k-mer).
+  double ratio = static_cast<double>(report.stage("ht").exchange_bytes) /
+                 static_cast<double>(report.stage("bloom").exchange_bytes);
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 4.0);
+  // Per-rank alignment times exist for the Fig 8 imbalance metric.
+  ASSERT_TRUE(report.per_rank_stage_seconds.count("align"));
+  EXPECT_EQ(report.per_rank_stage_seconds.at("align").size(), 8u);
+}
+
+TEST(Pipeline, MoreNodesRaiseExchangeCost) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(41));
+  dibella::comm::World world(8);
+  auto out = run_pipeline(world, sim.reads, tiny_config());
+  auto one_node = out.evaluate(dibella::netsim::cori(), dibella::netsim::Topology{1, 8});
+  auto eight_nodes = out.evaluate(dibella::netsim::cori(), dibella::netsim::Topology{8, 1});
+  EXPECT_GT(eight_nodes.total_exchange_virtual(), 2.0 * one_node.total_exchange_virtual());
+}
+
+TEST(Pipeline, AutoMaxFrequencyFromModel) {
+  auto cfg = tiny_config();
+  cfg.max_kmer_count = 0;
+  EXPECT_GE(cfg.resolved_max_kmer_count(), 2u);
+  cfg.max_kmer_count = 5;
+  EXPECT_EQ(cfg.resolved_max_kmer_count(), 5u);
+}
+
+TEST(Pipeline, PafOutputWellFormed) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(43));
+  dibella::comm::World world(2);
+  auto out = run_pipeline(world, sim.reads, tiny_config());
+  ASSERT_FALSE(out.alignments.empty());
+
+  std::ostringstream os;
+  dc::write_paf(os, out.alignments, sim.reads);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    // 12 tab-separated fields.
+    std::size_t tabs = static_cast<std::size_t>(std::count(line.begin(), line.end(), '\t'));
+    EXPECT_EQ(tabs, 11u) << line;
+    EXPECT_TRUE(line.find('+') != std::string::npos || line.find('-') != std::string::npos);
+  }
+  EXPECT_EQ(lines, out.alignments.size());
+}
+
+TEST(Pipeline, SingleRankWorld) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(47));
+  dibella::comm::World world(1);
+  auto out = run_pipeline(world, sim.reads, tiny_config());
+  EXPECT_GT(out.alignments.size(), 0u);
+  EXPECT_EQ(out.counters.reads_exchanged, 0u);  // everything is local
+}

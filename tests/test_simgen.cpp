@@ -1,0 +1,206 @@
+// Tests for the synthetic data substrate: genome generation, the PacBio-like
+// read simulator's statistical properties, and the ground-truth oracle.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "kmer/parser.hpp"
+#include "kmer/spectrum.hpp"
+#include "simgen/genome.hpp"
+#include "simgen/presets.hpp"
+#include "simgen/read_sim.hpp"
+#include "util/stats.hpp"
+
+namespace ds = dibella::simgen;
+using dibella::u64;
+
+TEST(Genome, DeterministicInSpec) {
+  ds::GenomeSpec spec;
+  spec.length = 5000;
+  spec.seed = 77;
+  EXPECT_EQ(ds::generate_genome(spec), ds::generate_genome(spec));
+  spec.seed = 78;
+  auto g2 = ds::generate_genome(spec);
+  spec.seed = 77;
+  EXPECT_NE(ds::generate_genome(spec), g2);
+}
+
+TEST(Genome, LengthAndAlphabet) {
+  ds::GenomeSpec spec;
+  spec.length = 12345;
+  auto g = ds::generate_genome(spec);
+  EXPECT_EQ(g.size(), 12345u);
+  EXPECT_TRUE(dibella::kmer::is_valid_dna(g));
+}
+
+TEST(Genome, RepeatsCreateHighFrequencyKmers) {
+  ds::GenomeSpec no_rep;
+  no_rep.length = 50'000;
+  no_rep.seed = 5;
+  no_rep.repeat_families = 0;
+  ds::GenomeSpec with_rep = no_rep;
+  with_rep.repeat_families = 4;
+  with_rep.repeat_copies = 8;
+  with_rep.repeat_length = 500;
+
+  const int k = 17;
+  auto counts_plain = dibella::kmer::count_canonical({ds::generate_genome(no_rep)}, k);
+  auto counts_rep = dibella::kmer::count_canonical({ds::generate_genome(with_rep)}, k);
+  auto max_freq = [](const dibella::kmer::CountMap& m) {
+    u64 mx = 0;
+    for (auto& [km, c] : m) mx = std::max(mx, c);
+    return mx;
+  };
+  // A random 50 kbp genome has essentially unique 17-mers; repeats create
+  // multiplicity ~= repeat_copies+1.
+  EXPECT_LE(max_freq(counts_plain), 2u);
+  EXPECT_GE(max_freq(counts_rep), 6u);
+}
+
+TEST(ReadSim, CoverageAndLengthTargets) {
+  ds::GenomeSpec gs;
+  gs.length = 200'000;
+  gs.seed = 9;
+  auto genome = ds::generate_genome(gs);
+  ds::ReadSimSpec rs;
+  rs.coverage = 25.0;
+  rs.mean_read_len = 4000.0;
+  rs.seed = 10;
+  auto sim = ds::simulate_reads(genome, rs);
+  ASSERT_FALSE(sim.reads.empty());
+  EXPECT_EQ(sim.reads.size(), sim.truth.size());
+  // Total template bases ~ coverage * genome length (within one read).
+  u64 total_template = 0;
+  dibella::util::RunningStats len_stats;
+  for (const auto& t : sim.truth) {
+    total_template += t.end - t.start;
+    len_stats.add(static_cast<double>(t.end - t.start));
+  }
+  double expected = rs.coverage * static_cast<double>(gs.length);
+  EXPECT_GE(static_cast<double>(total_template), expected);
+  EXPECT_LE(static_cast<double>(total_template), expected + 4 * rs.mean_read_len * 4);
+  // Mean length within 15% of target.
+  EXPECT_NEAR(len_stats.mean(), rs.mean_read_len, 0.15 * rs.mean_read_len);
+  // gids are dense and ordered.
+  for (std::size_t i = 0; i < sim.reads.size(); ++i) EXPECT_EQ(sim.reads[i].gid, i);
+}
+
+TEST(ReadSim, ErrorRateShrinksExactKmerMatches) {
+  // With e=0 each read k-mer exists in the genome; with e=0.15 most windows
+  // contain an error for k=17 (P[clean] = 0.85^17 ~ 6%).
+  ds::GenomeSpec gs;
+  gs.length = 60'000;
+  gs.seed = 21;
+  gs.repeat_families = 0;
+  auto genome = ds::generate_genome(gs);
+  const int k = 17;
+  auto genome_kmers = dibella::kmer::count_canonical({genome}, k);
+
+  auto fraction_clean = [&](double err) {
+    ds::ReadSimSpec rs;
+    rs.coverage = 2.0;
+    rs.mean_read_len = 3000.0;
+    rs.error_rate = err;
+    rs.seed = 22;
+    auto sim = ds::simulate_reads(genome, rs);
+    u64 in_genome = 0, total = 0;
+    for (const auto& r : sim.reads) {
+      dibella::kmer::for_each_canonical_kmer(
+          r.seq, k, [&](const dibella::kmer::Occurrence& occ) {
+            ++total;
+            if (genome_kmers.count(occ.kmer)) ++in_genome;
+          });
+    }
+    return static_cast<double>(in_genome) / static_cast<double>(total);
+  };
+
+  EXPECT_GT(fraction_clean(0.0), 0.999);
+  double noisy = fraction_clean(0.15);
+  EXPECT_LT(noisy, 0.25);
+  EXPECT_GT(noisy, 0.01);  // but clean seeds still exist — the pipeline's premise
+}
+
+TEST(ReadSim, BothStrandsAppear) {
+  ds::GenomeSpec gs;
+  gs.length = 50'000;
+  auto genome = ds::generate_genome(gs);
+  ds::ReadSimSpec rs;
+  rs.coverage = 10.0;
+  rs.mean_read_len = 2000.0;
+  rs.seed = 30;
+  auto sim = ds::simulate_reads(genome, rs);
+  int fwd = 0, rc = 0;
+  for (const auto& t : sim.truth) (t.rc ? rc : fwd)++;
+  EXPECT_GT(fwd, 0);
+  EXPECT_GT(rc, 0);
+}
+
+TEST(ReadSim, DeterministicInSeed) {
+  ds::GenomeSpec gs;
+  gs.length = 30'000;
+  auto genome = ds::generate_genome(gs);
+  ds::ReadSimSpec rs;
+  rs.coverage = 5.0;
+  rs.mean_read_len = 1500.0;
+  auto a = ds::simulate_reads(genome, rs);
+  auto b = ds::simulate_reads(genome, rs);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].seq, b.reads[i].seq);
+  }
+}
+
+TEST(TruthOracle, PairwiseOverlapLengths) {
+  std::vector<ds::TrueInterval> truth = {
+      {0, 1000, false}, {500, 1500, false}, {1400, 2000, true}, {5000, 6000, false}};
+  ds::TruthOracle oracle(truth, 300);
+  EXPECT_EQ(oracle.overlap_length(0, 1), 500u);
+  EXPECT_EQ(oracle.overlap_length(1, 0), 500u);
+  EXPECT_EQ(oracle.overlap_length(1, 2), 100u);
+  EXPECT_EQ(oracle.overlap_length(0, 3), 0u);
+  EXPECT_TRUE(oracle.truly_overlaps(0, 1));
+  EXPECT_FALSE(oracle.truly_overlaps(1, 2));  // 100 < 300
+  EXPECT_FALSE(oracle.truly_overlaps(0, 3));
+}
+
+TEST(TruthOracle, AllTruePairsMatchesBruteForce) {
+  ds::GenomeSpec gs;
+  gs.length = 40'000;
+  auto genome = ds::generate_genome(gs);
+  ds::ReadSimSpec rs;
+  rs.coverage = 8.0;
+  rs.mean_read_len = 1800.0;
+  rs.seed = 33;
+  auto sim = ds::simulate_reads(genome, rs);
+  ds::TruthOracle oracle(sim.truth, 400);
+  auto pairs = oracle.all_true_pairs();
+  std::set<std::pair<u64, u64>> sweep(pairs.begin(), pairs.end());
+  std::set<std::pair<u64, u64>> brute;
+  for (u64 a = 0; a < sim.reads.size(); ++a) {
+    for (u64 b = a + 1; b < sim.reads.size(); ++b) {
+      if (oracle.truly_overlaps(a, b)) brute.insert({a, b});
+    }
+  }
+  EXPECT_EQ(sweep, brute);
+  EXPECT_GT(brute.size(), 10u);  // dataset dense enough to be meaningful
+}
+
+TEST(Presets, ScaleControlsGenomeSize) {
+  auto small = ds::ecoli30x_like(0.01);
+  auto large = ds::ecoli30x_like(0.1);
+  EXPECT_LT(small.genome.length, large.genome.length);
+  EXPECT_DOUBLE_EQ(small.reads.coverage, 30.0);
+  EXPECT_DOUBLE_EQ(ds::ecoli100x_like(0.01).reads.coverage, 100.0);
+  // Same strain: identical genome spec seeds across coverage presets.
+  EXPECT_EQ(ds::ecoli30x_like(0.05).genome.seed, ds::ecoli100x_like(0.05).genome.seed);
+}
+
+TEST(Presets, TinyDatasetIsUsable) {
+  auto sim = ds::make_dataset(ds::tiny_test());
+  EXPECT_GT(sim.reads.size(), 50u);
+  u64 bases = 0;
+  for (auto& r : sim.reads) bases += r.seq.size();
+  EXPECT_GT(bases, 100'000u);
+}

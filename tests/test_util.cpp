@@ -1,0 +1,206 @@
+// Unit tests for the util module: timers, RNG, histogram, stats, table,
+// args, env helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+
+#include "util/args.hpp"
+#include "util/common.hpp"
+#include "util/env.hpp"
+#include "util/histogram.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace du = dibella::util;
+using dibella::u64;
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    DIBELLA_CHECK(false, "context message");
+    FAIL() << "expected throw";
+  } catch (const dibella::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"), std::string::npos);
+  }
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  du::WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.seconds(), 0.015);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(ThreadCpuTimer, CountsCpuNotSleep) {
+  // Sandboxed kernels advance the thread-CPU clock in coarse (up to 10 ms)
+  // ticks, so assertions must be tick-tolerant: a sleep may be charged one
+  // spurious tick, and short busy loops may be charged zero.
+  du::ThreadCpuTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Sleeping burns far less CPU than its wall duration.
+  EXPECT_LT(t.seconds(), 0.06);
+  // Sustained busy work (>= 5 ticks of wall time) registers CPU time.
+  t.reset();
+  du::WallTimer wall;
+  volatile double x = 1.0;
+  while (wall.seconds() < 0.08) {
+    for (int i = 0; i < 100'000; ++i) x = x * 1.0000001 + 0.5;
+  }
+  EXPECT_GT(t.seconds(), 0.02);
+  EXPECT_LE(t.seconds(), 0.5);
+}
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  du::SplitMix64 a(123), b(123), c(124);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Xoshiro, DeterministicStream) {
+  du::Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, UniformBelowIsInRangeAndCoversValues) {
+  du::Xoshiro256 rng(7);
+  std::set<u64> seen;
+  for (int i = 0; i < 2000; ++i) {
+    u64 v = rng.uniform_below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, UniformMeanIsHalf) {
+  du::Xoshiro256 rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  du::Xoshiro256 rng(13);
+  du::RunningStats s;
+  for (int i = 0; i < 40000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Xoshiro, LognormalTargetsMean) {
+  du::Xoshiro256 rng(17);
+  du::RunningStats s;
+  for (int i = 0; i < 60000; ++i) s.add(rng.lognormal(5000.0, 0.35));
+  EXPECT_NEAR(s.mean(), 5000.0, 150.0);
+}
+
+TEST(Xoshiro, PoissonMeanMatchesLambdaSmallAndLarge) {
+  du::Xoshiro256 rng(19);
+  for (double lambda : {0.5, 4.0, 80.0}) {
+    du::RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(static_cast<double>(rng.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  du::RunningStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(LoadImbalance, PerfectAndSkewed) {
+  EXPECT_DOUBLE_EQ(du::load_imbalance({1.0, 1.0, 1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(du::load_imbalance({2.0, 0.0, 0.0, 0.0}), 4.0);
+  EXPECT_DOUBLE_EQ(du::load_imbalance({}), 1.0);
+  EXPECT_DOUBLE_EQ(du::load_imbalance({0.0, 0.0}), 1.0);
+}
+
+TEST(Histogram, CountsAndQuantiles) {
+  du::Histogram h;
+  for (u64 v : {1, 1, 2, 3, 3, 3, 10}) h.add(v);
+  EXPECT_EQ(h.total_count(), 7u);
+  EXPECT_EQ(h.distinct_values(), 4u);
+  EXPECT_EQ(h.count_of(3), 3u);
+  EXPECT_EQ(h.count_of(4), 0u);
+  EXPECT_EQ(h.min_value(), 1u);
+  EXPECT_EQ(h.max_value(), 10u);
+  EXPECT_EQ(h.quantile(0.5), 3u);
+  EXPECT_EQ(h.count_in_range(2, 3), 4u);
+  EXPECT_EQ(h.weighted_sum(), 1 + 1 + 2 + 3 + 3 + 3 + 10u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  du::Histogram a, b;
+  a.add(1, 2);
+  b.add(1, 3);
+  b.add(5);
+  a.merge(b);
+  EXPECT_EQ(a.count_of(1), 5u);
+  EXPECT_EQ(a.count_of(5), 1u);
+  EXPECT_EQ(a.total_count(), 6u);
+}
+
+TEST(Table, AlignedTextAndCsv) {
+  du::Table t({"name", "value"});
+  t.start_row();
+  t.cell("alpha");
+  t.cell(1.5, 2);
+  t.start_row();
+  t.cell("b");
+  t.cell(u64{42});
+  std::string text = t.to_text("demo");
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nalpha,1.50\nb,42\n");
+}
+
+TEST(Table, RejectsOverfullRow) {
+  du::Table t({"only"});
+  t.start_row();
+  t.cell("x");
+  EXPECT_THROW(t.cell("y"), dibella::Error);
+}
+
+TEST(FormatSi, Scales) {
+  EXPECT_EQ(du::format_si(1'500'000.0, 1), "1.5M");
+  EXPECT_EQ(du::format_si(2'000.0, 0), "2k");
+  EXPECT_EQ(du::format_si(3.25, 2), "3.25");
+}
+
+TEST(Args, ParsesAllForms) {
+  const char* argv[] = {"prog", "--k=17", "--nodes=8", "--verbose", "input.fq"};
+  du::Args args(5, argv);
+  EXPECT_EQ(args.get_i64("k", 0), 17);
+  EXPECT_EQ(args.get_i64("nodes", 0), 8);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.fq");
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_double("k", 0.0), 17.0);
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Env, FallbacksAndParsing) {
+  ::unsetenv("DIBELLA_TEST_ENV");
+  EXPECT_EQ(du::env_i64("DIBELLA_TEST_ENV", 5), 5);
+  ::setenv("DIBELLA_TEST_ENV", "12", 1);
+  EXPECT_EQ(du::env_i64("DIBELLA_TEST_ENV", 5), 12);
+  ::setenv("DIBELLA_TEST_ENV", "2.5", 1);
+  EXPECT_DOUBLE_EQ(du::env_double("DIBELLA_TEST_ENV", 0.0), 2.5);
+  ::setenv("DIBELLA_TEST_ENV", "abc", 1);
+  EXPECT_EQ(du::env_i64("DIBELLA_TEST_ENV", 5), 5);
+  EXPECT_EQ(du::env_string("DIBELLA_TEST_ENV", ""), "abc");
+  ::unsetenv("DIBELLA_TEST_ENV");
+}
