@@ -162,12 +162,6 @@ std::string cache_path(const std::string& key) {
 
 bool cache_enabled() { return util::env_i64("DIBELLA_BENCH_CACHE", 1) != 0; }
 
-double total_cpu(const core::PipelineOutput& out) {
-  double s = 0.0;
-  for (const auto& t : out.traces) s += t.total_cpu_seconds();
-  return s;
-}
-
 }  // namespace
 
 double bench_scale() { return util::env_double("DIBELLA_BENCH_SCALE", 1.0); }

@@ -1,0 +1,373 @@
+#include "cli/driver.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/output.hpp"
+#include "core/pipeline.hpp"
+#include "io/fastx.hpp"
+#include "netsim/cost_model.hpp"
+#include "netsim/platform.hpp"
+#include "simgen/presets.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace dibella::cli {
+
+namespace {
+
+constexpr const char* kUsage = R"(dibella — distributed long read to long read alignment (paper pipeline driver)
+
+Runs the four-stage diBELLA pipeline (distributed Bloom filter, distributed
+hash table, overlap detection, read exchange + x-drop alignment) over P
+in-process SPMD ranks, then writes the alignments, stage counters, and the
+netsim cost-model report.
+
+usage: dibella [options]            (all options are --key=value or --flag)
+
+input (choose one):
+  --input=PATH          FASTA/FASTQ file of long reads (format auto-detected)
+  --preset=NAME         simulated dataset: tiny | ecoli30x | ecoli100x
+                        (default: ecoli30x)
+  --scale=F             genome scale for ecoli presets, 0 < F <= 1 (default 0.01)
+
+pipeline:
+  --ranks=N             SPMD ranks to run (default 4)
+  --k=N                 k-mer length (default 17)
+  --min-kmer-count=N    singleton floor (default 2)
+  --max-kmer-count=N    repeat ceiling m; 0 = auto via BELLA model (default 0)
+  --coverage=F          assumed coverage for the auto-m model (preset supplies)
+  --error-rate=F        assumed per-base error rate (preset supplies)
+  --seed-policy=P       one | spaced | all (default one)
+  --spacing=N           min seed distance for --seed-policy=spaced (default 1000)
+  --xdrop=N             x-drop termination threshold (default 25)
+  --min-score=N         drop alignments scoring below N (default 0)
+  --bloom-fpr=F         Bloom filter false-positive rate (default 0.05)
+
+cost model:
+  --platform=NAME       local | cori | edison | titan | aws (default local)
+  --ranks-per-node=N    simulated ranks per node (default min(4, ranks);
+                        must divide --ranks)
+
+output:
+  --out-dir=DIR         directory for alignments.paf, counters.tsv,
+                        timings.tsv (+ reads.fasta for simulated input)
+                        (default dibella_out)
+  --no-output           print to stdout only, write no files
+  --help                show this message
+)";
+
+/// Every option the driver understands; anything else is a usage error
+/// (catches --rank=8 style typos that would otherwise silently no-op).
+const std::set<std::string>& known_options() {
+  static const std::set<std::string> opts = {
+      "input",      "preset",        "scale",          "ranks",
+      "k",          "min-kmer-count", "max-kmer-count", "coverage",
+      "error-rate", "seed-policy",   "spacing",        "xdrop",
+      "min-score",  "bloom-fpr",     "platform",       "ranks-per-node",
+      "out-dir",    "no-output",     "help"};
+  return opts;
+}
+
+struct UsageError : Error {
+  using Error::Error;
+};
+
+/// Strict numeric option parsing: Args::get_i64/get_double silently fall
+/// back on garbage, which would let --ranks=abc run with the default.
+i64 parse_i64(const util::Args& args, const std::string& key, i64 fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string v = args.get(key, "");
+  char* end = nullptr;
+  i64 parsed = static_cast<i64>(std::strtoll(v.c_str(), &end, 10));
+  if (v.empty() || end != v.c_str() + v.size()) {
+    throw UsageError("--" + key + "=" + v + " is not an integer");
+  }
+  return parsed;
+}
+
+double parse_double(const util::Args& args, const std::string& key, double fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string v = args.get(key, "");
+  char* end = nullptr;
+  double parsed = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size()) {
+    throw UsageError("--" + key + "=" + v + " is not a number");
+  }
+  return parsed;
+}
+
+netsim::Platform platform_by_name(const std::string& name) {
+  if (name == "local") return netsim::local_host();
+  if (name == "cori") return netsim::cori();
+  if (name == "edison") return netsim::edison();
+  if (name == "titan") return netsim::titan();
+  if (name == "aws") return netsim::aws();
+  throw UsageError("unknown --platform=" + name +
+                   " (expected local|cori|edison|titan|aws)");
+}
+
+/// FASTA vs FASTQ by leading record marker ('>' vs '@').
+std::vector<io::Read> load_reads(const std::string& path, std::ostream& out) {
+  std::string data = io::load_file(path);
+  std::size_t first = data.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) throw Error("input file is empty: " + path);
+  std::vector<io::Read> reads = data[first] == '>' ? io::parse_fasta(data)
+                                                   : io::parse_fastq(data);
+  out << "loaded " << reads.size() << " reads from " << path << "\n";
+  return reads;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& data) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw Error("cannot open for writing: " + path.string());
+  os << data;
+  if (!os.flush()) throw Error("write failed: " + path.string());
+}
+
+std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
+  std::ostringstream os;
+  os << "counter\tvalue\n";
+  auto row = [&](const char* name, u64 v) { os << name << "\t" << v << "\n"; };
+  row("ranks", static_cast<u64>(ranks));
+  row("kmers_parsed", c.kmers_parsed);
+  row("candidate_keys", c.candidate_keys);
+  row("retained_kmers", c.retained_kmers);
+  row("purged_keys", c.purged_keys);
+  row("overlap_tasks", c.overlap_tasks);
+  row("read_pairs", c.read_pairs);
+  row("seeds_after_filter", c.seeds_after_filter);
+  row("reads_exchanged", c.reads_exchanged);
+  row("read_bytes_exchanged", c.read_bytes_exchanged);
+  row("pairs_aligned", c.pairs_aligned);
+  row("alignments_computed", c.alignments_computed);
+  row("dp_cells", c.dp_cells);
+  row("alignments_reported", c.alignments_reported);
+  row("max_kmer_count", c.max_kmer_count);
+  return os.str();
+}
+
+std::string timings_tsv(const netsim::TimingReport& report) {
+  std::ostringstream os;
+  os << "stage\tcompute_virtual_s\texchange_virtual_s\ttotal_virtual_s"
+     << "\texchange_bytes\texchange_calls\n";
+  auto row = [&](const std::string& name, const netsim::StageTiming& t) {
+    os << name << "\t" << t.compute_virtual << "\t" << t.exchange_virtual << "\t"
+       << t.total_virtual() << "\t" << t.exchange_bytes << "\t" << t.exchange_calls
+       << "\n";
+  };
+  u64 bytes = 0, calls = 0;
+  for (const auto& name : report.stage_order) {
+    const auto& t = report.stage(name);
+    row(name, t);
+    bytes += t.exchange_bytes;
+    calls += t.exchange_calls;
+  }
+  os << "total\t" << report.total_compute_virtual() << "\t"
+     << report.total_exchange_virtual() << "\t" << report.total_virtual() << "\t"
+     << bytes << "\t" << calls << "\n";
+  return os.str();
+}
+
+void print_counters(std::ostream& out, const core::PipelineCounters& c, int ranks) {
+  util::Table t({"stage counter", "value"});
+  auto row = [&](const char* name, u64 v) {
+    t.start_row();
+    t.cell(name);
+    t.cell(v);
+  };
+  row("1. k-mer instances parsed", c.kmers_parsed);
+  row("1. candidate keys (Bloom-approved)", c.candidate_keys);
+  row("2. retained k-mers (2 <= count <= m)", c.retained_kmers);
+  row("2. purged high-frequency keys", c.purged_keys);
+  row("3. overlap tasks exchanged", c.overlap_tasks);
+  row("3. distinct read pairs", c.read_pairs);
+  row("3. seeds after filter", c.seeds_after_filter);
+  row("4. reads replicated in exchange", c.reads_exchanged);
+  row("4. pairs aligned", c.pairs_aligned);
+  row("4. seed extensions (alignments)", c.alignments_computed);
+  row("4. alignments reported", c.alignments_reported);
+  out << t.to_text("diBELLA pipeline on " + std::to_string(ranks) + " ranks");
+}
+
+void print_timings(std::ostream& out, const netsim::TimingReport& report,
+                   const netsim::Platform& platform, const netsim::Topology& topo) {
+  util::Table t({"stage", "compute (s)", "exchange (s)", "total (s)", "bytes"});
+  for (const auto& name : report.stage_order) {
+    const auto& s = report.stage(name);
+    t.start_row();
+    t.cell(name);
+    t.cell(s.compute_virtual, 4);
+    t.cell(s.exchange_virtual, 4);
+    t.cell(s.total_virtual(), 4);
+    t.cell(util::format_si(static_cast<double>(s.exchange_bytes)));
+  }
+  t.start_row();
+  t.cell("total");
+  t.cell(report.total_compute_virtual(), 4);
+  t.cell(report.total_exchange_virtual(), 4);
+  t.cell(report.total_virtual(), 4);
+  t.cell("");
+  out << "\n"
+      << t.to_text("cost model: " + platform.name + ", " +
+                   std::to_string(topo.nodes) + " node(s) x " +
+                   std::to_string(topo.ranks_per_node) + " ranks/node");
+}
+
+int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
+  for (const auto& key : args.keys()) {
+    if (known_options().count(key) == 0) {
+      throw UsageError("unknown option --" + key + " (see --help)");
+    }
+  }
+  if (!args.positional().empty()) {
+    throw UsageError("unexpected positional argument '" + args.positional()[0] +
+                     "' (options are --key=value)");
+  }
+
+  const int ranks = static_cast<int>(parse_i64(args, "ranks", 4));
+  if (ranks < 1) throw UsageError("--ranks must be >= 1");
+  // Default ranks-per-node: the largest divisor of ranks that is <= 4, so an
+  // explicit --ranks=6 doesn't trip the divisibility check below.
+  i64 default_rpn = 1;
+  for (i64 d = 2; d <= std::min<i64>(4, ranks); ++d) {
+    if (ranks % d == 0) default_rpn = d;
+  }
+  int ranks_per_node = static_cast<int>(args.has("ranks-per-node")
+                                            ? parse_i64(args, "ranks-per-node", 0)
+                                            : default_rpn);
+  if (ranks_per_node < 1 || ranks % ranks_per_node != 0) {
+    throw UsageError("--ranks-per-node must be >= 1 and divide --ranks");
+  }
+
+  // --- input: user file or simulated preset.
+  std::vector<io::Read> reads;
+  double coverage = parse_double(args, "coverage", 30.0);
+  double error_rate = parse_double(args, "error-rate", 0.15);
+  bool simulated = false;
+  if (args.has("input")) {
+    if (args.has("preset")) throw UsageError("--input and --preset are exclusive");
+    reads = load_reads(args.get("input", ""), out);
+  } else {
+    const std::string name = args.get("preset", "ecoli30x");
+    const double scale = parse_double(args, "scale", 0.01);
+    if (scale <= 0.0 || scale > 1.0) throw UsageError("--scale must be in (0, 1]");
+    simgen::DatasetPreset preset;
+    if (name == "tiny") {
+      preset = simgen::tiny_test();
+    } else if (name == "ecoli30x") {
+      preset = simgen::ecoli30x_like(scale);
+    } else if (name == "ecoli100x") {
+      preset = simgen::ecoli100x_like(scale);
+    } else {
+      throw UsageError("unknown --preset=" + name +
+                       " (expected tiny|ecoli30x|ecoli100x)");
+    }
+    // --coverage / --error-rate override only the data-model *assumptions*
+    // (auto-m); the simulation itself always uses the preset's values, so
+    // report those here.
+    coverage = parse_double(args, "coverage", preset.reads.coverage);
+    error_rate = parse_double(args, "error-rate", preset.reads.error_rate);
+    auto sim = simgen::make_dataset(preset);
+    reads = std::move(sim.reads);
+    simulated = true;
+    out << "simulated " << reads.size() << " reads (" << preset.name
+        << ", genome " << preset.genome.length << " bp, "
+        << preset.reads.coverage << "x, " << 100 * preset.reads.error_rate
+        << "% error)\n";
+  }
+  if (reads.empty()) throw Error("no reads to process");
+
+  // --- pipeline configuration.
+  core::PipelineConfig cfg;
+  cfg.k = static_cast<int>(parse_i64(args, "k", 17));
+  cfg.min_kmer_count = static_cast<u32>(parse_i64(args, "min-kmer-count", 2));
+  cfg.max_kmer_count = static_cast<u32>(parse_i64(args, "max-kmer-count", 0));
+  cfg.assumed_coverage = coverage;
+  cfg.assumed_error_rate = error_rate;
+  cfg.bloom_fpr = parse_double(args, "bloom-fpr", cfg.bloom_fpr);
+  cfg.xdrop = static_cast<int>(parse_i64(args, "xdrop", cfg.xdrop));
+  cfg.min_report_score = static_cast<int>(parse_i64(args, "min-score", 0));
+  const std::string policy = args.get("seed-policy", "one");
+  if (policy == "one") {
+    cfg.seed_filter = overlap::SeedFilterConfig::one_seed();
+  } else if (policy == "spaced") {
+    cfg.seed_filter = overlap::SeedFilterConfig::spaced(
+        static_cast<u32>(parse_i64(args, "spacing", 1000)));
+  } else if (policy == "all") {
+    cfg.seed_filter = overlap::SeedFilterConfig::all_seeds(cfg.k);
+  } else {
+    throw UsageError("unknown --seed-policy=" + policy + " (expected one|spaced|all)");
+  }
+  const netsim::Platform platform = platform_by_name(args.get("platform", "local"));
+
+  out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
+      << "  seed policy=" << policy << "  ranks=" << ranks << "\n\n";
+
+  // --- run.
+  comm::World world(ranks);
+  core::PipelineOutput result = core::run_pipeline(world, reads, cfg);
+
+  print_counters(out, result.counters, ranks);
+
+  const netsim::Topology topo{ranks / ranks_per_node, ranks_per_node};
+  const netsim::TimingReport report = result.evaluate(platform, topo);
+  print_timings(out, report, platform, topo);
+
+  // --- persist.
+  if (!args.get_bool("no-output", false)) {
+    const std::filesystem::path dir = args.get("out-dir", "dibella_out");
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) throw Error("cannot create --out-dir " + dir.string() + ": " + ec.message());
+
+    std::ostringstream paf;
+    core::write_paf(paf, result.alignments, reads);
+    write_file(dir / kAlignmentsFile, paf.str());
+    write_file(dir / kCountersFile, counters_tsv(result.counters, ranks));
+    write_file(dir / kTimingsFile, timings_tsv(report));
+    if (simulated) write_file(dir / kReadsFile, io::to_fasta(reads));
+
+    out << "\nwrote " << result.alignments.size() << " alignments to "
+        << (dir / kAlignmentsFile).string() << " (+ " << kCountersFile << ", "
+        << kTimingsFile << (simulated ? std::string(", ") + kReadsFile : "")
+        << ")\n";
+  }
+
+  if (result.counters.alignments_reported == 0) {
+    err << "warning: pipeline completed but reported zero alignments\n";
+  }
+  return kExitOk;
+}
+
+}  // namespace
+
+const char* usage() { return kUsage; }
+
+int run_driver(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err) {
+  try {
+    util::Args args(argc, argv);
+    if (args.get_bool("help", false)) {
+      out << kUsage;
+      return kExitOk;
+    }
+    return run_checked(args, out, err);
+  } catch (const UsageError& e) {
+    err << "dibella: " << e.what() << "\n";
+    return kExitUsageError;
+  } catch (const std::exception& e) {
+    err << "dibella: error: " << e.what() << "\n";
+    return kExitRuntimeError;
+  }
+}
+
+}  // namespace dibella::cli

@@ -1,0 +1,11 @@
+/// \file main.cpp
+/// Entry point of the `dibella` driver binary; all logic lives in driver.cpp
+/// so tests can run the driver in-process.
+
+#include <iostream>
+
+#include "cli/driver.hpp"
+
+int main(int argc, char** argv) {
+  return dibella::cli::run_driver(argc, argv, std::cout, std::cerr);
+}

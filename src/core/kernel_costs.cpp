@@ -75,7 +75,7 @@ KernelCosts measure() {
         buffer.push_back(occ.kmer);
         ++n;
       });
-      sink += buffer.size();
+      sink = sink + buffer.size();
       return n;
     });
   }
@@ -86,7 +86,7 @@ KernelCosts measure() {
     util::Xoshiro256 rng(2);
     costs.bloom_insert = calibrate([&](u64) {
       for (int i = 0; i < 10'000; ++i) {
-        sink += filter.test_and_insert(rng.next(), rng.next()) ? 1 : 0;
+        sink = sink + (filter.test_and_insert(rng.next(), rng.next()) ? 1 : 0);
       }
       return u64{10'000};
     });
@@ -115,7 +115,7 @@ KernelCosts measure() {
       u64 n = 0;
       table.for_each([&](const kmer::Kmer&, u32 count,
                          const std::vector<dht::ReadOccurrence>& occs) {
-        sink += count + occs.size();
+        sink = sink + count + occs.size();
         ++n;
       });
       return n;
@@ -130,7 +130,7 @@ KernelCosts measure() {
       for (int i = 0; i < 20'000; ++i) {
         pairs[{rng.uniform_below(2'000), rng.uniform_below(2'000)}]++;
       }
-      sink += pairs.size();
+      sink = sink + pairs.size();
       return u64{20'000};
     });
   }
@@ -142,7 +142,7 @@ KernelCosts measure() {
     align::Scoring sc;
     costs.xdrop_per_cell = calibrate([&](u64) {
       auto r = align::xdrop_extend(a, b, sc, 25);
-      sink += static_cast<u64>(r.score);
+      sink = sink + static_cast<u64>(r.score);
       return r.cells;
     });
   }
@@ -153,7 +153,7 @@ KernelCosts measure() {
     std::vector<char> dst(1u << 20);
     costs.per_byte_copy = calibrate([&](u64) {
       std::memcpy(dst.data(), src.data(), src.size());
-      sink += static_cast<u64>(dst[4096]);
+      sink = sink + static_cast<u64>(dst[4096]);
       return static_cast<u64>(src.size());
     });
   }

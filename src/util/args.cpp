@@ -24,6 +24,13 @@ Args::Args(int argc, const char* const* argv) {
 
 bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
 
+std::vector<std::string> Args::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [key, value] : values_) out.push_back(key);
+  return out;
+}
+
 std::string Args::get(const std::string& key, const std::string& fallback) const {
   auto it = values_.find(key);
   return it == values_.end() ? fallback : it->second;

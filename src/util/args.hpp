@@ -26,6 +26,9 @@ class Args {
   /// Positional (non --key) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All --key names seen, sorted; lets callers reject unknown options.
+  std::vector<std::string> keys() const;
+
   /// Program name (argv[0]).
   const std::string& program() const { return program_; }
 

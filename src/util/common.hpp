@@ -6,6 +6,13 @@
 #include <stdexcept>
 #include <string>
 
+// The tree relies on C++20 (<bit>'s std::popcount / std::bit_ceil /
+// std::countl_zero and defaulted operator==); fail fast with a clear message
+// instead of scattered errors in bloom/, dht/, and overlap/.
+#if defined(__cplusplus) && __cplusplus < 202002L
+#error "diBELLA requires C++20; compile with -std=c++20 (CMake pins this)"
+#endif
+
 namespace dibella {
 
 using u8 = std::uint8_t;

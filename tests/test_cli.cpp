@@ -1,0 +1,202 @@
+// End-to-end smoke tests for the `dibella` driver CLI: run the real driver
+// entry point on a small simulated genome, assert a clean exit, nonzero
+// reported alignments, and that every output file parses back.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/driver.hpp"
+#include "io/fastx.hpp"
+
+namespace fs = std::filesystem;
+using dibella::u64;
+
+namespace {
+
+struct DriverResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+DriverResult run_driver(const std::vector<std::string>& options) {
+  std::vector<const char*> argv = {"dibella"};
+  for (const auto& opt : options) argv.push_back(opt.c_str());
+  std::ostringstream out, err;
+  DriverResult r;
+  r.exit_code = dibella::cli::run_driver(static_cast<int>(argv.size()),
+                                         argv.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::istringstream is(line);
+  std::string f;
+  while (std::getline(is, f, sep)) fields.push_back(f);
+  return fields;
+}
+
+std::vector<std::string> nonempty_lines(const std::string& data) {
+  std::vector<std::string> lines;
+  for (auto& l : split(data, '\n')) {
+    if (!l.empty()) lines.push_back(l);
+  }
+  return lines;
+}
+
+/// Parse counters.tsv back into a map, checking its header and numeracy.
+std::map<std::string, u64> parse_counters(const std::string& data) {
+  auto lines = nonempty_lines(data);
+  EXPECT_GT(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "counter\tvalue");
+  std::map<std::string, u64> counters;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto fields = split(lines[i], '\t');
+    EXPECT_EQ(fields.size(), 2u) << lines[i];
+    counters[fields[0]] = std::strtoull(fields[1].c_str(), nullptr, 10);
+  }
+  return counters;
+}
+
+class CliSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "dibella_cli_smoke";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+}  // namespace
+
+TEST_F(CliSmoke, TinySimulatedGenomeEndToEnd) {
+  DriverResult r = run_driver(
+      {"--preset=tiny", "--ranks=2", "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+
+  // Counters parse back and report nonzero alignments.
+  auto counters = parse_counters(
+      dibella::io::load_file((dir_ / dibella::cli::kCountersFile).string()));
+  ASSERT_TRUE(counters.count("alignments_reported"));
+  EXPECT_GT(counters.at("alignments_reported"), 0u);
+  EXPECT_GT(counters.at("kmers_parsed"), 0u);
+  EXPECT_EQ(counters.at("ranks"), 2u);
+
+  // The PAF output parses back: 12 tab-separated fields per record, count
+  // matching the reported-alignments counter.
+  auto paf_lines = nonempty_lines(
+      dibella::io::load_file((dir_ / dibella::cli::kAlignmentsFile).string()));
+  EXPECT_EQ(paf_lines.size(), counters.at("alignments_reported"));
+  for (const auto& line : paf_lines) {
+    auto fields = split(line, '\t');
+    ASSERT_EQ(fields.size(), 12u) << line;
+    EXPECT_TRUE(fields[4] == "+" || fields[4] == "-") << line;
+    u64 qlen = std::strtoull(fields[1].c_str(), nullptr, 10);
+    u64 qend = std::strtoull(fields[3].c_str(), nullptr, 10);
+    EXPECT_LE(qend, qlen) << line;
+  }
+
+  // The echoed simulated reads parse back as FASTA.
+  auto reads = dibella::io::parse_fasta(
+      dibella::io::load_file((dir_ / dibella::cli::kReadsFile).string()));
+  EXPECT_GT(reads.size(), 0u);
+
+  // The cost-model report has the four pipeline stages plus a total row.
+  auto timing_lines = nonempty_lines(
+      dibella::io::load_file((dir_ / dibella::cli::kTimingsFile).string()));
+  ASSERT_GT(timing_lines.size(), 2u);
+  EXPECT_NE(timing_lines[0].find("stage\tcompute_virtual_s"), std::string::npos);
+  EXPECT_EQ(split(timing_lines.back(), '\t')[0], "total");
+  double total_virtual = std::strtod(split(timing_lines.back(), '\t')[3].c_str(), nullptr);
+  EXPECT_GT(total_virtual, 0.0);
+
+  // The human-readable report made it to stdout.
+  EXPECT_NE(r.out.find("diBELLA pipeline on 2 ranks"), std::string::npos);
+  EXPECT_NE(r.out.find("cost model:"), std::string::npos);
+}
+
+TEST_F(CliSmoke, FastaInputRoundTrip) {
+  // Feed the reads a simulated run wrote back in as --input: same alignments.
+  DriverResult sim = run_driver(
+      {"--preset=tiny", "--ranks=2", "--out-dir=" + dir_.string()});
+  ASSERT_EQ(sim.exit_code, dibella::cli::kExitOk) << sim.err;
+  std::string paf_sim =
+      dibella::io::load_file((dir_ / dibella::cli::kAlignmentsFile).string());
+
+  // Pin the data-model inputs to the tiny preset's values: the auto repeat
+  // ceiling m depends on (coverage, error rate), which a bare FASTA file
+  // cannot carry.
+  fs::path dir2 = dir_ / "from_fasta";
+  DriverResult loaded = run_driver(
+      {"--input=" + (dir_ / dibella::cli::kReadsFile).string(), "--ranks=3",
+       "--coverage=20", "--error-rate=0.12", "--out-dir=" + dir2.string()});
+  ASSERT_EQ(loaded.exit_code, dibella::cli::kExitOk) << loaded.err;
+
+  // Alignment output is deterministic in (reads, config) and independent of
+  // the rank count (the pipeline's core integration property).
+  std::string paf_loaded =
+      dibella::io::load_file((dir2 / dibella::cli::kAlignmentsFile).string());
+  EXPECT_EQ(paf_sim, paf_loaded);
+}
+
+TEST_F(CliSmoke, NoOutputFlagWritesNothing) {
+  DriverResult r = run_driver(
+      {"--preset=tiny", "--ranks=2", "--no-output", "--out-dir=" + dir_.string()});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_FALSE(fs::exists(dir_));
+}
+
+TEST(CliUsage, HelpExitsCleanly) {
+  DriverResult r = run_driver({"--help"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitOk);
+  EXPECT_NE(r.out.find("usage: dibella"), std::string::npos);
+}
+
+TEST(CliUsage, UnknownOptionIsAUsageError) {
+  DriverResult r = run_driver({"--rank=8"});  // typo for --ranks
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("--rank"), std::string::npos);
+}
+
+TEST(CliUsage, BadPresetIsAUsageError) {
+  DriverResult r = run_driver({"--preset=nope"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+}
+
+TEST(CliUsage, MissingInputFileIsARuntimeError) {
+  DriverResult r = run_driver({"--input=/nonexistent/reads.fq"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitRuntimeError);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(CliUsage, IndivisibleRanksPerNodeIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=4", "--ranks-per-node=3"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+}
+
+TEST(CliUsage, DefaultRanksPerNodeDividesAnyRankCount) {
+  // --ranks=6 with no --ranks-per-node must not trip the divisibility check.
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=6", "--no-output"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_NE(r.out.find("3 ranks/node"), std::string::npos) << r.out;
+}
+
+TEST(CliUsage, MalformedNumericValueIsAUsageError) {
+  EXPECT_EQ(run_driver({"--preset=tiny", "--ranks=abc"}).exit_code,
+            dibella::cli::kExitUsageError);
+  EXPECT_EQ(run_driver({"--preset=tiny", "--scale=oops"}).exit_code,
+            dibella::cli::kExitUsageError);
+  EXPECT_EQ(run_driver({"--preset=tiny", "--k=1x7"}).exit_code,
+            dibella::cli::kExitUsageError);
+}

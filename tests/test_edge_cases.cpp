@@ -30,8 +30,10 @@ dibella::core::PipelineConfig lenient_config() {
 std::vector<dibella::io::Read> make_reads(const std::vector<std::string>& seqs) {
   std::vector<dibella::io::Read> reads;
   for (std::size_t i = 0; i < seqs.size(); ++i) {
-    reads.push_back(
-        dibella::io::Read{i, "r" + std::to_string(i), seqs[i], std::string()});
+    // std::string("r").append(...) sidesteps GCC 12's -Wrestrict false
+    // positive (PR105329) on `const char* + std::string&&` at -O3.
+    reads.push_back(dibella::io::Read{i, std::string("r").append(std::to_string(i)),
+                                      seqs[i], std::string()});
   }
   return reads;
 }
