@@ -1,0 +1,346 @@
+// Wall-clock kernel benchmark: times the alignment/overlap hot-path kernels
+// against the retained reference implementations (align::ref and the former
+// map-based consolidation) on simulated preset-like workloads, and writes
+// the perf-trajectory file BENCH_kernels.json.
+//
+// Unlike the bench_fig* binaries (virtual cost-model seconds), this measures
+// REAL wall-clock time of:
+//   * xdrop:        seed-anchored x-drop extension over noisy overlapping and
+//                   divergent long-read pairs (ns/cell, pairs/s)
+//   * sw:           full Smith-Waterman with traceback on short windows
+//                   (ns/cell, pairs/s)
+//   * consolidate:  overlap-stage wire-task consolidation, sort-then-group vs
+//                   the node-based std::map (tasks/s)
+//
+// usage: bench_kernel_wallclock [--smoke] [--reps=N] [--out=PATH]
+//   --smoke   tiny workload + fewer reps (CI-sized; shape, not significance)
+//   --reps=N  timing repetitions per kernel, best-of-N (default 5; smoke 2)
+//   --out     output JSON path (default BENCH_kernels.json)
+//
+// Every (baseline, optimized) pair is checksum-verified to produce identical
+// results before the numbers are reported.
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "align/reference_kernels.hpp"
+#include "align/smith_waterman.hpp"
+#include "align/xdrop.hpp"
+#include "common/bench_common.hpp"
+#include "kmer/dna.hpp"
+#include "overlap/overlapper.hpp"
+#include "util/args.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dibella;
+
+std::string random_dna(util::Xoshiro256& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = "ACGT"[rng.uniform_below(4)];
+  return s;
+}
+
+std::string mutate(const std::string& s, double rate, util::Xoshiro256& rng) {
+  std::string out;
+  out.reserve(s.size() + s.size() / 4);
+  for (char c : s) {
+    if (rng.bernoulli(rate)) {
+      double roll = rng.uniform();
+      if (roll < 0.4) {
+        out.push_back("ACGT"[rng.uniform_below(4)]);
+      } else if (roll < 0.7) {
+        out.push_back("ACGT"[rng.uniform_below(4)]);
+        out.push_back(c);
+      }  // else deletion
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Best-of-N wall time of fn() (first call also warms caches/buffers).
+template <class Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct BenchRow {
+  std::string name;
+  std::string unit;        // throughput unit, e.g. "pairs/s"
+  double baseline_s = 0;   // best-of-reps wall seconds, reference kernel
+  double optimized_s = 0;  // best-of-reps wall seconds, hot-path kernel
+  double baseline_ns_per_cell = 0;  // 0 when cells don't apply
+  double optimized_ns_per_cell = 0;
+  double throughput = 0;  // optimized items/s
+  u64 items = 0;
+  u64 cells = 0;  // DP cells per pass (0 for consolidate)
+  double speedup() const { return baseline_s > 0 ? baseline_s / optimized_s : 0; }
+};
+
+// --- workload: seed-anchored long-read pairs ---------------------------------
+
+struct SeedTask {
+  std::string a, b;
+  u64 pos_a = 0, pos_b = 0;
+};
+
+/// PacBio-like pairs in the spirit of the paper's E. coli presets: mostly
+/// true overlaps at ~15% per-read error, plus divergent (false-seed) pairs
+/// that exercise the early-termination path (§9's load-imbalance source).
+std::vector<SeedTask> make_seed_tasks(std::size_t n_pairs, std::size_t read_len,
+                                      util::Xoshiro256& rng) {
+  std::vector<SeedTask> tasks;
+  tasks.reserve(n_pairs);
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    SeedTask t;
+    if (i % 4 == 3) {
+      // Divergent pair: unrelated reads, seed in the middle.
+      t.a = random_dna(rng, read_len);
+      t.b = random_dna(rng, read_len);
+      t.pos_a = read_len / 2;
+      t.pos_b = read_len / 2;
+    } else {
+      // True overlap over the second half of a / first half of b.
+      std::string genome = random_dna(rng, read_len + read_len / 2);
+      t.a = mutate(genome.substr(0, read_len), 0.15, rng);
+      t.b = mutate(genome.substr(read_len / 2, read_len), 0.15, rng);
+      t.pos_a = std::min<u64>(t.a.size() - 32, 3 * read_len / 4);
+      t.pos_b = std::min<u64>(t.b.size() - 32, read_len / 4);
+    }
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+BenchRow bench_xdrop(std::size_t n_pairs, std::size_t read_len, int reps,
+                     util::Xoshiro256& rng) {
+  const int k = 17, xdrop = 25;
+  const align::Scoring sc;
+  auto tasks = make_seed_tasks(n_pairs, read_len, rng);
+
+  u64 sum_ref = 0, cells_ref = 0;
+  BenchRow row;
+  row.name = "xdrop_extend";
+  row.unit = "pairs/s";
+  row.items = tasks.size();
+  row.baseline_s = best_of(reps, [&] {
+    sum_ref = cells_ref = 0;
+    for (const auto& t : tasks) {
+      auto sa = align::ref::align_from_seed(t.a, t.b, t.pos_a, t.pos_b, k, sc, xdrop);
+      sum_ref += static_cast<u64>(sa.score) + sa.a_end + sa.b_end;
+      cells_ref += sa.cells;
+    }
+  });
+
+  align::Workspace ws;
+  u64 sum_opt = 0, cells_opt = 0;
+  row.optimized_s = best_of(reps, [&] {
+    sum_opt = cells_opt = 0;
+    for (const auto& t : tasks) {
+      auto sa = align::align_from_seed(t.a, t.b, t.pos_a, t.pos_b, k, sc, xdrop, ws);
+      sum_opt += static_cast<u64>(sa.score) + sa.a_end + sa.b_end;
+      cells_opt += sa.cells;
+    }
+  });
+  DIBELLA_CHECK(sum_ref == sum_opt && cells_ref == cells_opt,
+                "xdrop optimized kernel diverged from reference");
+  row.cells = cells_opt;
+  row.baseline_ns_per_cell = 1e9 * row.baseline_s / static_cast<double>(cells_opt);
+  row.optimized_ns_per_cell = 1e9 * row.optimized_s / static_cast<double>(cells_opt);
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
+BenchRow bench_sw(std::size_t n_pairs, std::size_t window, int reps,
+                  util::Xoshiro256& rng) {
+  const align::Scoring sc;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(n_pairs);
+  for (std::size_t i = 0; i < n_pairs; ++i) {
+    std::string a = random_dna(rng, window);
+    pairs.emplace_back(a, mutate(a, 0.15, rng));
+  }
+
+  BenchRow row;
+  row.name = "smith_waterman";
+  row.unit = "pairs/s";
+  row.items = pairs.size();
+  u64 sum_ref = 0, cells_ref = 0;
+  row.baseline_s = best_of(reps, [&] {
+    sum_ref = cells_ref = 0;
+    for (const auto& [a, b] : pairs) {
+      auto r = align::ref::smith_waterman(a, b, sc);
+      sum_ref += static_cast<u64>(r.score) + r.a_begin + r.b_end;
+      cells_ref += r.cells;
+    }
+  });
+  align::Workspace ws;
+  u64 sum_opt = 0, cells_opt = 0;
+  row.optimized_s = best_of(reps, [&] {
+    sum_opt = cells_opt = 0;
+    for (const auto& [a, b] : pairs) {
+      auto r = align::smith_waterman(a, b, sc, ws);
+      sum_opt += static_cast<u64>(r.score) + r.a_begin + r.b_end;
+      cells_opt += r.cells;
+    }
+  });
+  DIBELLA_CHECK(sum_ref == sum_opt && cells_ref == cells_opt,
+                "smith_waterman optimized kernel diverged from reference");
+  row.cells = cells_opt;
+  row.baseline_ns_per_cell = 1e9 * row.baseline_s / static_cast<double>(cells_opt);
+  row.optimized_ns_per_cell = 1e9 * row.optimized_s / static_cast<double>(cells_opt);
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
+BenchRow bench_consolidate(std::size_t n_tasks, std::size_t n_reads, int reps,
+                           util::Xoshiro256& rng) {
+  // Wire-task mix shaped like a real overlap stage: many pairs with a
+  // handful of shared seeds each.
+  std::vector<overlap::OverlapTaskWire> wire;
+  wire.reserve(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    overlap::OverlapTaskWire t;
+    t.rid_a = rng.uniform_below(n_reads);
+    t.rid_b = rng.uniform_below(n_reads);
+    if (t.rid_a == t.rid_b) t.rid_b = (t.rid_a + 1) % n_reads;
+    t.pos_a = static_cast<u32>(rng.uniform_below(20'000));
+    t.pos_b = static_cast<u32>(rng.uniform_below(20'000));
+    t.same_orientation = rng.bernoulli(0.7) ? 1 : 0;
+    wire.push_back(t);
+  }
+  const auto policy = overlap::SeedFilterConfig::all_seeds(17);
+
+  BenchRow row;
+  row.name = "overlap_consolidate";
+  row.unit = "tasks/s";
+  row.items = wire.size();
+  // Baseline: the former node-based std::map consolidation, verbatim.
+  u64 sum_ref = 0;
+  row.baseline_s = best_of(reps, [&] {
+    sum_ref = 0;
+    std::map<std::pair<u64, u64>, std::vector<overlap::SeedPair>> pairs;
+    for (const auto& t : wire) {
+      u64 a = t.rid_a, b = t.rid_b;
+      u32 pa = t.pos_a, pb = t.pos_b;
+      if (a > b) {
+        std::swap(a, b);
+        std::swap(pa, pb);
+      }
+      pairs[{a, b}].push_back(overlap::SeedPair{pa, pb, t.same_orientation});
+    }
+    for (auto& [key, seeds] : pairs) {
+      auto filtered = overlap::filter_seeds(std::move(seeds), policy);
+      sum_ref += key.first + filtered.size();
+    }
+  });
+  u64 sum_opt = 0;
+  row.optimized_s = best_of(reps, [&] {
+    sum_opt = 0;
+    auto tasks = overlap::consolidate_tasks(wire, policy);
+    for (const auto& t : tasks) sum_opt += t.rid_a + t.seeds.size();
+  });
+  DIBELLA_CHECK(sum_ref == sum_opt,
+                "sort-based consolidation diverged from the map-based baseline");
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
+// --- output ------------------------------------------------------------------
+
+std::string json_escapeless(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void write_json(const std::string& path, const std::vector<BenchRow>& rows,
+                bool smoke, int reps) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"dibella-kernel-wallclock-v1\",\n";
+  os << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  os << "  \"reps\": " << reps << ",\n";
+  os << "  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\n";
+    os << "      \"name\": \"" << r.name << "\",\n";
+    os << "      \"items\": " << r.items << ",\n";
+    os << "      \"cells\": " << r.cells << ",\n";
+    os << "      \"baseline_s\": " << json_escapeless(r.baseline_s) << ",\n";
+    os << "      \"optimized_s\": " << json_escapeless(r.optimized_s) << ",\n";
+    os << "      \"baseline_ns_per_cell\": " << json_escapeless(r.baseline_ns_per_cell)
+       << ",\n";
+    os << "      \"optimized_ns_per_cell\": " << json_escapeless(r.optimized_ns_per_cell)
+       << ",\n";
+    os << "      \"throughput\": " << json_escapeless(r.throughput) << ",\n";
+    os << "      \"throughput_unit\": \"" << r.unit << "\",\n";
+    os << "      \"speedup\": " << json_escapeless(r.speedup()) << "\n";
+    os << "    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+  std::ofstream f(path, std::ios::trunc);
+  DIBELLA_CHECK(static_cast<bool>(f), "cannot open " + path + " for writing");
+  f << os.str();
+  DIBELLA_CHECK(static_cast<bool>(f.flush()), "write failed: " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const bool smoke = args.get_bool("smoke", false);
+  const int reps = static_cast<int>(args.get_i64("reps", smoke ? 2 : 5));
+  const std::string out_path = args.get("out", "BENCH_kernels.json");
+
+  benchx::print_header(
+      "kernels", "wall-clock hot-path kernels vs retained reference implementations");
+
+  util::Xoshiro256 rng(20260730);
+  std::vector<BenchRow> rows;
+  if (smoke) {
+    rows.push_back(bench_xdrop(60, 1200, reps, rng));
+    rows.push_back(bench_sw(120, 160, reps, rng));
+    rows.push_back(bench_consolidate(60'000, 4'000, reps, rng));
+  } else {
+    rows.push_back(bench_xdrop(400, 4000, reps, rng));
+    rows.push_back(bench_sw(600, 300, reps, rng));
+    rows.push_back(bench_consolidate(2'000'000, 60'000, reps, rng));
+  }
+
+  util::Table t({"kernel", "baseline (s)", "optimized (s)", "speedup", "ns/cell",
+                 "throughput"});
+  for (const auto& r : rows) {
+    t.start_row();
+    t.cell(r.name);
+    t.cell(r.baseline_s, 4);
+    t.cell(r.optimized_s, 4);
+    t.cell(r.speedup(), 2);
+    t.cell(r.optimized_ns_per_cell, 2);
+    t.cell(util::format_si(r.throughput) + " " + r.unit);
+  }
+  std::cout << t.to_text("kernel wall-clock (best of " + std::to_string(reps) +
+                         (smoke ? ", smoke workload)" : ")"));
+
+  write_json(out_path, rows, smoke, reps);
+  std::cout << "\nwrote " << out_path << "\n";
+  return 0;
+}

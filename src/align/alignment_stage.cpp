@@ -7,16 +7,6 @@
 
 namespace dibella::align {
 
-namespace {
-
-struct PairContext {
-  const std::string* a = nullptr;
-  const std::string* b_fwd = nullptr;
-  std::string b_rc;  // lazily computed when a reverse-orientation seed appears
-};
-
-}  // namespace
-
 std::vector<AlignmentRecord> run_alignment_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     const std::vector<overlap::AlignmentTask>& tasks, const AlignmentStageConfig& cfg,
@@ -25,6 +15,12 @@ std::vector<AlignmentRecord> run_alignment_stage(
   const auto& costs = core::KernelCosts::get();
   AlignmentStageResult res;
   std::vector<AlignmentRecord> records;
+  records.reserve(tasks.size());
+
+  // One workspace for the whole stage: DP bands, SW rows/traceback, and the
+  // reverse-complement buffer are reused across every task and seed, so the
+  // steady-state loop performs zero heap allocations per seed.
+  Workspace ws;
 
   u64 touched_bytes = 0;
   u64 revcomp_bytes = 0;
@@ -34,9 +30,10 @@ std::vector<AlignmentRecord> run_alignment_stage(
     touched_bytes += a.size() + b.size();
     ++res.pairs_aligned;
 
-    PairContext pc;
-    pc.a = &a;
-    pc.b_fwd = &b;
+    // ws.b_rc holds the reverse complement of *this* task's b once a
+    // reverse-orientation seed appears; the flag (not the buffer) tracks
+    // per-task laziness so the buffer's capacity carries across tasks.
+    bool have_rc = false;
 
     AlignmentRecord best;
     best.rid_a = task.rid_a;
@@ -52,11 +49,12 @@ std::vector<AlignmentRecord> run_alignment_stage(
         bseq = b;
         pos_b = seed.pos_b;
       } else {
-        if (pc.b_rc.empty()) {
-          pc.b_rc = kmer::reverse_complement(b);
+        if (!have_rc) {
+          kmer::reverse_complement_into(b, ws.b_rc);
+          have_rc = true;
           revcomp_bytes += b.size();
         }
-        bseq = pc.b_rc;
+        bseq = ws.b_rc;
         // A window at pos p in b's forward frame starts at len-k-p in the RC.
         pos_b = b.size() - static_cast<u64>(k) - seed.pos_b;
       }
@@ -64,7 +62,8 @@ std::vector<AlignmentRecord> run_alignment_stage(
           pos_b + static_cast<u64>(k) > bseq.size()) {
         continue;  // defensive: corrupt seed
       }
-      SeedAlignment sa = align_from_seed(a, bseq, pos_a, pos_b, k, cfg.scoring, cfg.xdrop);
+      SeedAlignment sa =
+          align_from_seed(a, bseq, pos_a, pos_b, k, cfg.scoring, cfg.xdrop, ws);
       ++res.alignments_computed;
       res.dp_cells += sa.cells;
 
@@ -90,6 +89,7 @@ std::vector<AlignmentRecord> run_alignment_stage(
       ++res.records_kept;
     }
   }
+  res.sw_band_fallbacks = ws.sw_band_fallbacks;
   // Work-based compute accounting: DP cells dominate; reverse-complement
   // construction and read access are byte-copy-bounded. Exact per-rank unit
   // counts preserve the data-dependent load imbalance the paper studies.

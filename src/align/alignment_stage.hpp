@@ -48,6 +48,10 @@ struct AlignmentStageResult {
   u64 alignments_computed = 0; ///< seed extensions performed (Fig 7's unit)
   u64 dp_cells = 0;            ///< total DP cells (the real work metric)
   u64 records_kept = 0;        ///< alignments above min_score
+  /// Times smith_waterman hit its traceback cell budget and fell back to
+  /// the banded score-only kernel (from the stage workspace; 0 unless an
+  /// exact-SW path runs through it).
+  u64 sw_band_fallbacks = 0;
 };
 
 /// Align every task (reads must already be resident via run_read_exchange).

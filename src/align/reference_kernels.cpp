@@ -1,0 +1,245 @@
+#include "align/reference_kernels.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dibella::align::ref {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+ExtendResult xdrop_extend(std::string_view a, std::string_view b,
+                          const Scoring& scoring, int xdrop) {
+  const i64 n = static_cast<i64>(a.size());
+  const i64 m = static_cast<i64>(b.size());
+  ExtendResult out;  // the empty extension scores 0 at (0,0)
+  if (n == 0 && m == 0) return out;
+
+  // Antidiagonal DP: S(i,j) over d = i+j. Only the *live window* of each
+  // antidiagonal is stored and iterated — a cell can be live only if one of
+  // its three parents is, so the candidate window of antidiagonal d is the
+  // union of the parents' windows. Work is therefore proportional to the
+  // number of live cells (the x-drop band), not to n*m.
+  //
+  // prev1 = antidiagonal d-1, prev2 = d-2, each with its live i-range
+  // [lo, lo+size). Entering the loop at d = 1, prev1 is the d = 0 row
+  // (single live cell (0,0) = 0); prev2 is empty.
+  std::vector<int> prev2;
+  i64 prev2_lo = 1;  // empty window sentinel: lo > hi
+  i64 prev2_hi = 0;
+  std::vector<int> prev1{0};
+  i64 prev1_lo = 0;
+  i64 prev1_hi = 0;
+  std::vector<int> cur;
+
+  int best = 0;
+  i64 best_i = 0, best_j = 0;
+
+  auto cell = [](const std::vector<int>& row, i64 lo, i64 hi, i64 i) -> int {
+    if (i < lo || i > hi) return kNegInf;
+    return row[static_cast<std::size_t>(i - lo)];
+  };
+
+  for (i64 d = 1; d <= n + m; ++d) {
+    // Parents reach i from: up (i-1 in prev1), left (i in prev1),
+    // diag (i-1 in prev2).
+    i64 lo = std::min(prev1_lo, prev2_lo + 1);
+    i64 hi = std::max(prev1_hi + 1, prev2_hi + 1);
+    lo = std::max(lo, std::max<i64>(0, d - m));
+    hi = std::min(hi, std::min<i64>(n, d));
+    if (lo > hi) break;
+    cur.assign(static_cast<std::size_t>(hi - lo + 1), kNegInf);
+    i64 live_lo = hi + 1, live_hi = lo - 1;
+    for (i64 i = lo; i <= hi; ++i) {
+      i64 j = d - i;
+      int s = kNegInf;
+      if (i >= 1 && j >= 1) {
+        int diag = cell(prev2, prev2_lo, prev2_hi, i - 1);
+        if (diag > kNegInf) {
+          s = std::max(s, diag + scoring.substitution(a[static_cast<std::size_t>(i - 1)],
+                                                      b[static_cast<std::size_t>(j - 1)]));
+        }
+      }
+      if (i >= 1) {
+        int up = cell(prev1, prev1_lo, prev1_hi, i - 1);
+        if (up > kNegInf) s = std::max(s, up + scoring.gap);
+      }
+      if (j >= 1) {
+        int left = cell(prev1, prev1_lo, prev1_hi, i);
+        if (left > kNegInf) s = std::max(s, left + scoring.gap);
+      }
+      ++out.cells;
+      if (s == kNegInf) continue;
+      if (s > best) {
+        best = s;
+        best_i = i;
+        best_j = j;
+      }
+      if (s < best - xdrop) continue;  // x-drop prune
+      cur[static_cast<std::size_t>(i - lo)] = s;
+      live_lo = std::min(live_lo, i);
+      live_hi = std::max(live_hi, i);
+    }
+    if (live_lo > live_hi) break;  // antidiagonal fully dead: terminate
+    // Trim the stored window to the live cells.
+    prev2 = std::move(prev1);
+    prev2_lo = prev1_lo;
+    prev2_hi = prev1_hi;
+    prev1.assign(cur.begin() + (live_lo - lo), cur.begin() + (live_hi - lo + 1));
+    prev1_lo = live_lo;
+    prev1_hi = live_hi;
+  }
+
+  out.score = best;
+  out.ext_a = static_cast<u64>(best_i);
+  out.ext_b = static_cast<u64>(best_j);
+  return out;
+}
+
+SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
+                              u64 pos_b, int k, const Scoring& scoring, int xdrop) {
+  DIBELLA_CHECK(pos_a + static_cast<u64>(k) <= a.size() &&
+                    pos_b + static_cast<u64>(k) <= b.size(),
+                "align_from_seed: seed outside sequence bounds");
+  SeedAlignment out;
+
+  // Left extension: reversed prefixes ending at the seed start.
+  std::string ra(a.substr(0, pos_a));
+  std::string rb(b.substr(0, pos_b));
+  std::reverse(ra.begin(), ra.end());
+  std::reverse(rb.begin(), rb.end());
+  ExtendResult left = ref::xdrop_extend(ra, rb, scoring, xdrop);
+
+  // Right extension: suffixes after the seed.
+  ExtendResult right = ref::xdrop_extend(a.substr(pos_a + static_cast<u64>(k)),
+                                         b.substr(pos_b + static_cast<u64>(k)), scoring, xdrop);
+
+  out.score = k * scoring.match + left.score + right.score;
+  out.a_begin = pos_a - left.ext_a;
+  out.b_begin = pos_b - left.ext_b;
+  out.a_end = pos_a + static_cast<u64>(k) + right.ext_a;
+  out.b_end = pos_b + static_cast<u64>(k) + right.ext_b;
+  out.cells = left.cells + right.cells;
+  return out;
+}
+
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring) {
+  const std::size_t n = a.size(), m = b.size();
+  LocalAlignment out;
+  if (n == 0 || m == 0) return out;
+
+  // H[i][j] over (n+1) x (m+1); direction matrix for traceback.
+  enum Dir : u8 { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
+  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
+  std::vector<u8> dirs((n + 1) * (m + 1), kStop);
+
+  int best = 0;
+  std::size_t best_i = 0, best_j = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      int diag = prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
+      int up = prev[j] + scoring.gap;
+      int left = cur[j - 1] + scoring.gap;
+      int s = std::max({0, diag, up, left});
+      cur[j] = s;
+      ++out.cells;
+      u8 d = kStop;
+      if (s > 0) {
+        if (s == diag) {
+          d = kDiag;
+        } else if (s == up) {
+          d = kUp;
+        } else {
+          d = kLeft;
+        }
+      }
+      dirs[i * (m + 1) + j] = d;
+      if (s > best) {
+        best = s;
+        best_i = i;
+        best_j = j;
+      }
+    }
+    std::swap(prev, cur);
+  }
+
+  out.score = best;
+  if (best == 0) return out;
+  out.a_end = best_i;
+  out.b_end = best_j;
+  // Traceback to the alignment start.
+  std::size_t i = best_i, j = best_j;
+  while (i > 0 && j > 0) {
+    u8 d = dirs[i * (m + 1) + j];
+    if (d == kDiag) {
+      --i;
+      --j;
+    } else if (d == kUp) {
+      --i;
+    } else if (d == kLeft) {
+      --j;
+    } else {
+      break;
+    }
+  }
+  out.a_begin = i;
+  out.b_begin = j;
+  return out;
+}
+
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band) {
+  const i64 n = static_cast<i64>(a.size()), m = static_cast<i64>(b.size());
+  LocalAlignment out;
+  if (n == 0 || m == 0) return out;
+  DIBELLA_CHECK(band >= 0, "band must be non-negative");
+
+  // Row-wise DP restricted to |i - j| <= band. Out-of-band neighbours
+  // contribute as a fresh local-alignment start (value 0), which keeps every
+  // cell a valid local alignment score while bounding the work to
+  // O(n * band). Index 0 of both rows is never written and stays 0.
+  auto lo_of = [&](i64 i) { return std::max<i64>(1, i - band); };
+  auto hi_of = [&](i64 i) { return std::min<i64>(m, i + band); };
+
+  std::vector<int> prev(static_cast<std::size_t>(m + 1), 0),
+      cur(static_cast<std::size_t>(m + 1), 0);
+  int best = 0;
+  for (i64 i = 1; i <= n; ++i) {
+    i64 lo = lo_of(i), hi = hi_of(i);
+    if (lo > hi) break;
+    for (i64 j = lo; j <= hi; ++j) {
+      // Diagonal neighbour (i-1, j-1): in the previous row's band iff
+      // j-1 >= (i-1)-band, which j >= lo guarantees; treat the j-1 == 0
+      // boundary as the zero column.
+      int diag = prev[static_cast<std::size_t>(j - 1)];
+      int s = diag + scoring.substitution(a[static_cast<std::size_t>(i - 1)],
+                                          b[static_cast<std::size_t>(j - 1)]);
+      // Up neighbour (i-1, j): in band iff j <= (i-1)+band.
+      if (j < i + band) s = std::max(s, prev[static_cast<std::size_t>(j)] + scoring.gap);
+      // Left neighbour (i, j-1): in this row's band iff j-1 >= lo (or the
+      // zero column).
+      if (j - 1 >= lo || j - 1 == 0) {
+        s = std::max(s, cur[static_cast<std::size_t>(j - 1)] + scoring.gap);
+      }
+      s = std::max(s, 0);
+      cur[static_cast<std::size_t>(j)] = s;
+      ++out.cells;
+      if (s > best) {
+        best = s;
+        out.a_end = static_cast<u64>(i);
+        out.b_end = static_cast<u64>(j);
+      }
+    }
+    // Clear the one stale cell the next row can read at its band edge.
+    if (hi + 1 <= m) cur[static_cast<std::size_t>(hi + 1)] = 0;
+    std::swap(prev, cur);
+  }
+  out.score = best;
+  return out;
+}
+
+}  // namespace dibella::align::ref

@@ -1,0 +1,42 @@
+#pragma once
+/// \file reference_kernels.hpp
+/// Retained reference implementations of the alignment kernels.
+///
+/// These are the original straightforward implementations of x-drop
+/// extension, seed-anchored alignment, and (banded) Smith-Waterman, kept
+/// verbatim when the hot-path kernels in xdrop.cpp / smith_waterman.cpp were
+/// rebuilt around reusable workspaces. They are the correctness oracles: the
+/// optimized kernels must produce bitwise-identical scores, spans, and
+/// `cells` counters (see tests/test_align_differential.cpp), and the
+/// wall-clock benchmark (bench/bench_kernel_wallclock.cpp) reports speedup
+/// relative to them.
+///
+/// Do not optimize these. Clarity over speed is the point.
+
+#include <string_view>
+
+#include "align/smith_waterman.hpp"
+#include "align/xdrop.hpp"
+
+namespace dibella::align::ref {
+
+/// Original x-drop extension: allocates three std::vector<int> per call and
+/// re-assigns a fresh window per antidiagonal.
+ExtendResult xdrop_extend(std::string_view a, std::string_view b,
+                          const Scoring& scoring, int xdrop);
+
+/// Original seed-anchored alignment: materializes reversed prefix copies of
+/// both sequences for the left extension.
+SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
+                              u64 pos_b, int k, const Scoring& scoring, int xdrop);
+
+/// Original full Smith-Waterman with traceback; unconditionally allocates
+/// the (n+1)x(m+1) direction matrix.
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring);
+
+/// Original banded Smith-Waterman (allocates two rows per call).
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band);
+
+}  // namespace dibella::align::ref

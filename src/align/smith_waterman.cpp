@@ -1,20 +1,61 @@
 #include "align/smith_waterman.hpp"
 
 #include <algorithm>
-#include <vector>
 
 namespace dibella::align {
 
+namespace {
+
+inline void ensure_size(std::vector<int>& v, std::size_t n) {
+  if (v.size() < n) v.resize(n);
+}
+
+/// Retention high-water mark for the reused traceback matrix: a near-budget
+/// call may need up to cell_budget (~1 GiB) bytes, but keeping that resident
+/// in a long-lived per-rank workspace would pin the memory forever. Calls
+/// larger than this retain cap release the excess on return; calls at or
+/// below it (the common case) keep the buffer for reuse.
+constexpr std::size_t kSwDirsRetainBytes = std::size_t{1} << 26;  // 64 MiB
+
+inline void trim_dirs(Workspace& ws) {
+  if (ws.sw_dirs.size() > kSwDirsRetainBytes) {
+    ws.sw_dirs.resize(kSwDirsRetainBytes);
+    ws.sw_dirs.shrink_to_fit();
+  }
+}
+
+}  // namespace
+
 LocalAlignment smith_waterman(std::string_view a, std::string_view b,
-                              const Scoring& scoring) {
+                              const Scoring& scoring, Workspace& ws,
+                              u64 cell_budget) {
   const std::size_t n = a.size(), m = b.size();
   LocalAlignment out;
   if (n == 0 || m == 0) return out;
 
-  // H[i][j] over (n+1) x (m+1); direction matrix for traceback.
+  const u64 dp_cells = static_cast<u64>(n + 1) * static_cast<u64>(m + 1);
+  if (cell_budget != 0 && dp_cells > cell_budget) {
+    // The full traceback matrix would be pathologically large; fall back to
+    // the score-only banded kernel with the band sized so its work stays
+    // within the budget (band columns above and below the diagonal).
+    ++ws.sw_band_fallbacks;
+    const u64 longest = static_cast<u64>(std::max(n, m));
+    const i64 band = static_cast<i64>(std::max<u64>(1, cell_budget / (2 * longest)));
+    return banded_smith_waterman(a, b, scoring, band, ws);
+  }
+
+  // H[i][j] over (n+1) x (m+1); direction matrix for traceback. The loop
+  // writes every dirs cell with i, j >= 1 and the traceback only reads
+  // those, so the reused matrix needs no clearing.
   enum Dir : u8 { kStop = 0, kDiag = 1, kUp = 2, kLeft = 3 };
-  std::vector<int> prev(m + 1, 0), cur(m + 1, 0);
-  std::vector<u8> dirs((n + 1) * (m + 1), kStop);
+  ensure_size(ws.sw_row[0], m + 1);
+  ensure_size(ws.sw_row[1], m + 1);
+  if (ws.sw_dirs.size() < dp_cells) ws.sw_dirs.resize(dp_cells);
+  int* prev = ws.sw_row[0].data();
+  int* cur = ws.sw_row[1].data();
+  u8* dirs = ws.sw_dirs.data();
+  std::fill(prev, prev + m + 1, 0);
+  cur[0] = 0;
 
   int best = 0;
   std::size_t best_i = 0, best_j = 0;
@@ -47,7 +88,10 @@ LocalAlignment smith_waterman(std::string_view a, std::string_view b,
   }
 
   out.score = best;
-  if (best == 0) return out;
+  if (best == 0) {
+    trim_dirs(ws);
+    return out;
+  }
   out.a_end = best_i;
   out.b_end = best_j;
   // Traceback to the alignment start.
@@ -67,11 +111,19 @@ LocalAlignment smith_waterman(std::string_view a, std::string_view b,
   }
   out.a_begin = i;
   out.b_begin = j;
+  trim_dirs(ws);
   return out;
 }
 
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring) {
+  Workspace ws;
+  return smith_waterman(a, b, scoring, ws);
+}
+
 LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
-                                     const Scoring& scoring, i64 band) {
+                                     const Scoring& scoring, i64 band,
+                                     Workspace& ws) {
   const i64 n = static_cast<i64>(a.size()), m = static_cast<i64>(b.size());
   LocalAlignment out;
   if (n == 0 || m == 0) return out;
@@ -80,12 +132,20 @@ LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
   // Row-wise DP restricted to |i - j| <= band. Out-of-band neighbours
   // contribute as a fresh local-alignment start (value 0), which keeps every
   // cell a valid local alignment score while bounding the work to
-  // O(n * band). Index 0 of both rows is never written and stays 0.
+  // O(n * band). Index 0 of both rows is never written and stays 0; both
+  // rows start zero-filled so every in-band read of an unwritten cell sees
+  // the out-of-band value 0.
   auto lo_of = [&](i64 i) { return std::max<i64>(1, i - band); };
   auto hi_of = [&](i64 i) { return std::min<i64>(m, i + band); };
 
-  std::vector<int> prev(static_cast<std::size_t>(m + 1), 0),
-      cur(static_cast<std::size_t>(m + 1), 0);
+  const std::size_t row_len = static_cast<std::size_t>(m + 1);
+  ensure_size(ws.sw_row[0], row_len);
+  ensure_size(ws.sw_row[1], row_len);
+  int* prev = ws.sw_row[0].data();
+  int* cur = ws.sw_row[1].data();
+  std::fill(prev, prev + row_len, 0);
+  std::fill(cur, cur + row_len, 0);
+
   int best = 0;
   for (i64 i = 1; i <= n; ++i) {
     i64 lo = lo_of(i), hi = hi_of(i);
@@ -119,6 +179,12 @@ LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
   }
   out.score = best;
   return out;
+}
+
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band) {
+  Workspace ws;
+  return banded_smith_waterman(a, b, scoring, band, ws);
 }
 
 }  // namespace dibella::align

@@ -4,30 +4,60 @@
 /// (O(nm), the paper's §2 baseline formulation) and a banded variant.
 /// These are the correctness oracles for the x-drop kernel and the
 /// comparison points for the computational-cost discussion in §2-3.
+///
+/// The hot-path implementations borrow their DP rows and traceback matrix
+/// from an align::Workspace (zero heap allocations after warm-up) and are
+/// bitwise-identical to the retained originals in align::ref
+/// (reference_kernels.hpp). The full kernel additionally guards against a
+/// pathological n*m traceback matrix: above `cell_budget` cells it falls
+/// back to the score-only banded kernel (sized to stay within the budget)
+/// and counts the event in Workspace::sw_band_fallbacks, which the pipeline
+/// surfaces in counters.tsv.
 
 #include <string_view>
 
 #include "align/scoring.hpp"
+#include "align/workspace.hpp"
 #include "util/common.hpp"
 
 namespace dibella::align {
 
 struct LocalAlignment {
   int score = 0;
-  /// Half-open aligned spans; all zero when the best local score is 0.
+  /// Half-open aligned spans; all zero when the best local score is 0 or
+  /// when the banded fallback (no traceback) produced the result.
   u64 a_begin = 0, a_end = 0;
   u64 b_begin = 0, b_end = 0;
   u64 cells = 0;  ///< DP cells evaluated
 };
 
+/// Default traceback cell budget: 1 GiB of direction bytes. Two ~30 kbp
+/// long reads fit comfortably ((3e4)^2 < 2^30); anything bigger is a
+/// pathological pair that would blow memory, not a real overlap candidate.
+constexpr u64 kDefaultSwCellBudget = u64{1} << 30;
+
 /// Full Smith-Waterman with traceback. Quadratic time and memory (traceback
-/// matrix); intended for tests and short sequences.
+/// matrix); intended for tests and short sequences. When
+/// (n+1)*(m+1) > cell_budget (and cell_budget != 0), falls back to the
+/// score-only banded kernel with band = cell_budget / (2 * max(n, m)) and
+/// increments ws.sw_band_fallbacks.
+LocalAlignment smith_waterman(std::string_view a, std::string_view b,
+                              const Scoring& scoring, Workspace& ws,
+                              u64 cell_budget = kDefaultSwCellBudget);
+
+/// Convenience overload with a throwaway workspace (tests, one-off calls).
+/// The cell-budget guard still applies at its default value.
 LocalAlignment smith_waterman(std::string_view a, std::string_view b,
                               const Scoring& scoring);
 
 /// Banded Smith-Waterman: only cells with |i - j| <= band are evaluated
 /// (score and end positions only, no traceback). The "limited number of
 /// mismatches" optimization of §2 that makes pairwise alignment linear in L.
+LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
+                                     const Scoring& scoring, i64 band,
+                                     Workspace& ws);
+
+/// Convenience overload with a throwaway workspace (tests, one-off calls).
 LocalAlignment banded_smith_waterman(std::string_view a, std::string_view b,
                                      const Scoring& scoring, i64 band);
 

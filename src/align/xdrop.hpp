@@ -11,12 +11,21 @@
 /// source of alignment-stage load imbalance), on homologous sequences the
 /// cost is near-linear in the overlap length.
 ///
+/// The hot-path implementation is allocation-free: band buffers come from a
+/// caller-provided align::Workspace, window trimming is bookkeeping (no
+/// copies), and the left extension walks the reversed prefixes through an
+/// index view instead of materializing reversed strings. It is bitwise-
+/// identical (scores, spans, `cells`) to the retained straightforward
+/// implementation in align::ref (reference_kernels.hpp); the differential
+/// suite in tests/test_align_differential.cpp enforces this.
+///
 /// The paper calls SeqAn's implementation; this is a from-scratch equivalent
 /// property-tested against our exact Smith-Waterman (see tests/test_align.cpp).
 
 #include <string_view>
 
 #include "align/scoring.hpp"
+#include "align/workspace.hpp"
 #include "util/common.hpp"
 
 namespace dibella::align {
@@ -33,7 +42,13 @@ struct ExtendResult {
 /// Extend an alignment of a[0..) vs b[0..) forward from their starts,
 /// returning the best-scoring pair of prefixes under `scoring`, abandoning
 /// paths that drop more than `xdrop` below the running best. To extend
-/// leftward, pass reversed sequences.
+/// leftward, pass reversed sequences (or use align_from_seed, which walks
+/// the reversed prefixes copy-free). `xdrop` is treated as capped at 10^8;
+/// larger values behave identically for any sequences shorter than ~25 Mbp.
+ExtendResult xdrop_extend(std::string_view a, std::string_view b,
+                          const Scoring& scoring, int xdrop, Workspace& ws);
+
+/// Convenience overload with a throwaway workspace (tests, one-off calls).
 ExtendResult xdrop_extend(std::string_view a, std::string_view b,
                           const Scoring& scoring, int xdrop);
 
@@ -47,6 +62,11 @@ struct SeedAlignment {
   u64 cells = 0;       ///< DP work
 };
 
+SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
+                              u64 pos_b, int k, const Scoring& scoring, int xdrop,
+                              Workspace& ws);
+
+/// Convenience overload with a throwaway workspace (tests, one-off calls).
 SeedAlignment align_from_seed(std::string_view a, std::string_view b, u64 pos_a,
                               u64 pos_b, int k, const Scoring& scoring, int xdrop);
 

@@ -121,13 +121,15 @@ BaselineResult run_daligner_like(const std::vector<io::Read>& reads,
   }
   res.read_pairs = pairs.size();
 
-  // --- seed filtering + x-drop alignment (diBELLA's kernel).
+  // --- seed filtering + x-drop alignment (diBELLA's kernel). One reused
+  // workspace across every pair/seed, as in the pipeline's alignment stage.
   timer.reset();
+  align::Workspace ws;
   for (auto& [key, seeds] : pairs) {
     auto filtered = filter_seeds(std::move(seeds), cfg.seed_filter);
     const std::string& a = reads[static_cast<std::size_t>(key.first)].seq;
     const std::string& b = reads[static_cast<std::size_t>(key.second)].seq;
-    std::string b_rc;
+    bool have_rc = false;
     align::AlignmentRecord best;
     best.rid_a = key.first;
     best.rid_b = key.second;
@@ -137,15 +139,19 @@ BaselineResult run_daligner_like(const std::vector<io::Read>& reads,
       u64 pos_b = seed.pos_b;
       std::string_view bseq = b;
       if (!seed.same_orientation) {
-        if (b_rc.empty()) b_rc = kmer::reverse_complement(b);
-        bseq = b_rc;
+        if (!have_rc) {
+          kmer::reverse_complement_into(b, ws.b_rc);
+          have_rc = true;
+        }
+        bseq = ws.b_rc;
         pos_b = b.size() - static_cast<u64>(cfg.k) - seed.pos_b;
       }
       if (pos_a + static_cast<u64>(cfg.k) > a.size() ||
           pos_b + static_cast<u64>(cfg.k) > bseq.size()) {
         continue;
       }
-      auto sa = align::align_from_seed(a, bseq, pos_a, pos_b, cfg.k, cfg.scoring, cfg.xdrop);
+      auto sa =
+          align::align_from_seed(a, bseq, pos_a, pos_b, cfg.k, cfg.scoring, cfg.xdrop, ws);
       ++res.alignments_computed;
       if (!have || sa.score > best.score) {
         have = true;

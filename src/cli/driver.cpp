@@ -151,6 +151,7 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("alignments_computed", c.alignments_computed);
   row("dp_cells", c.dp_cells);
   row("alignments_reported", c.alignments_reported);
+  row("sw_band_fallbacks", c.sw_band_fallbacks);
   row("max_kmer_count", c.max_kmer_count);
   return os.str();
 }

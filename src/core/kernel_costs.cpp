@@ -1,7 +1,7 @@
 #include "core/kernel_costs.hpp"
 
+#include <algorithm>
 #include <cstring>
-#include <map>
 #include <vector>
 
 #include "align/xdrop.hpp"
@@ -122,16 +122,23 @@ KernelCosts measure() {
     });
   }
 
-  // Pair consolidation: ordered-map accumulation keyed by read pairs.
+  // Pair consolidation: sort-then-group over a flat task vector — mirrors
+  // overlap::consolidate_tasks (the map-based consolidation it replaced was
+  // ~10x more expensive per task; see BENCH_kernels.json).
   {
     util::Xoshiro256 rng(5);
+    std::vector<std::pair<u64, u64>> tasks(20'000);
     costs.pair_consolidate = calibrate([&](u64) {
-      std::map<std::pair<u64, u64>, int> pairs;
-      for (int i = 0; i < 20'000; ++i) {
-        pairs[{rng.uniform_below(2'000), rng.uniform_below(2'000)}]++;
+      for (auto& t : tasks) {
+        t = {rng.uniform_below(2'000), rng.uniform_below(2'000)};
       }
-      sink = sink + pairs.size();
-      return u64{20'000};
+      std::sort(tasks.begin(), tasks.end());
+      u64 groups = 0;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (i == 0 || tasks[i] != tasks[i - 1]) ++groups;
+      }
+      sink = sink + groups;
+      return static_cast<u64>(tasks.size());
     });
   }
 

@@ -115,6 +115,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     c.alignments_computed += al_res[rank].alignments_computed;
     c.dp_cells += al_res[rank].dp_cells;
     c.alignments_reported += al_res[rank].records_kept;
+    c.sw_band_fallbacks += al_res[rank].sw_band_fallbacks;
   }
   return out;
 }

@@ -42,6 +42,7 @@ struct PipelineCounters {
   u64 alignments_computed = 0;   ///< seed extensions (Fig 7/13's unit)
   u64 dp_cells = 0;
   u64 alignments_reported = 0;
+  u64 sw_band_fallbacks = 0;     ///< exact-SW traceback budget fallbacks
   // resolved parameters
   u32 max_kmer_count = 0;        ///< the m actually used
 };

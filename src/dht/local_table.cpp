@@ -85,14 +85,20 @@ u32 LocalKmerTable::count(const kmer::Kmer& km) const {
   return state_[i] == SlotState::kFull ? slots_[i].count : 0;
 }
 
-std::vector<ReadOccurrence> LocalKmerTable::collect_occurrences(std::size_t slot) const {
-  std::vector<ReadOccurrence> out;
-  out.reserve(slots_[slot].stored);
+void LocalKmerTable::append_occurrences_of_slot(std::size_t slot,
+                                                std::vector<ReadOccurrence>& out) const {
+  const std::size_t start = out.size();
   for (i32 n = slots_[slot].head; n >= 0; n = pool_[static_cast<std::size_t>(n)].next) {
     out.push_back(pool_[static_cast<std::size_t>(n)].occ);
   }
   // Nodes are pushed at the head; reverse to restore insertion order.
-  std::reverse(out.begin(), out.end());
+  std::reverse(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+}
+
+std::vector<ReadOccurrence> LocalKmerTable::collect_occurrences(std::size_t slot) const {
+  std::vector<ReadOccurrence> out;
+  out.reserve(slots_[slot].stored);
+  append_occurrences_of_slot(slot, out);
   return out;
 }
 
@@ -100,6 +106,13 @@ std::vector<ReadOccurrence> LocalKmerTable::occurrences(const kmer::Kmer& km) co
   std::size_t i = probe(km);
   if (state_[i] != SlotState::kFull) return {};
   return collect_occurrences(i);
+}
+
+void LocalKmerTable::append_occurrences(const kmer::Kmer& km,
+                                        std::vector<ReadOccurrence>& out) const {
+  std::size_t i = probe(km);
+  if (state_[i] != SlotState::kFull) return;
+  append_occurrences_of_slot(i, out);
 }
 
 std::size_t LocalKmerTable::purge_outside(u32 min_count, u32 max_count) {

@@ -49,17 +49,28 @@ class LocalKmerTable {
   /// Stored occurrences of a key, in insertion order.
   std::vector<ReadOccurrence> occurrences(const kmer::Kmer& km) const;
 
+  /// Append a key's stored occurrences (insertion order) to a caller-owned
+  /// scratch vector — the allocation-free form of occurrences(). No-op when
+  /// the key is absent.
+  void append_occurrences(const kmer::Kmer& km, std::vector<ReadOccurrence>& out) const;
+
   /// Remove every key whose count lies outside [min_count, max_count] —
   /// the singleton / high-frequency purge of §7. Returns number removed.
   std::size_t purge_outside(u32 min_count, u32 max_count);
 
   /// Visit every resident key: fn(const kmer::Kmer&, u32 count,
-  /// const std::vector<ReadOccurrence>& occurrences).
+  /// std::vector<ReadOccurrence>& occurrences). The occurrence vector is a
+  /// scratch buffer reused across keys (one allocation per traversal, not
+  /// per key); it is refilled in insertion order before each visit and the
+  /// callback may reorder or consume it freely.
   template <class Fn>
   void for_each(Fn&& fn) const {
+    std::vector<ReadOccurrence> scratch;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
       if (state_[i] != SlotState::kFull) continue;
-      fn(slots_[i].key, slots_[i].count, collect_occurrences(i));
+      scratch.clear();
+      append_occurrences_of_slot(i, scratch);
+      fn(slots_[i].key, slots_[i].count, scratch);
     }
   }
 
@@ -93,6 +104,7 @@ class LocalKmerTable {
   void maybe_grow();
   void rehash(std::size_t new_capacity);
   std::vector<ReadOccurrence> collect_occurrences(std::size_t slot) const;
+  void append_occurrences_of_slot(std::size_t slot, std::vector<ReadOccurrence>& out) const;
 
   std::vector<Slot> slots_;
   std::vector<SlotState> state_;

@@ -5,11 +5,16 @@
 namespace dibella::kmer {
 
 std::string reverse_complement(std::string_view seq) {
-  std::string out(seq.size(), 'N');
+  std::string out;
+  reverse_complement_into(seq, out);
+  return out;
+}
+
+void reverse_complement_into(std::string_view seq, std::string& out) {
+  out.resize(seq.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
     out[seq.size() - 1 - i] = complement_base(seq[i]);
   }
-  return out;
 }
 
 bool is_valid_dna(std::string_view seq) {

@@ -45,6 +45,11 @@ inline char complement_base(char c) {
 /// Reverse complement of a sequence ('N's stay 'N').
 std::string reverse_complement(std::string_view seq);
 
+/// Reverse complement into a caller-owned buffer (replaced, capacity
+/// reused) — the allocation-free form for hot loops. `out` must not alias
+/// `seq`.
+void reverse_complement_into(std::string_view seq, std::string& out);
+
 /// True when every character of `seq` is one of ACGTacgt.
 bool is_valid_dna(std::string_view seq);
 

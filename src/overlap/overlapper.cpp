@@ -1,7 +1,6 @@
 #include "overlap/overlapper.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "core/kernel_costs.hpp"
 
@@ -15,6 +14,59 @@ int task_owner_read(u64 ra, u64 rb) {
   if (ra % 2 == 0 && ra > rb + 1) return 0;  // owner of ra
   if (ra % 2 != 0 && ra < rb + 1) return 0;  // owner of ra
   return 1;                                  // owner of rb
+}
+
+std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incoming,
+                                             const SeedFilterConfig& seed_filter,
+                                             OverlapStageResult* result) {
+  if (result) result->pair_tasks_received = incoming.size();
+
+  // Normalize to rid_a < rid_b, then sort the flat vector and group equal
+  // runs — the former node-per-pair std::map made every insertion an
+  // allocation plus a pointer chase; sort-then-group touches memory
+  // sequentially. The full-tuple key keeps the order (and thus the output)
+  // deterministic regardless of arrival order; filter_seeds re-sorts and
+  // deduplicates per pair anyway.
+  for (auto& t : incoming) {
+    if (t.rid_a > t.rid_b) {
+      std::swap(t.rid_a, t.rid_b);
+      std::swap(t.pos_a, t.pos_b);
+    }
+  }
+  std::sort(incoming.begin(), incoming.end(),
+            [](const OverlapTaskWire& x, const OverlapTaskWire& y) {
+              if (x.rid_a != y.rid_a) return x.rid_a < y.rid_a;
+              if (x.rid_b != y.rid_b) return x.rid_b < y.rid_b;
+              if (x.pos_a != y.pos_a) return x.pos_a < y.pos_a;
+              if (x.pos_b != y.pos_b) return x.pos_b < y.pos_b;
+              return x.same_orientation < y.same_orientation;
+            });
+
+  std::vector<AlignmentTask> tasks;
+  std::size_t run = 0;
+  while (run < incoming.size()) {
+    std::size_t end = run;
+    while (end < incoming.size() && incoming[end].rid_a == incoming[run].rid_a &&
+           incoming[end].rid_b == incoming[run].rid_b) {
+      ++end;
+    }
+    std::vector<SeedPair> seeds;
+    seeds.reserve(end - run);
+    for (std::size_t i = run; i < end; ++i) {
+      seeds.push_back(SeedPair{incoming[i].pos_a, incoming[i].pos_b,
+                               incoming[i].same_orientation});
+    }
+    if (result) result->seeds_before_filter += seeds.size();
+    AlignmentTask task;
+    task.rid_a = incoming[run].rid_a;
+    task.rid_b = incoming[run].rid_b;
+    task.seeds = filter_seeds(std::move(seeds), seed_filter);
+    if (result) result->seeds_after_filter += task.seeds.size();
+    tasks.push_back(std::move(task));
+    run = end;
+  }
+  if (result) result->distinct_pairs = tasks.size();
+  return tasks;
 }
 
 std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
@@ -34,10 +86,10 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
   std::vector<std::vector<OverlapTaskWire>> outgoing(static_cast<std::size_t>(P));
   {
     table.for_each([&](const kmer::Kmer& /*km*/, u32 /*count*/,
-                       const std::vector<dht::ReadOccurrence>& occs_in) {
+                       std::vector<dht::ReadOccurrence>& occs) {
       ++res.retained_kmers;
-      // Deterministic pair formation independent of arrival order.
-      std::vector<dht::ReadOccurrence> occs = occs_in;
+      // Deterministic pair formation independent of arrival order; `occs` is
+      // for_each's reusable scratch, sorted in place (no per-key copy).
       std::sort(occs.begin(), occs.end(),
                 [](const dht::ReadOccurrence& x, const dht::ReadOccurrence& y) {
                   return x.rid != y.rid ? x.rid < y.rid : x.pos < y.pos;
@@ -74,35 +126,13 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
   outgoing.shrink_to_fit();
 
   // --- consolidate per-pair seed lists, then apply the seed policy.
-  std::vector<AlignmentTask> tasks;
-  {
-    res.pair_tasks_received = incoming.size();
-    std::map<std::pair<u64, u64>, std::vector<SeedPair>> pairs;
-    for (const auto& t : incoming) {
-      u64 a = t.rid_a, b = t.rid_b;
-      u32 pa = t.pos_a, pb = t.pos_b;
-      if (a > b) {
-        std::swap(a, b);
-        std::swap(pa, pb);
-      }
-      pairs[{a, b}].push_back(SeedPair{pa, pb, t.same_orientation});
-    }
-    res.distinct_pairs = pairs.size();
-    tasks.reserve(pairs.size());
-    for (auto& [key, seeds] : pairs) {
-      res.seeds_before_filter += seeds.size();
-      AlignmentTask task;
-      task.rid_a = key.first;
-      task.rid_b = key.second;
-      task.seeds = filter_seeds(std::move(seeds), cfg.seed_filter);
-      res.seeds_after_filter += task.seeds.size();
-      tasks.push_back(std::move(task));
-    }
-    ctx.trace.add_compute(
-        "overlap:consolidate",
-        static_cast<double>(res.pair_tasks_received) * costs.pair_consolidate,
-        incoming.size() * sizeof(OverlapTaskWire));
-  }
+  const u64 received_bytes = incoming.size() * sizeof(OverlapTaskWire);
+  std::vector<AlignmentTask> tasks =
+      consolidate_tasks(std::move(incoming), cfg.seed_filter, &res);
+  ctx.trace.add_compute(
+      "overlap:consolidate",
+      static_cast<double>(res.pair_tasks_received) * costs.pair_consolidate,
+      received_bytes);
 
   if (result) *result = res;
   return tasks;

@@ -56,6 +56,16 @@ struct OverlapStageResult {
 /// of ra or rb such that, over unordered random IDs, tasks spread evenly.
 int task_owner_read(u64 ra, u64 rb);
 
+/// Consolidate received wire tasks into per-pair AlignmentTasks and apply
+/// the seed policy: normalize each task to rid_a < rid_b, sort the flat
+/// vector, then group equal-pair runs — no node-based map. Tasks come back
+/// sorted by (rid_a, rid_b). When `result` is given, fills
+/// pair_tasks_received / distinct_pairs / seeds_before_filter /
+/// seeds_after_filter (the consolidation counters of OverlapStageResult).
+std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incoming,
+                                             const SeedFilterConfig& seed_filter,
+                                             OverlapStageResult* result = nullptr);
+
 /// Run stage 3 for this rank. Returns the alignment tasks this rank owns.
 /// Collective.
 std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,

@@ -1,0 +1,357 @@
+// Differential property suite for the allocation-free alignment kernels:
+// the optimized x-drop / Smith-Waterman implementations must produce
+// bitwise-identical scores, spans, and `cells` counters to the retained
+// reference kernels (align::ref) across randomized (length, error rate,
+// scoring, x-drop) combinations — including empty and one-sided extensions
+// and reverse-complement-orientation seeds.
+//
+// This binary also replaces the global operator new/delete with counting
+// versions to prove the tentpole claim directly: after a warm-up pass, the
+// steady-state alignment loop performs zero heap allocations per seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "align/reference_kernels.hpp"
+#include "align/smith_waterman.hpp"
+#include "align/workspace.hpp"
+#include "align/xdrop.hpp"
+#include "kmer/dna.hpp"
+#include "util/random.hpp"
+
+// --- counting allocator ------------------------------------------------------
+// Counts every scalar/array new in the process. The zero-allocation test
+// reads the counter around a loop that contains no gtest machinery.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC pairs our malloc-backed operator new with the free() inside our
+// operator delete and flags the pair as mismatched; they are in fact the
+// matched halves of the same replacement allocator.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+// -----------------------------------------------------------------------------
+
+namespace da = dibella::align;
+using dibella::u64;
+
+namespace {
+
+std::string random_dna(dibella::util::Xoshiro256& rng, std::size_t n) {
+  std::string s(n, 'A');
+  for (auto& c : s) c = "ACGT"[rng.uniform_below(4)];
+  return s;
+}
+
+std::string mutate(const std::string& s, double rate, dibella::util::Xoshiro256& rng) {
+  std::string out;
+  for (char c : s) {
+    if (rng.bernoulli(rate)) {
+      double roll = rng.uniform();
+      if (roll < 0.4) {
+        out.push_back("ACGT"[rng.uniform_below(4)]);
+      } else if (roll < 0.7) {
+        out.push_back("ACGT"[rng.uniform_below(4)]);
+        out.push_back(c);
+      }  // else deletion
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Partner of `a` at a given error model; rate < 0 means unrelated sequence.
+std::string partner(const std::string& a, double rate, dibella::util::Xoshiro256& rng) {
+  if (rate < 0) return random_dna(rng, a.size());
+  return mutate(a, rate, rng);
+}
+
+void expect_extend_equal(const da::ExtendResult& got, const da::ExtendResult& want,
+                         const std::string& what) {
+  EXPECT_EQ(got.score, want.score) << what;
+  EXPECT_EQ(got.ext_a, want.ext_a) << what;
+  EXPECT_EQ(got.ext_b, want.ext_b) << what;
+  EXPECT_EQ(got.cells, want.cells) << what;
+}
+
+void expect_seed_equal(const da::SeedAlignment& got, const da::SeedAlignment& want,
+                       const std::string& what) {
+  EXPECT_EQ(got.score, want.score) << what;
+  EXPECT_EQ(got.a_begin, want.a_begin) << what;
+  EXPECT_EQ(got.a_end, want.a_end) << what;
+  EXPECT_EQ(got.b_begin, want.b_begin) << what;
+  EXPECT_EQ(got.b_end, want.b_end) << what;
+  EXPECT_EQ(got.cells, want.cells) << what;
+}
+
+void expect_local_equal(const da::LocalAlignment& got, const da::LocalAlignment& want,
+                        const std::string& what) {
+  EXPECT_EQ(got.score, want.score) << what;
+  EXPECT_EQ(got.a_begin, want.a_begin) << what;
+  EXPECT_EQ(got.a_end, want.a_end) << what;
+  EXPECT_EQ(got.b_begin, want.b_begin) << what;
+  EXPECT_EQ(got.b_end, want.b_end) << what;
+  EXPECT_EQ(got.cells, want.cells) << what;
+}
+
+const std::vector<da::Scoring> kScorings = {
+    {1, -2, -2},  // project default
+    {1, -1, -1},  // the classic scheme the scoring header warns about
+    {2, -3, -4},
+};
+
+// rate -1 = unrelated random partner (one-sided / dead extensions).
+const std::vector<double> kErrorRates = {0.0, 0.05, 0.15, 0.30, -1.0};
+
+}  // namespace
+
+TEST(AlignDifferential, XdropExtendMatchesReferenceEverywhere) {
+  dibella::util::Xoshiro256 rng(101);
+  da::Workspace ws;
+  const std::vector<std::size_t> lens = {0, 1, 2, 3, 17, 64, 200};
+  const std::vector<int> xdrops = {1, 5, 25, 1000000};
+  int cases = 0;
+  for (std::size_t len : lens) {
+    for (double rate : kErrorRates) {
+      for (const auto& sc : kScorings) {
+        for (int xd : xdrops) {
+          std::string a = random_dna(rng, len);
+          std::string b = partner(a, rate, rng);
+          auto want = da::ref::xdrop_extend(a, b, sc, xd);
+          auto got = da::xdrop_extend(a, b, sc, xd, ws);
+          expect_extend_equal(got, want,
+                              "len=" + std::to_string(len) + " rate=" + std::to_string(rate) +
+                                  " xd=" + std::to_string(xd));
+          ++cases;
+        }
+      }
+    }
+  }
+  // One-sided extensions: one sequence empty.
+  for (std::size_t len : {1u, 5u, 40u}) {
+    for (const auto& sc : kScorings) {
+      for (int xd : {2, 25}) {
+        std::string a = random_dna(rng, len);
+        auto want_a = da::ref::xdrop_extend(a, "", sc, xd);
+        auto got_a = da::xdrop_extend(a, "", sc, xd, ws);
+        expect_extend_equal(got_a, want_a, "one-sided a, len=" + std::to_string(len));
+        auto want_b = da::ref::xdrop_extend("", a, sc, xd);
+        auto got_b = da::xdrop_extend("", a, sc, xd, ws);
+        expect_extend_equal(got_b, want_b, "one-sided b, len=" + std::to_string(len));
+        cases += 2;
+      }
+    }
+  }
+  EXPECT_GE(cases, 400);
+}
+
+TEST(AlignDifferential, AlignFromSeedMatchesReferenceOnRandomSeeds) {
+  dibella::util::Xoshiro256 rng(202);
+  da::Workspace ws;
+  int cases = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const std::size_t len_a = 20 + rng.uniform_below(380);
+    const double rate = kErrorRates[rng.uniform_below(kErrorRates.size())];
+    const auto& sc = kScorings[trial % kScorings.size()];
+    const int xd = std::vector<int>{1, 10, 50, 500}[rng.uniform_below(4)];
+    const int k = std::vector<int>{4, 11, 17}[rng.uniform_below(3)];
+    std::string a = random_dna(rng, len_a);
+    std::string b = partner(a, rate, rng);
+    if (a.size() < static_cast<std::size_t>(k) || b.size() < static_cast<std::size_t>(k)) {
+      continue;
+    }
+    // Random anchor, plus the two edge anchors (empty left / empty right
+    // extension) every few trials.
+    std::vector<std::pair<u64, u64>> anchors;
+    anchors.emplace_back(rng.uniform_below(a.size() - k + 1),
+                         rng.uniform_below(b.size() - k + 1));
+    if (trial % 4 == 0) {
+      anchors.emplace_back(0, 0);  // empty left extension
+      anchors.emplace_back(a.size() - k, b.size() - k);  // empty right extension
+    }
+    for (auto [pos_a, pos_b] : anchors) {
+      auto want = da::ref::align_from_seed(a, b, pos_a, pos_b, k, sc, xd);
+      auto got = da::align_from_seed(a, b, pos_a, pos_b, k, sc, xd, ws);
+      expect_seed_equal(got, want, "trial=" + std::to_string(trial) +
+                                       " pos_a=" + std::to_string(pos_a) +
+                                       " pos_b=" + std::to_string(pos_b));
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 120);
+}
+
+TEST(AlignDifferential, AlignFromSeedMatchesReferenceInRcFrames) {
+  // Reverse-complement-orientation seeds, mapped into the RC frame exactly
+  // as the alignment stage does it.
+  dibella::util::Xoshiro256 rng(303);
+  da::Workspace ws;
+  const int k = 17;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string genome = random_dna(rng, 600 + rng.uniform_below(400));
+    const std::size_t half = genome.size() / 2;
+    std::string a = mutate(genome.substr(0, 2 * half / 3 + k), 0.1, rng);
+    std::string b_fwd =
+        dibella::kmer::reverse_complement(mutate(genome.substr(half / 3), 0.1, rng));
+    // The stage aligns a against rc(b_fwd) — build that frame and pick a
+    // random in-bounds seed.
+    std::string b_rc = dibella::kmer::reverse_complement(b_fwd);
+    if (a.size() < static_cast<std::size_t>(k) || b_rc.size() < static_cast<std::size_t>(k)) {
+      continue;
+    }
+    u64 pos_a = rng.uniform_below(a.size() - k + 1);
+    u64 pos_b = rng.uniform_below(b_rc.size() - k + 1);
+    const auto& sc = kScorings[trial % kScorings.size()];
+    auto want = da::ref::align_from_seed(a, b_rc, pos_a, pos_b, k, sc, 50);
+    auto got = da::align_from_seed(a, b_rc, pos_a, pos_b, k, sc, 50, ws);
+    expect_seed_equal(got, want, "rc trial=" + std::to_string(trial));
+  }
+}
+
+TEST(AlignDifferential, SmithWatermanMatchesReference) {
+  dibella::util::Xoshiro256 rng(404);
+  da::Workspace ws;
+  int cases = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t len = 1 + rng.uniform_below(200);
+    const double rate = kErrorRates[rng.uniform_below(kErrorRates.size())];
+    const auto& sc = kScorings[trial % kScorings.size()];
+    std::string a = random_dna(rng, len);
+    std::string b = partner(a, rate, rng);
+    auto want = da::ref::smith_waterman(a, b, sc);
+    auto got = da::smith_waterman(a, b, sc, ws);
+    expect_local_equal(got, want, "sw trial=" + std::to_string(trial));
+    ++cases;
+
+    // Banded variant across band widths (0 = diagonal only, through full).
+    for (dibella::i64 band : {dibella::i64{0}, dibella::i64{1}, dibella::i64{8},
+                              static_cast<dibella::i64>(a.size() + b.size())}) {
+      auto want_b = da::ref::banded_smith_waterman(a, b, sc, band);
+      auto got_b = da::banded_smith_waterman(a, b, sc, band, ws);
+      expect_local_equal(got_b, want_b,
+                         "banded trial=" + std::to_string(trial) +
+                             " band=" + std::to_string(band));
+      ++cases;
+    }
+  }
+  // Empty inputs.
+  auto want = da::ref::smith_waterman("", "ACGT", da::Scoring{});
+  auto got = da::smith_waterman("", "ACGT", da::Scoring{}, ws);
+  expect_local_equal(got, want, "empty");
+  EXPECT_GE(cases, 500);
+}
+
+TEST(AlignDifferential, SmithWatermanBudgetFallsBackToBanded) {
+  dibella::util::Xoshiro256 rng(505);
+  std::string a = random_dna(rng, 300);
+  std::string b = mutate(a, 0.1, rng);
+  da::Scoring sc;
+  da::Workspace ws;
+
+  // Budget big enough: identical to the reference, no fallback.
+  auto full = da::smith_waterman(a, b, sc, ws, /*cell_budget=*/1u << 20);
+  expect_local_equal(full, da::ref::smith_waterman(a, b, sc), "within budget");
+  EXPECT_EQ(ws.sw_band_fallbacks, 0u);
+
+  // Budget too small: falls back to the score-only banded kernel with
+  // band = budget / (2 * max(n, m)), and counts the event.
+  const u64 budget = 20'000;
+  auto fb = da::smith_waterman(a, b, sc, ws, budget);
+  EXPECT_EQ(ws.sw_band_fallbacks, 1u);
+  const dibella::i64 band =
+      static_cast<dibella::i64>(budget / (2 * std::max(a.size(), b.size())));
+  expect_local_equal(fb, da::ref::banded_smith_waterman(a, b, sc, band), "fallback");
+  // Score-only: no traceback, so begin positions stay zero.
+  EXPECT_EQ(fb.a_begin, 0u);
+  EXPECT_EQ(fb.b_begin, 0u);
+  EXPECT_LT(fb.cells, full.cells);
+
+  // budget 0 disables the guard.
+  auto unguarded = da::smith_waterman(a, b, sc, ws, 0);
+  expect_local_equal(unguarded, full, "unguarded");
+  EXPECT_EQ(ws.sw_band_fallbacks, 1u);
+}
+
+TEST(AlignDifferential, SteadyStateAlignmentLoopIsAllocationFree) {
+  // Build a PacBio-like workload: overlapping noisy read pairs with known
+  // anchors, including reverse-complement-orientation pairs.
+  dibella::util::Xoshiro256 rng(606);
+  const int k = 17;
+  struct Task {
+    std::string a, b;
+    u64 pos_a, pos_b;
+    bool same_orientation;
+  };
+  std::vector<Task> tasks;
+  for (int t = 0; t < 24; ++t) {
+    std::string genome = random_dna(rng, 2400);
+    std::string a = mutate(genome.substr(0, 1600), 0.12, rng);
+    std::string b = mutate(genome.substr(800, 1600), 0.12, rng);
+    bool rc = t % 3 == 0;
+    if (rc) b = dibella::kmer::reverse_complement(b);
+    // Anchor roughly in the middle of the shared region of both reads
+    // (positions need not be an exact k-mer match for the kernel).
+    tasks.push_back(Task{std::move(a), std::move(b), 1100, 300, !rc});
+  }
+
+  da::Scoring sc;
+  da::Workspace ws;
+  auto run_pass = [&]() {
+    u64 checksum = 0;
+    for (const auto& t : tasks) {
+      std::string_view bseq;
+      if (t.same_orientation) {
+        bseq = t.b;
+      } else {
+        // The alignment stage's hoisted reverse-complement buffer.
+        dibella::kmer::reverse_complement_into(t.b, ws.b_rc);
+        bseq = ws.b_rc;
+      }
+      if (t.pos_a + k > t.a.size() || t.pos_b + k > bseq.size()) continue;
+      auto sa = da::align_from_seed(t.a, bseq, t.pos_a, t.pos_b, k, sc, 25, ws);
+      checksum += static_cast<u64>(sa.score) + sa.cells;
+      // Exercise the SW workspace path too (short windows).
+      auto sw = da::smith_waterman(std::string_view(t.a).substr(0, 120),
+                                   bseq.substr(0, 120), sc, ws);
+      checksum += static_cast<u64>(sw.score) + sw.cells;
+    }
+    return checksum;
+  };
+
+  const u64 first = run_pass();  // warm-up: buffers grow to workload maxima
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const u64 second = run_pass();
+  const std::uint64_t allocs_after = g_alloc_count.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(second, first);  // deterministic kernels
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "steady-state alignment loop must not allocate";
+}

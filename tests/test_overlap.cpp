@@ -251,6 +251,62 @@ TEST(OverlapStage, SeedPolicyControlsSeedVolume) {
   EXPECT_GT(s_all, s_one);  // the dataset has multi-seed pairs
 }
 
+TEST(ConsolidateTasks, MatchesMapBasedOracle) {
+  // The sort-then-group consolidation must reproduce the former node-based
+  // std::map consolidation exactly: same pairs in the same order, same
+  // filtered seeds, same counters.
+  dibella::util::Xoshiro256 rng(77);
+  for (auto policy : {dov::SeedFilterConfig::one_seed(), dov::SeedFilterConfig::spaced(40),
+                      dov::SeedFilterConfig::all_seeds(17)}) {
+    std::vector<dov::OverlapTaskWire> wire;
+    for (int i = 0; i < 4000; ++i) {
+      dov::OverlapTaskWire t;
+      t.rid_a = rng.uniform_below(60);
+      t.rid_b = rng.uniform_below(60);
+      if (t.rid_a == t.rid_b) t.rid_b = t.rid_a + 1;
+      t.pos_a = static_cast<u32>(rng.uniform_below(2000));
+      t.pos_b = static_cast<u32>(rng.uniform_below(2000));
+      t.same_orientation = rng.bernoulli(0.7) ? 1 : 0;
+      wire.push_back(t);
+    }
+
+    // Map-based oracle (the pre-refactor consolidation).
+    std::map<std::pair<u64, u64>, std::vector<dov::SeedPair>> oracle;
+    u64 oracle_seeds_before = 0;
+    for (const auto& t : wire) {
+      u64 a = t.rid_a, b = t.rid_b;
+      u32 pa = t.pos_a, pb = t.pos_b;
+      if (a > b) {
+        std::swap(a, b);
+        std::swap(pa, pb);
+      }
+      oracle[{a, b}].push_back(dov::SeedPair{pa, pb, t.same_orientation});
+      ++oracle_seeds_before;
+    }
+
+    dov::OverlapStageResult res;
+    auto tasks = dov::consolidate_tasks(wire, policy, &res);
+    EXPECT_EQ(res.pair_tasks_received, wire.size());
+    EXPECT_EQ(res.distinct_pairs, oracle.size());
+    EXPECT_EQ(res.seeds_before_filter, oracle_seeds_before);
+    ASSERT_EQ(tasks.size(), oracle.size());
+    u64 seeds_after = 0;
+    std::size_t i = 0;
+    for (auto& [key, seeds] : oracle) {  // map iteration = (rid_a, rid_b) order
+      EXPECT_EQ(tasks[i].rid_a, key.first);
+      EXPECT_EQ(tasks[i].rid_b, key.second);
+      auto want = dov::filter_seeds(seeds, policy);
+      ASSERT_EQ(tasks[i].seeds.size(), want.size());
+      for (std::size_t s = 0; s < want.size(); ++s) {
+        EXPECT_EQ(tasks[i].seeds[s], want[s]);
+      }
+      seeds_after += want.size();
+      ++i;
+    }
+    EXPECT_EQ(res.seeds_after_filter, seeds_after);
+  }
+}
+
 TEST(OverlapStage, TaskBalanceAcrossRanks) {
   auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(25));
   const int P = 4;
