@@ -11,6 +11,11 @@
 //                   (ns/cell, pairs/s)
 //   * consolidate:  overlap-stage wire-task consolidation, sort-then-group vs
 //                   the node-based std::map (tasks/s)
+//   * exchange_overlap: whole-pipeline exposed exchange seconds (modeled
+//                   Cori), bulk-synchronous loops (baseline) vs the
+//                   nonblocking batched Exchanger (optimized) — virtual
+//                   cost-model time, deterministic by construction (see
+//                   bench_exchange_overlap for the per-stage breakdown)
 //
 // usage: bench_kernel_wallclock [--smoke] [--reps=N] [--out=PATH]
 //   --smoke   tiny workload + fewer reps (CI-sized; shape, not significance)
@@ -32,6 +37,7 @@
 #include "align/smith_waterman.hpp"
 #include "align/xdrop.hpp"
 #include "common/bench_common.hpp"
+#include "common/exchange_overlap.hpp"
 #include "kmer/dna.hpp"
 #include "overlap/overlapper.hpp"
 #include "util/args.hpp"
@@ -262,6 +268,22 @@ BenchRow bench_consolidate(std::size_t n_tasks, std::size_t n_reads, int reps,
   return row;
 }
 
+BenchRow bench_exchange_overlap(bool smoke) {
+  // Exposed-exchange seconds are deterministic virtual time; best-of-reps
+  // doesn't apply. baseline = bulk-synchronous, optimized = overlapped.
+  auto r = smoke ? benchx::measure_exchange_overlap(0.02, 4, 2, 1 << 15)
+                 : benchx::measure_exchange_overlap(0.1, 8, 4, 1 << 18);
+  BenchRow row;
+  row.name = "exchange_overlap";
+  row.unit = "exchanges/s";
+  row.items = r.batches_on;
+  row.baseline_s = r.exposed_off();
+  row.optimized_s = r.exposed_on();
+  row.throughput = row.optimized_s > 0 ? static_cast<double>(row.items) / row.optimized_s
+                                       : 0.0;
+  return row;
+}
+
 // --- output ------------------------------------------------------------------
 
 std::string json_escapeless(double v) {
@@ -325,6 +347,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench_sw(600, 300, reps, rng));
     rows.push_back(bench_consolidate(2'000'000, 60'000, reps, rng));
   }
+  rows.push_back(bench_exchange_overlap(smoke));
 
   util::Table t({"kernel", "baseline (s)", "optimized (s)", "speedup", "ns/cell",
                  "throughput"});

@@ -1,23 +1,31 @@
 #include "align/read_exchange.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
+#include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
 
 namespace dibella::align {
 
 namespace {
-/// Wire header for one shipped read.
+/// Wire header for one shipped read (blocking schedule's header alltoallv).
 struct ReadHeaderWire {
   u64 gid = 0;
   u32 length = 0;
 };
 static_assert(std::is_trivially_copyable_v<ReadHeaderWire>);
+
+/// Serialized reply record size in the overlapped schedule's byte stream:
+/// u64 gid + u32 length + the characters (fields are written individually,
+/// so no struct padding travels).
+constexpr std::size_t kReplyHeaderBytes = sizeof(u64) + sizeof(u32);
 }  // namespace
 
 ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& store,
-                                     const std::vector<overlap::AlignmentTask>& tasks) {
+                                     const std::vector<overlap::AlignmentTask>& tasks,
+                                     const ReadExchangeConfig& cfg) {
   auto& comm = ctx.comm;
   comm.set_stage("align");
   const int P = comm.size();
@@ -43,7 +51,96 @@ ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& sto
                           tasks.size() * sizeof(overlap::AlignmentTask));
   }
 
-  // --- request ids travel to owners.
+  if (cfg.overlap_comm) {
+    comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+
+    // --- phase A: request ids travel to owners in bounded batches; each
+    // arrived batch is filed per requester while the next is in flight.
+    std::vector<std::vector<u64>> incoming_requests(static_cast<std::size_t>(P));
+    {
+      std::vector<std::size_t> cursors(static_cast<std::size_t>(P), 0);
+      comm::run_overlapped_exchange(
+          ex,
+          [&] { return comm::post_slices(ex, requests, cursors, cfg.batch_request_gids); },
+          [&](const comm::RecvBatch& batch) {
+            for (int s = 0; s < P; ++s) {
+              batch.append_from(s, incoming_requests[static_cast<std::size_t>(s)]);
+            }
+          });
+    }
+
+    // --- phase B: owners stream the requested reads back as
+    // (gid, length, chars) records. Batch i+1 is serialized and batch i-1
+    // deserialized into the cache while batch i is in flight — the stage's
+    // dominant payload (the read strings) never idles the rank.
+    std::vector<std::size_t> reply_cursors(static_cast<std::size_t>(P), 0);
+    std::vector<io::Read> fetched;
+    comm::run_overlapped_exchange(
+        ex,
+        [&] {
+          u64 packed = 0;
+          bool remaining = false;
+          // The byte budget applies per destination, not per batch: serving
+          // requesters round-robin keeps every batch's send/recv volumes
+          // balanced across peers, so batching costs no extra modeled
+          // bandwidth (sum of per-batch maxima == the single-exchange max).
+          for (int requester = 0; requester < P; ++requester) {
+            const auto& gids = incoming_requests[static_cast<std::size_t>(requester)];
+            auto& cur = reply_cursors[static_cast<std::size_t>(requester)];
+            u64 packed_dest = 0;
+            while (cur < gids.size() && packed_dest < cfg.batch_reply_bytes) {
+              const io::Read& r = store.local_read(gids[cur]);
+              u64 gid = gids[cur];
+              u32 len = static_cast<u32>(r.seq.size());
+              ex.post(requester, &gid, 1);
+              ex.post(requester, &len, 1);
+              ex.post(requester, r.seq.data(), r.seq.size());
+              packed_dest += kReplyHeaderBytes + r.seq.size();
+              ++res.reads_served;
+              ++cur;
+            }
+            packed += packed_dest;
+            if (cur < gids.size()) remaining = true;
+          }
+          ctx.trace.add_compute("align:pack",
+                                static_cast<double>(packed) * costs.per_byte_copy, packed);
+          return remaining;
+        },
+        [&](const comm::RecvBatch& batch) {
+          u64 batch_bytes = 0;
+          for (int owner = 0; owner < P; ++owner) {
+            const u8* p = batch.src_data(owner);
+            u64 left = batch.src_size_bytes(owner);
+            while (left > 0) {
+              DIBELLA_CHECK(left >= kReplyHeaderBytes,
+                            "read exchange: truncated reply record");
+              u64 gid = 0;
+              u32 len = 0;
+              std::memcpy(&gid, p, sizeof(gid));
+              std::memcpy(&len, p + sizeof(gid), sizeof(len));
+              p += kReplyHeaderBytes;
+              left -= kReplyHeaderBytes;
+              DIBELLA_CHECK(left >= len, "read exchange: payload shorter than header");
+              io::Read r;
+              r.gid = gid;
+              r.name = "remote";
+              r.seq.assign(reinterpret_cast<const char*>(p), len);
+              p += len;
+              left -= len;
+              res.bytes_received += len;
+              batch_bytes += len;
+              fetched.push_back(std::move(r));
+            }
+          }
+          ctx.trace.add_compute("align:cache",
+                                static_cast<double>(batch_bytes) * costs.per_byte_copy,
+                                batch_bytes);
+        });
+    store.cache_remote_bulk(std::move(fetched));
+    return res;
+  }
+
+  // --- blocking schedule: request ids travel to owners in one alltoallv.
   auto incoming_requests = comm.alltoallv(requests);
 
   // --- owners serialize the requested reads per requester.

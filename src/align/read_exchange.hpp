@@ -5,11 +5,20 @@
 ///
 /// The owner heuristic guarantees one read of every task is already local;
 /// the other may live anywhere. Each rank sends its needed gids to the
-/// owning ranks, which reply with the read strings (variable-length payloads
-/// are shipped as a header all-to-all plus a character all-to-all, exactly
-/// how an MPI code would marshal them). Received reads are cached in the
-/// rank's ReadStore, replicating them for the embarrassingly-parallel
-/// alignment compute.
+/// owning ranks, which reply with the read strings. Received reads are
+/// cached in the rank's ReadStore, replicating them for the
+/// embarrassingly-parallel alignment compute.
+///
+/// Two schedules, identical results:
+///  * blocking — requests travel in one alltoallv; replies in two more
+///    (a header all-to-all plus a character all-to-all, exactly how an MPI
+///    code marshals ragged payloads);
+///  * overlapped (default) — requests and replies travel in bounded batches
+///    on the nonblocking comm::Exchanger, with reply serialization packed
+///    while the previous batch is in flight and arrived reads deserialized
+///    while the next one travels. Replies marshal gid/length/characters
+///    into a single byte stream per peer, so the three-phase blocking
+///    marshaling collapses into request batches + reply batches.
 
 #include <vector>
 
@@ -20,6 +29,15 @@
 
 namespace dibella::align {
 
+struct ReadExchangeConfig {
+  /// Overlap request/reply batches with serialization (comm::Exchanger)
+  /// instead of the three blocking alltoallvs. Identical replication.
+  bool overlap_comm = true;
+  u64 batch_request_gids = 1u << 16;    ///< request gids per destination per batch
+  u64 batch_reply_bytes = 1u << 20;     ///< serialized reply bytes per destination per batch
+  u64 exchange_chunk_bytes = 1u << 20;  ///< Exchanger chunk granularity
+};
+
 struct ReadExchangeResult {
   u64 reads_requested = 0;  ///< distinct remote gids this rank needed
   u64 reads_served = 0;     ///< read strings this rank sent to others
@@ -29,6 +47,7 @@ struct ReadExchangeResult {
 /// Fetch every remote read referenced by `tasks` into `store`'s cache.
 /// Collective.
 ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& store,
-                                     const std::vector<overlap::AlignmentTask>& tasks);
+                                     const std::vector<overlap::AlignmentTask>& tasks,
+                                     const ReadExchangeConfig& cfg = ReadExchangeConfig());
 
 }  // namespace dibella::align

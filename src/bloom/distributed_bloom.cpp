@@ -3,6 +3,7 @@
 #include "bloom/bloom_filter.hpp"
 #include "bloom/distributed_cardinality.hpp"
 #include "bloom/hyperloglog.hpp"
+#include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
 #include "kmer/occurrence_stream.hpp"
 
@@ -45,42 +46,78 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
   // --- memory-bounded streaming pass: pack -> exchange -> local insert.
   // Compute accounting is work-based (see core/kernel_costs.hpp): the unit
   // counts are exact, the per-unit costs calibrated on this host.
+  // Both schedules consume each batch in source-rank order over the same
+  // batch boundaries, so insertions happen in the same global order and the
+  // resulting filter/table are bitwise-identical.
   kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
-  bool more = true;
-  while (true) {
-    std::vector<std::vector<kmer::Kmer>> outgoing(static_cast<std::size_t>(P));
-    u64 parsed_this_batch = 0;
-    if (more) {
-      more = stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
-        outgoing[static_cast<std::size_t>(kmer_owner(occ.kmer, P))].push_back(occ.kmer);
-        ++parsed_this_batch;
-      });
-      result.parsed_instances += parsed_this_batch;
-    }
-    u64 buffered = 0;
-    for (const auto& v : outgoing) buffered += v.size() * sizeof(kmer::Kmer);
-    ctx.trace.add_compute("bloom:pack",
-                          static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
-                          buffered);
-
-    auto incoming = comm.alltoallv_flat(outgoing);
+  auto insert_batch = [&](const kmer::Kmer* data, std::size_t n) {
     u64 hits = 0;
-    for (const auto& km : incoming) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const kmer::Kmer& km = data[i];
       ++result.received_instances;
       if (filter.test_and_insert(km.hash(kBloomSalt1), km.hash(kBloomSalt2))) {
         table.insert_key(km);
         ++hits;
       }
     }
-    ctx.trace.add_compute(
-        "bloom:local",
-        static_cast<double>(incoming.size()) * costs.bloom_insert +
-            static_cast<double>(hits) * costs.table_insert,
-        filter.memory_bytes() + table.memory_bytes());
-    ++result.batches;
+    ctx.trace.add_compute("bloom:local",
+                          static_cast<double>(n) * costs.bloom_insert +
+                              static_cast<double>(hits) * costs.table_insert,
+                          filter.memory_bytes() + table.memory_bytes());
+  };
 
-    bool all_done = comm.allreduce_and(!more);
-    if (all_done) break;
+  if (cfg.overlap_comm) {
+    // Nonblocking schedule: pack batch i+1 and insert batch i-1 while batch
+    // i is in flight; termination piggybacks on the batches themselves.
+    comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+    std::vector<kmer::Kmer> scratch;
+    result.batches = comm::run_overlapped_exchange(
+        ex,
+        [&] {
+          u64 parsed = 0;
+          bool more =
+              stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
+                ex.post(kmer_owner(occ.kmer, P), &occ.kmer, 1);
+                ++parsed;
+              });
+          result.parsed_instances += parsed;
+          ctx.trace.add_compute("bloom:pack",
+                                static_cast<double>(parsed) * costs.parse_per_kmer,
+                                ex.pending_bytes());
+          return more;
+        },
+        [&](const comm::RecvBatch& batch) {
+          scratch.clear();
+          batch.append_to(scratch);
+          insert_batch(scratch.data(), scratch.size());
+        });
+  } else {
+    // Bulk-synchronous schedule (the paper's): every batch is a full
+    // pack -> alltoallv -> insert superstep with an allreduce vote to stop.
+    bool more = true;
+    while (true) {
+      std::vector<std::vector<kmer::Kmer>> outgoing(static_cast<std::size_t>(P));
+      u64 parsed_this_batch = 0;
+      if (more) {
+        more = stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
+          outgoing[static_cast<std::size_t>(kmer_owner(occ.kmer, P))].push_back(occ.kmer);
+          ++parsed_this_batch;
+        });
+        result.parsed_instances += parsed_this_batch;
+      }
+      u64 buffered = 0;
+      for (const auto& v : outgoing) buffered += v.size() * sizeof(kmer::Kmer);
+      ctx.trace.add_compute("bloom:pack",
+                            static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                            buffered);
+
+      auto incoming = comm.alltoallv_flat(outgoing);
+      insert_batch(incoming.data(), incoming.size());
+      ++result.batches;
+
+      bool all_done = comm.allreduce_and(!more);
+      if (all_done) break;
+    }
   }
 
   result.candidate_keys = table.size();

@@ -28,6 +28,10 @@ struct BloomStageConfig {
   /// the a-priori Eq. 2 estimate — HipMer's fallback for extreme genomes
   /// (§6). Costs one extra scan over the reads.
   bool use_hyperloglog_cardinality = false;
+  /// Overlap the batch exchange with packing/insertion (comm::Exchanger)
+  /// instead of the bulk-synchronous alltoallv loop. Identical output.
+  bool overlap_comm = true;
+  u64 exchange_chunk_bytes = 1u << 20;  ///< Exchanger chunk granularity
 };
 
 struct BloomStageResult {

@@ -51,6 +51,11 @@ pipeline:
   --xdrop=N             x-drop termination threshold (default 25)
   --min-score=N         drop alignments scoring below N (default 0)
   --bloom-fpr=F         Bloom filter false-positive rate (default 0.05)
+  --overlap-comm=MODE   on  = nonblocking batched exchanges overlapped with
+                              compute (default)
+                        off = bulk-synchronous pack -> alltoallv -> consume
+                        Alignments and counters are identical either way;
+                        timings.tsv shows the exposed/hidden exchange split.
 
 cost model:
   --platform=NAME       local | cori | edison | titan | aws (default local)
@@ -72,8 +77,8 @@ const std::set<std::string>& known_options() {
       "input",      "preset",        "scale",          "ranks",
       "k",          "min-kmer-count", "max-kmer-count", "coverage",
       "error-rate", "seed-policy",   "spacing",        "xdrop",
-      "min-score",  "bloom-fpr",     "platform",       "ranks-per-node",
-      "out-dir",    "no-output",     "help"};
+      "min-score",  "bloom-fpr",     "overlap-comm",   "platform",
+      "ranks-per-node", "out-dir",   "no-output",      "help"};
   return opts;
 }
 
@@ -158,10 +163,11 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
 
 std::string timings_tsv(const netsim::TimingReport& report) {
   std::ostringstream os;
-  os << "stage\tcompute_virtual_s\texchange_virtual_s\ttotal_virtual_s"
-     << "\texchange_bytes\texchange_calls\n";
+  os << "stage\tcompute_virtual_s\texchange_virtual_s\texchange_exposed_s"
+     << "\texchange_hidden_s\ttotal_virtual_s\texchange_bytes\texchange_calls\n";
   auto row = [&](const std::string& name, const netsim::StageTiming& t) {
     os << name << "\t" << t.compute_virtual << "\t" << t.exchange_virtual << "\t"
+       << t.exchange_exposed_virtual << "\t" << t.exchange_hidden_virtual() << "\t"
        << t.total_virtual() << "\t" << t.exchange_bytes << "\t" << t.exchange_calls
        << "\n";
   };
@@ -173,8 +179,10 @@ std::string timings_tsv(const netsim::TimingReport& report) {
     calls += t.exchange_calls;
   }
   os << "total\t" << report.total_compute_virtual() << "\t"
-     << report.total_exchange_virtual() << "\t" << report.total_virtual() << "\t"
-     << bytes << "\t" << calls << "\n";
+     << report.total_exchange_virtual() << "\t"
+     << report.total_exchange_exposed_virtual() << "\t"
+     << report.total_exchange_virtual() - report.total_exchange_exposed_virtual()
+     << "\t" << report.total_virtual() << "\t" << bytes << "\t" << calls << "\n";
   return os.str();
 }
 
@@ -201,13 +209,16 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
 
 void print_timings(std::ostream& out, const netsim::TimingReport& report,
                    const netsim::Platform& platform, const netsim::Topology& topo) {
-  util::Table t({"stage", "compute (s)", "exchange (s)", "total (s)", "bytes"});
+  util::Table t({"stage", "compute (s)", "exchange (s)", "exposed (s)", "hidden (s)",
+                 "total (s)", "bytes"});
   for (const auto& name : report.stage_order) {
     const auto& s = report.stage(name);
     t.start_row();
     t.cell(name);
     t.cell(s.compute_virtual, 4);
     t.cell(s.exchange_virtual, 4);
+    t.cell(s.exchange_exposed_virtual, 4);
+    t.cell(s.exchange_hidden_virtual(), 4);
     t.cell(s.total_virtual(), 4);
     t.cell(util::format_si(static_cast<double>(s.exchange_bytes)));
   }
@@ -215,6 +226,8 @@ void print_timings(std::ostream& out, const netsim::TimingReport& report,
   t.cell("total");
   t.cell(report.total_compute_virtual(), 4);
   t.cell(report.total_exchange_virtual(), 4);
+  t.cell(report.total_exchange_exposed_virtual(), 4);
+  t.cell(report.total_exchange_virtual() - report.total_exchange_exposed_virtual(), 4);
   t.cell(report.total_virtual(), 4);
   t.cell("");
   out << "\n"
@@ -308,10 +321,19 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   } else {
     throw UsageError("unknown --seed-policy=" + policy + " (expected one|spaced|all)");
   }
+  const std::string overlap_mode = args.get("overlap-comm", "on");
+  if (overlap_mode == "on") {
+    cfg.overlap_comm = true;
+  } else if (overlap_mode == "off") {
+    cfg.overlap_comm = false;
+  } else {
+    throw UsageError("unknown --overlap-comm=" + overlap_mode + " (expected on|off)");
+  }
   const netsim::Platform platform = platform_by_name(args.get("platform", "local"));
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
-      << "  seed policy=" << policy << "  ranks=" << ranks << "\n\n";
+      << "  seed policy=" << policy << "  ranks=" << ranks
+      << "  overlap-comm=" << overlap_mode << "\n\n";
 
   // --- run.
   comm::World world(ranks);

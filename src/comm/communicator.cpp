@@ -12,7 +12,8 @@ Communicator::Communicator(detail::WorldState& state, int rank)
 void Communicator::barrier() {
   util::WallTimer timer;
   ExchangeRecord rec = start_record(CollectiveOp::kBarrier);
-  sync();
+  state_.fence(epoch_);
+  advance_epoch();
   finish_record(std::move(rec), timer.seconds());
 }
 
@@ -30,14 +31,16 @@ void Communicator::finish_record(ExchangeRecord rec, double wall_seconds) {
   if (sink_) sink_(stored);
 }
 
-void Communicator::post_bytes(int dst, std::vector<u8> data) {
-  state_.slot(rank_, dst) = std::move(data);
+void Communicator::post_payload(int dst, CollectiveOp op, std::vector<u8> data) {
+  detail::MailboxMessage msg;
+  msg.epoch = epoch_;
+  msg.op = op;
+  msg.bytes = std::move(data);
+  state_.deposit(rank_, dst, std::move(msg));
 }
 
-std::vector<u8> Communicator::take_bytes(int src) {
-  return std::move(state_.slot(src, rank_));
+std::vector<u8> Communicator::take_payload(int src, CollectiveOp op) {
+  return state_.consume(src, rank_, epoch_, op, /*chunk_index=*/0).bytes;
 }
-
-void Communicator::sync() { state_.barrier(); }
 
 }  // namespace dibella::comm

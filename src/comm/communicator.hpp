@@ -5,6 +5,15 @@
 /// them in the same order (standard SPMD contract). Payload element types
 /// must be trivially copyable — strings and other dynamic payloads are
 /// serialized explicitly by callers (as real MPI codes do).
+///
+/// Collectives run over the World's per-peer mailbox slots: each call
+/// deposits epoch-tagged payloads for its destinations and consumes the
+/// matching deposits from its sources, blocking only on the specific peers
+/// it needs (there is no whole-world synchronization inside a collective —
+/// the only fence is the explicit barrier()). The blocking calls here are
+/// thin wrappers over that protocol; the nonblocking batched path is
+/// comm::Exchanger (exchanger.hpp), which shares the same epoch stream so
+/// blocking and nonblocking calls may be freely interleaved.
 
 #include <cstring>
 #include <functional>
@@ -40,7 +49,14 @@ class Communicator {
     sink_ = std::move(sink);
   }
 
-  /// Synchronize all ranks.
+  /// Optional callback fired when an Exchanger flush starts (used by the
+  /// pipeline to mark the start of a compute-concurrent exchange window in
+  /// its rank trace; pairs with the record sink's completion event).
+  void set_exchange_start_sink(std::function<void()> sink) {
+    start_sink_ = std::move(sink);
+  }
+
+  /// Synchronize all ranks (the World's single phase fence).
   void barrier();
 
   /// Irregular all-to-all (MPI_Alltoallv): send[d] goes to rank d; returns
@@ -52,30 +68,65 @@ class Communicator {
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kAlltoallv);
     for (int d = 0; d < size_; ++d) {
-      rec.bytes_to_peer[static_cast<std::size_t>(d)] =
-          send[static_cast<std::size_t>(d)].size() * sizeof(T);
-      post_bytes(d, to_bytes(send[static_cast<std::size_t>(d)]));
+      if (d != rank_) {
+        rec.bytes_to_peer[static_cast<std::size_t>(d)] =
+            send[static_cast<std::size_t>(d)].size() * sizeof(T);
+      }
+      post_payload(d, CollectiveOp::kAlltoallv, to_bytes(send[static_cast<std::size_t>(d)]));
     }
-    sync();
     std::vector<std::vector<T>> recv(static_cast<std::size_t>(size_));
     for (int s = 0; s < size_; ++s) {
-      recv[static_cast<std::size_t>(s)] = from_bytes<T>(take_bytes(s));
+      recv[static_cast<std::size_t>(s)] =
+          from_bytes<T>(take_payload(s, CollectiveOp::kAlltoallv));
     }
-    sync();
+    advance_epoch();
     finish_record(std::move(rec), timer.seconds());
     return recv;
   }
 
   /// All-to-all returning the concatenation of all received payloads in
   /// source-rank order (the common consumption pattern in the pipeline).
+  /// Receives each source's bytes directly into one contiguous buffer — no
+  /// per-source intermediate vectors. When `src_offsets` is non-null it
+  /// receives P+1 element offsets: source s's payload occupies
+  /// [src_offsets[s], src_offsets[s+1]) of the result.
   template <class T>
-  std::vector<T> alltoallv_flat(const std::vector<std::vector<T>>& send) {
-    auto recv = alltoallv(send);
+  std::vector<T> alltoallv_flat(const std::vector<std::vector<T>>& send,
+                                std::vector<u64>* src_offsets = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>, "alltoallv payload must be POD");
+    DIBELLA_CHECK(static_cast<int>(send.size()) == size_, "alltoallv: send.size() != P");
+    util::WallTimer timer;
+    ExchangeRecord rec = start_record(CollectiveOp::kAlltoallv);
+    for (int d = 0; d < size_; ++d) {
+      if (d != rank_) {
+        rec.bytes_to_peer[static_cast<std::size_t>(d)] =
+            send[static_cast<std::size_t>(d)].size() * sizeof(T);
+      }
+      post_payload(d, CollectiveOp::kAlltoallv, to_bytes(send[static_cast<std::size_t>(d)]));
+    }
+    // Consume every source's bytes before sizing the output, then copy each
+    // payload once, straight into its slice of the contiguous result.
+    std::vector<std::vector<u8>> raw(static_cast<std::size_t>(size_));
     std::size_t total = 0;
-    for (const auto& v : recv) total += v.size();
-    std::vector<T> flat;
-    flat.reserve(total);
-    for (auto& v : recv) flat.insert(flat.end(), v.begin(), v.end());
+    for (int s = 0; s < size_; ++s) {
+      raw[static_cast<std::size_t>(s)] = take_payload(s, CollectiveOp::kAlltoallv);
+      DIBELLA_CHECK(raw[static_cast<std::size_t>(s)].size() % sizeof(T) == 0,
+                    "payload size not a multiple of element");
+      total += raw[static_cast<std::size_t>(s)].size();
+    }
+    advance_epoch();
+    std::vector<T> flat(total / sizeof(T));
+    if (src_offsets) src_offsets->assign(static_cast<std::size_t>(size_) + 1, 0);
+    std::size_t at = 0;
+    for (int s = 0; s < size_; ++s) {
+      const auto& bytes = raw[static_cast<std::size_t>(s)];
+      if (!bytes.empty()) {
+        std::memcpy(reinterpret_cast<u8*>(flat.data()) + at, bytes.data(), bytes.size());
+      }
+      at += bytes.size();
+      if (src_offsets) (*src_offsets)[static_cast<std::size_t>(s) + 1] = at / sizeof(T);
+    }
+    finish_record(std::move(rec), timer.seconds());
     return flat;
   }
 
@@ -94,15 +145,14 @@ class Communicator {
     ExchangeRecord rec = start_record(CollectiveOp::kAllgather);
     for (int d = 0; d < size_; ++d) {
       if (d != rank_) rec.bytes_to_peer[static_cast<std::size_t>(d)] = v.size() * sizeof(T);
-      post_bytes(d, to_bytes(v));
+      post_payload(d, CollectiveOp::kAllgather, to_bytes(v));
     }
-    sync();
     std::vector<T> out;
     for (int s = 0; s < size_; ++s) {
-      auto part = from_bytes<T>(take_bytes(s));
+      auto part = from_bytes<T>(take_payload(s, CollectiveOp::kAllgather));
       out.insert(out.end(), part.begin(), part.end());
     }
-    sync();
+    advance_epoch();
     finish_record(std::move(rec), timer.seconds());
     return out;
   }
@@ -150,14 +200,11 @@ class Communicator {
     if (rank_ == root) {
       for (int d = 0; d < size_; ++d) {
         if (d != root) rec.bytes_to_peer[static_cast<std::size_t>(d)] = sizeof(T);
-        post_bytes(d, to_bytes(std::vector<T>{v}));
+        post_payload(d, CollectiveOp::kBroadcast, to_bytes(std::vector<T>{v}));
       }
-    } else {
-      for (int d = 0; d < size_; ++d) post_bytes(d, {});
     }
-    sync();
-    auto got = from_bytes<T>(take_bytes(root));
-    sync();
+    auto got = from_bytes<T>(take_payload(root, CollectiveOp::kBroadcast));
+    advance_epoch();
     finish_record(std::move(rec), timer.seconds());
     DIBELLA_CHECK(got.size() == 1, "broadcast: bad payload");
     return got[0];
@@ -170,39 +217,36 @@ class Communicator {
     static_assert(std::is_trivially_copyable_v<T>, "gather payload must be POD");
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kGather);
-    for (int d = 0; d < size_; ++d) {
-      if (d == root) {
-        if (d != rank_) rec.bytes_to_peer[static_cast<std::size_t>(d)] = v.size() * sizeof(T);
-        post_bytes(d, to_bytes(v));
-      } else {
-        post_bytes(d, {});
-      }
-    }
-    sync();
+    if (root != rank_) rec.bytes_to_peer[static_cast<std::size_t>(root)] = v.size() * sizeof(T);
+    post_payload(root, CollectiveOp::kGather, to_bytes(v));
     std::vector<std::vector<T>> out;
     if (rank_ == root) {
       out.resize(static_cast<std::size_t>(size_));
       for (int s = 0; s < size_; ++s) {
-        out[static_cast<std::size_t>(s)] = from_bytes<T>(take_bytes(s));
+        out[static_cast<std::size_t>(s)] = from_bytes<T>(take_payload(s, CollectiveOp::kGather));
       }
-    } else {
-      for (int s = 0; s < size_; ++s) take_bytes(s);  // drain own slots
     }
-    sync();
+    advance_epoch();
     finish_record(std::move(rec), timer.seconds());
     return out;
   }
 
  private:
+  friend class Exchanger;
+
   ExchangeRecord start_record(CollectiveOp op);
   void finish_record(ExchangeRecord rec, double wall_seconds);
 
-  /// Stage `data` for rank `dst`; visible to dst after the next sync().
-  void post_bytes(int dst, std::vector<u8> data);
-  /// Take the payload rank `src` staged for this rank.
-  std::vector<u8> take_bytes(int src);
-  /// Internal barrier separating the post and take phases of a collective.
-  void sync();
+  /// Deposit `data` for rank `dst`, tagged with the current epoch and `op`.
+  /// Nonblocking.
+  void post_payload(int dst, CollectiveOp op, std::vector<u8> data);
+  /// Consume the payload rank `src` deposited for this rank at the current
+  /// epoch; blocks until it arrives.
+  std::vector<u8> take_payload(int src, CollectiveOp op);
+  /// Move to the next collective epoch; every collective (including the
+  /// barrier and each Exchanger flush) consumes exactly one epoch on every
+  /// rank, which is what keeps mailbox tags aligned across ranks.
+  void advance_epoch() { ++epoch_; }
 
   template <class T>
   static std::vector<u8> to_bytes(const std::vector<T>& v) {
@@ -222,8 +266,10 @@ class Communicator {
   detail::WorldState& state_;
   int rank_;
   int size_;
+  u64 epoch_ = 0;
   std::string stage_;
   std::function<void(const ExchangeRecord&)> sink_;
+  std::function<void()> start_sink_;
 };
 
 }  // namespace dibella::comm

@@ -4,6 +4,7 @@
 /// include only from comm/*.cpp.
 
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -13,31 +14,105 @@
 
 namespace dibella::comm::detail {
 
-/// Shared state of all ranks of a World: the staging slots used to move
-/// payload bytes between ranks, a generation-counting central barrier with
+/// One staged payload travelling src -> dst. Every message is tagged with the
+/// sender's collective epoch and operation so a consumer can detect
+/// mismatched collective sequences instead of silently mixing payloads, and
+/// chunk-indexed so a single logical exchange may travel as several pieces
+/// (the Exchanger's chunked batches).
+struct MailboxMessage {
+  u64 epoch = 0;             ///< sender's collective epoch at deposit time
+  CollectiveOp op = CollectiveOp::kBarrier;
+  u32 chunk_index = 0;       ///< position within this epoch's chunk train
+  u32 chunk_count = 1;       ///< total chunks this (src, dst, epoch) sends
+  u8 sender_done = 0;        ///< piggybacked termination bit (Exchanger)
+  std::vector<u8> bytes;
+};
+
+/// Shared state of all ranks of a World: per-peer mailbox slots used to move
+/// payload bytes between ranks, a single generation-counting phase fence with
 /// poison support, and the per-rank exchange-record logs.
+///
+/// The mailbox protocol replaces the former two-barrier post/take scheme:
+/// a sender deposits epoch-tagged messages into the (src, dst) mailbox and
+/// continues immediately (deposits never block, so a nonblocking flush can
+/// never deadlock against another rank's flush); the receiver consumes the
+/// message matching its own epoch, blocking only until that specific deposit
+/// arrives. Collectives therefore need no whole-world synchronization at
+/// all — the only remaining fence is the explicit barrier() collective.
+/// Consumption validates the (epoch, op) tag and poisons the world on a
+/// mismatched collective sequence; a consume or fence that waits longer than
+/// the timeout poisons the world as well, so misuse aborts instead of
+/// deadlocking. Mailbox depth is unbounded, but bounded in practice by the
+/// SPMD discipline: blocking collectives drain every epoch they participate
+/// in, and the Exchanger keeps at most one flush in flight.
 class WorldState {
  public:
-  WorldState(int ranks, double barrier_timeout_seconds)
+  WorldState(int ranks, double timeout_seconds)
       : ranks_(ranks),
-        barrier_timeout_(barrier_timeout_seconds),
-        slots_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
+        timeout_(timeout_seconds),
+        mailboxes_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
         records_(static_cast<std::size_t>(ranks)) {}
 
   int ranks() const { return ranks_; }
 
-  /// Staging slot for payload src -> dst. Only written by src between
-  /// barriers and only read by dst after the following barrier, so access
-  /// needs no lock; the barrier provides the happens-before edges.
-  std::vector<u8>& slot(int src, int dst) {
-    return slots_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
-                  static_cast<std::size_t>(dst)];
+  /// Deposit a message into the src -> dst mailbox. Never blocks.
+  void deposit(int src, int dst, MailboxMessage msg) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mailbox(src, dst).push_back(std::move(msg));
+    cv_.notify_all();
   }
 
-  /// Central counting barrier. Throws WorldPoisoned if any rank failed.
-  void barrier() {
+  /// Consume the message of the src -> dst mailbox carrying
+  /// `(epoch, op, chunk_index)`. Blocks until that deposit arrives; poisons
+  /// on timeout (a peer never reached this collective). Messages of *other*
+  /// epochs may sit in the box while we wait — an in-flight Exchanger batch
+  /// whose wait() comes after a later blocking collective, or a sender that
+  /// has run ahead — but a message of the *same* epoch with a different op
+  /// is a mismatched collective sequence and poisons the world immediately.
+  MailboxMessage consume(int src, int dst, u64 epoch, CollectiveOp op, u32 chunk_index) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& box = mailbox(src, dst);
+    while (true) {
+      if (poisoned_) throw WorldPoisoned();
+      for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->epoch != epoch) continue;
+        if (it->op != op) {
+          poison_locked(std::make_exception_ptr(Error(
+              std::string("collective sequence mismatch: expected ") +
+              collective_op_name(op) + " (epoch " + std::to_string(epoch) + "), got " +
+              collective_op_name(it->op) + " (epoch " + std::to_string(it->epoch) + ")")));
+          throw WorldPoisoned();
+        }
+        if (it->chunk_index != chunk_index) continue;
+        MailboxMessage msg = std::move(*it);
+        box.erase(it);
+        return msg;
+      }
+      std::size_t seen = box.size();
+      bool ok = cv_.wait_for(lock, std::chrono::duration<double>(timeout_),
+                             [&] { return box.size() != seen || poisoned_; });
+      if (poisoned_) throw WorldPoisoned();
+      if (!ok) {
+        poison_locked(std::make_exception_ptr(Error(
+            "exchange timeout: ranks executed mismatched collective sequences")));
+        throw WorldPoisoned();
+      }
+    }
+  }
+
+  /// The single phase fence: synchronize all ranks, verifying they agree on
+  /// the collective epoch. Throws WorldPoisoned if any rank failed.
+  void fence(u64 epoch) {
     std::unique_lock<std::mutex> lock(mutex_);
     if (poisoned_) throw WorldPoisoned();
+    if (arrived_ == 0) {
+      fence_epoch_ = epoch;
+    } else if (epoch != fence_epoch_) {
+      poison_locked(std::make_exception_ptr(Error(
+          "collective sequence mismatch: ranks disagree on barrier epoch (" +
+          std::to_string(epoch) + " vs " + std::to_string(fence_epoch_) + ")")));
+      throw WorldPoisoned();
+    }
     u64 gen = generation_;
     if (++arrived_ == ranks_) {
       arrived_ = 0;
@@ -45,7 +120,7 @@ class WorldState {
       cv_.notify_all();
       return;
     }
-    bool ok = cv_.wait_for(lock, std::chrono::duration<double>(barrier_timeout_),
+    bool ok = cv_.wait_for(lock, std::chrono::duration<double>(timeout_),
                            [&] { return generation_ != gen || poisoned_; });
     if (poisoned_) throw WorldPoisoned();
     if (!ok) {
@@ -57,7 +132,7 @@ class WorldState {
     }
   }
 
-  /// Record a failure; wakes all barrier waiters. First failure wins.
+  /// Record a failure; wakes all mailbox and fence waiters. First failure wins.
   void poison(std::exception_ptr error) {
     std::lock_guard<std::mutex> lock(mutex_);
     poison_locked(std::move(error));
@@ -73,11 +148,14 @@ class WorldState {
     return first_error_;
   }
 
+  /// Reset between SPMD regions: clear poison and drop any messages a failed
+  /// run left behind (a clean run always drains every mailbox).
   void reset_poison() {
     std::lock_guard<std::mutex> lock(mutex_);
     poisoned_ = false;
     first_error_ = nullptr;
     arrived_ = 0;
+    for (auto& box : mailboxes_) box.clear();
   }
 
   /// Append a completed exchange record for `rank`, assigning the rank-local
@@ -96,6 +174,11 @@ class WorldState {
   }
 
  private:
+  std::deque<MailboxMessage>& mailbox(int src, int dst) {
+    return mailboxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+                      static_cast<std::size_t>(dst)];
+  }
+
   void poison_locked(std::exception_ptr error) {
     if (!poisoned_) {
       poisoned_ = true;
@@ -105,14 +188,15 @@ class WorldState {
   }
 
   const int ranks_;
-  const double barrier_timeout_;
-  std::vector<std::vector<u8>> slots_;
+  const double timeout_;
+  std::vector<std::deque<MailboxMessage>> mailboxes_;
   std::vector<std::vector<ExchangeRecord>> records_;  // written by owner rank only
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   int arrived_ = 0;
   u64 generation_ = 0;
+  u64 fence_epoch_ = 0;  ///< epoch claimed by the fence's first arriver
   bool poisoned_ = false;
   std::exception_ptr first_error_;
 };

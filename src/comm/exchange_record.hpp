@@ -7,6 +7,10 @@
 /// destination-resolved byte counts. The netsim cost model replays these
 /// records against a platform description (Table 1) to produce the paper's
 /// cross-architecture exchange times — see DESIGN.md §2.
+///
+/// Self-destination bytes are never recorded: a rank's payload to itself
+/// stays in memory and an MPI implementation would not put it on the wire,
+/// so `bytes_to_peer[self]` is always 0 for every collective kind.
 
 #include <string>
 #include <vector>
@@ -16,6 +20,9 @@
 namespace dibella::comm {
 
 /// Collective operation kinds (named after their MPI equivalents).
+/// kExchange is the Exchanger's nonblocking batched all-to-all: the same
+/// wire pattern as kAlltoallv, but issued with flush_async()/wait() so the
+/// transfer overlaps local compute.
 enum class CollectiveOp : u8 {
   kAlltoallv,
   kAllgather,
@@ -23,6 +30,7 @@ enum class CollectiveOp : u8 {
   kBroadcast,
   kGather,
   kBarrier,
+  kExchange,
 };
 
 const char* collective_op_name(CollectiveOp op);
@@ -32,8 +40,13 @@ struct ExchangeRecord {
   u64 seq = 0;                   ///< collective sequence number (aligned across ranks)
   CollectiveOp op = CollectiveOp::kBarrier;
   std::string stage;             ///< pipeline stage tag active at call time
-  std::vector<u64> bytes_to_peer;  ///< bytes this rank sent to each rank (size P)
-  double wall_seconds = 0.0;     ///< measured wall time of the call (this rank)
+  std::vector<u64> bytes_to_peer;  ///< bytes this rank sent to each peer (size P, self = 0)
+  double wall_seconds = 0.0;     ///< measured wall time the rank was blocked in the call
+  /// Measured wall time between flush_async() and wait() during which the
+  /// exchange was in flight while this rank computed (kExchange only; 0 for
+  /// blocking collectives). The cost model's exposed/hidden split is virtual
+  /// (trace-derived); this is the measured counterpart.
+  double hidden_wall_seconds = 0.0;
 
   u64 total_bytes() const {
     u64 s = 0;

@@ -1,0 +1,104 @@
+#include "comm/exchanger.hpp"
+
+#include <algorithm>
+
+#include "comm/detail/world_state.hpp"
+
+namespace dibella::comm {
+
+Exchanger::Exchanger(Communicator& comm, Config cfg)
+    : comm_(comm),
+      cfg_(cfg),
+      pack_(static_cast<std::size_t>(comm.size())),
+      flushed_bytes_(static_cast<std::size_t>(comm.size()), 0) {
+  DIBELLA_CHECK(cfg_.chunk_bytes > 0, "Exchanger: chunk_bytes must be > 0");
+}
+
+Exchanger::~Exchanger() {
+  // Can't throw from a destructor; an in-flight flush at destruction is a
+  // protocol bug that the peers' consume() timeout will surface.
+}
+
+void Exchanger::post_bytes(int dst, const void* data, std::size_t n) {
+  DIBELLA_CHECK(dst >= 0 && dst < comm_.size(), "Exchanger::post: dst out of range");
+  auto& buf = pack_[static_cast<std::size_t>(dst)];
+  if (n > 0) {
+    const u8* p = static_cast<const u8*>(data);
+    buf.insert(buf.end(), p, p + n);
+  }
+  pending_bytes_ += n;
+}
+
+void Exchanger::flush_async(bool done) {
+  DIBELLA_CHECK(!in_flight_, "Exchanger::flush_async: previous flush not waited");
+  const int P = comm_.size();
+  flight_epoch_ = comm_.epoch_;
+  for (int d = 0; d < P; ++d) {
+    auto& buf = pack_[static_cast<std::size_t>(d)];
+    flushed_bytes_[static_cast<std::size_t>(d)] = buf.size();
+    // Split into a chunk train of >= 1 chunks (an empty payload still sends
+    // one empty chunk so the receiver always has a deposit to match).
+    u32 chunks = static_cast<u32>(
+        std::max<u64>(1, (buf.size() + cfg_.chunk_bytes - 1) / cfg_.chunk_bytes));
+    for (u32 c = 0; c < chunks; ++c) {
+      detail::MailboxMessage msg;
+      msg.epoch = flight_epoch_;
+      msg.op = CollectiveOp::kExchange;
+      msg.chunk_index = c;
+      msg.chunk_count = chunks;
+      msg.sender_done = done ? 1 : 0;
+      if (chunks == 1) {
+        msg.bytes = std::move(buf);  // single-chunk fast path: no copy
+      } else {
+        u64 begin = static_cast<u64>(c) * cfg_.chunk_bytes;
+        u64 end = std::min<u64>(buf.size(), begin + cfg_.chunk_bytes);
+        msg.bytes.assign(buf.begin() + static_cast<std::ptrdiff_t>(begin),
+                         buf.begin() + static_cast<std::ptrdiff_t>(end));
+      }
+      comm_.state_.deposit(comm_.rank(), d, std::move(msg));
+    }
+    buf.clear();
+  }
+  comm_.advance_epoch();
+  pending_bytes_ = 0;
+  in_flight_ = true;
+  flight_timer_.reset();
+  if (comm_.start_sink_) comm_.start_sink_();
+}
+
+RecvBatch Exchanger::wait() {
+  DIBELLA_CHECK(in_flight_, "Exchanger::wait: no flush in flight");
+  const int P = comm_.size();
+  const double hidden = flight_timer_.seconds();
+  util::WallTimer exposed_timer;
+
+  RecvBatch batch;
+  batch.src_offsets.assign(static_cast<std::size_t>(P) + 1, 0);
+  batch.done_flags.assign(static_cast<std::size_t>(P), 0);
+  for (int s = 0; s < P; ++s) {
+    auto first = comm_.state_.consume(s, comm_.rank(), flight_epoch_,
+                                      CollectiveOp::kExchange, /*chunk_index=*/0);
+    batch.done_flags[static_cast<std::size_t>(s)] = first.sender_done;
+    batch.bytes.insert(batch.bytes.end(), first.bytes.begin(), first.bytes.end());
+    for (u32 c = 1; c < first.chunk_count; ++c) {
+      auto next =
+          comm_.state_.consume(s, comm_.rank(), flight_epoch_, CollectiveOp::kExchange, c);
+      batch.bytes.insert(batch.bytes.end(), next.bytes.begin(), next.bytes.end());
+    }
+    batch.src_offsets[static_cast<std::size_t>(s) + 1] = batch.bytes.size();
+  }
+  in_flight_ = false;
+
+  ExchangeRecord rec = comm_.start_record(CollectiveOp::kExchange);
+  for (int d = 0; d < P; ++d) {
+    if (d != comm_.rank()) {
+      rec.bytes_to_peer[static_cast<std::size_t>(d)] =
+          flushed_bytes_[static_cast<std::size_t>(d)];
+    }
+  }
+  rec.hidden_wall_seconds = hidden;
+  comm_.finish_record(std::move(rec), exposed_timer.seconds());
+  return batch;
+}
+
+}  // namespace dibella::comm

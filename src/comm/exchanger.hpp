@@ -1,0 +1,207 @@
+#pragma once
+/// \file exchanger.hpp
+/// The nonblocking batched exchange: a double-buffered, chunked irregular
+/// all-to-all with post / flush_async / wait semantics.
+///
+/// Usage pattern (one batch in flight at a time):
+///
+///   Exchanger ex(comm);
+///   ex.post(dst, items...);        // pack batch 0
+///   ex.flush_async(done0);         // batch 0 starts travelling
+///   while (...) {
+///     ex.post(dst, items...);      // pack batch i+1  } compute, hidden
+///     auto batch = ex.wait();      // batch i arrives  } behind the flight
+///     if (!batch.all_done()) ex.flush_async(done);
+///     consume(batch);              // insert batch i   } of batch i+1
+///   }
+///
+/// flush_async seals the current pack buffers into per-peer chunk trains and
+/// deposits them into the World's mailbox slots without blocking (deposits
+/// never block, so two ranks flushing at each other cannot deadlock); the
+/// caller is free to pack the next batch and consume the previous one while
+/// peers' chunks trickle in. wait() blocks only for the deposits that have
+/// not yet arrived and returns the batch concatenated in source-rank order —
+/// the same consumption order as the blocking alltoallv_flat, which is what
+/// keeps the overlapped and bulk-synchronous schedules bitwise-identical.
+///
+/// Each flush carries a piggybacked per-sender `done` bit, so streaming
+/// loops terminate without a separate allreduce: stop after the first batch
+/// in which every sender (including self) reported done. All ranks observe
+/// the same done bits for a given epoch, so the decision is SPMD-consistent.
+///
+/// Accounting: each flush/wait pair produces one ExchangeRecord with op
+/// kExchange. wall_seconds measures only the time blocked inside wait()
+/// (the *exposed* exchange time); hidden_wall_seconds measures the
+/// flush-to-wait window in which the exchange was concurrent with compute.
+/// The flush also fires the communicator's exchange-start sink so the rank
+/// trace brackets the compute-concurrent window for the cost model's
+/// virtual exposed/hidden split.
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace dibella::comm {
+
+/// One received batch: every source's payload, concatenated in source-rank
+/// order into a single contiguous buffer.
+struct RecvBatch {
+  std::vector<u8> bytes;
+  std::vector<u64> src_offsets;  ///< size P+1 byte offsets; src s owns [s, s+1)
+  std::vector<u8> done_flags;    ///< size P: sender s's piggybacked done bit
+
+  /// True when every sender (including self) reported done with this batch.
+  bool all_done() const {
+    for (u8 f : done_flags) {
+      if (!f) return false;
+    }
+    return true;
+  }
+
+  const u8* src_data(int src) const {
+    return bytes.data() + src_offsets[static_cast<std::size_t>(src)];
+  }
+  u64 src_size_bytes(int src) const {
+    return src_offsets[static_cast<std::size_t>(src) + 1] -
+           src_offsets[static_cast<std::size_t>(src)];
+  }
+
+  /// Append the whole batch, reinterpreted as items of T, to `out`.
+  template <class T>
+  void append_to(std::vector<T>& out) const {
+    static_assert(std::is_trivially_copyable_v<T>, "batch payload must be POD");
+    DIBELLA_CHECK(bytes.size() % sizeof(T) == 0, "batch size not a multiple of element");
+    std::size_t n = bytes.size() / sizeof(T);
+    std::size_t at = out.size();
+    out.resize(at + n);
+    if (n > 0) std::memcpy(out.data() + at, bytes.data(), bytes.size());
+  }
+
+  /// Append one source's payload, reinterpreted as items of T, to `out`.
+  template <class T>
+  void append_from(int src, std::vector<T>& out) const {
+    static_assert(std::is_trivially_copyable_v<T>, "batch payload must be POD");
+    u64 nbytes = src_size_bytes(src);
+    DIBELLA_CHECK(nbytes % sizeof(T) == 0, "batch size not a multiple of element");
+    std::size_t n = nbytes / sizeof(T);
+    std::size_t at = out.size();
+    out.resize(at + n);
+    if (n > 0) std::memcpy(out.data() + at, src_data(src), nbytes);
+  }
+};
+
+class Exchanger {
+ public:
+  struct Config {
+    /// Maximum bytes per mailbox chunk; a larger per-peer payload travels as
+    /// a chunk train. Bounds the granularity at which a flush's data becomes
+    /// available to the receiver.
+    u64 chunk_bytes = 1u << 20;
+  };
+
+  explicit Exchanger(Communicator& comm) : Exchanger(comm, Config()) {}
+  Exchanger(Communicator& comm, Config cfg);
+
+  /// No flush may be in flight at destruction (call wait() first); a batch
+  /// packed but never flushed is simply dropped.
+  ~Exchanger();
+
+  Exchanger(const Exchanger&) = delete;
+  Exchanger& operator=(const Exchanger&) = delete;
+
+  int rank() const { return comm_.rank(); }
+  int size() const { return comm_.size(); }
+
+  /// Append raw bytes to the current batch's payload for `dst`.
+  void post_bytes(int dst, const void* data, std::size_t n);
+
+  /// Append `n` items to the current batch's payload for `dst`.
+  template <class T>
+  void post(int dst, const T* data, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>, "posted payload must be POD");
+    post_bytes(dst, data, n * sizeof(T));
+  }
+  template <class T>
+  void post(int dst, const std::vector<T>& v) {
+    post(dst, v.data(), v.size());
+  }
+
+  /// Bytes posted to the current (unsealed) batch across all destinations.
+  u64 pending_bytes() const { return pending_bytes_; }
+
+  /// Seal the current batch and start exchanging it; nonblocking. `done`
+  /// piggybacks this rank's termination bit to every peer. Collective: every
+  /// rank flushes the same number of times in the same order relative to its
+  /// other collectives. At most one flush may be in flight.
+  void flush_async(bool done = false);
+
+  bool in_flight() const { return in_flight_; }
+
+  /// Block until the in-flight batch has fully arrived from every peer.
+  RecvBatch wait();
+
+ private:
+  Communicator& comm_;
+  Config cfg_;
+  std::vector<std::vector<u8>> pack_;   ///< per-dst payload of the batch being packed
+  std::vector<u64> flushed_bytes_;      ///< per-dst bytes of the in-flight batch
+  u64 pending_bytes_ = 0;
+  bool in_flight_ = false;
+  u64 flight_epoch_ = 0;                ///< communicator epoch of the in-flight flush
+  util::WallTimer flight_timer_;        ///< started at flush_async (hidden window)
+};
+
+/// Drive a complete overlapped exchange loop: `pack()` fills the exchanger's
+/// current batch and returns true while this rank may still have more to
+/// send; `consume(batch)` handles each arrived batch. Batch i+1 is packed
+/// and batch i-1 consumed while batch i is in flight. Equivalent, batch for
+/// batch, to the bulk-synchronous loop
+///
+///   do { pack(); exchange; } while (!allreduce_and(done));
+///
+/// including its termination: the loop runs until the first batch in which
+/// every rank reported done. Returns the number of batches exchanged.
+template <class PackFn, class ConsumeFn>
+u64 run_overlapped_exchange(Exchanger& ex, PackFn&& pack, ConsumeFn&& consume) {
+  bool more = pack();
+  ex.flush_async(/*done=*/!more);
+  u64 batches = 0;
+  while (true) {
+    // Pack the next batch while the current one is in flight. Safe to do
+    // speculatively: if this rank still has data, its done bit on the
+    // in-flight batch is false, so the loop cannot terminate underneath it.
+    if (more) more = pack();
+    RecvBatch batch = ex.wait();
+    ++batches;
+    bool all_done = batch.all_done();
+    if (!all_done) ex.flush_async(/*done=*/!more);
+    consume(batch);
+    if (all_done) return batches;
+  }
+}
+
+/// Post the next slice (at most `max_items` items) of every destination's
+/// vector to `ex`, advancing `cursors`; returns true while any destination
+/// has items left after this slice. The building block for overlapping a
+/// single large pre-built exchange (stage 3's task buffers, stage 4's
+/// request lists) in bounded batches.
+template <class T>
+bool post_slices(Exchanger& ex, const std::vector<std::vector<T>>& per_dest,
+                 std::vector<std::size_t>& cursors, std::size_t max_items) {
+  bool remaining = false;
+  for (int d = 0; d < ex.size(); ++d) {
+    const auto& v = per_dest[static_cast<std::size_t>(d)];
+    auto& at = cursors[static_cast<std::size_t>(d)];
+    std::size_t n = std::min(max_items, v.size() - at);
+    ex.post(d, v.data() + at, n);
+    at += n;
+    if (at < v.size()) remaining = true;
+  }
+  return remaining;
+}
+
+}  // namespace dibella::comm

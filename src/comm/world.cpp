@@ -15,6 +15,7 @@ const char* collective_op_name(CollectiveOp op) {
     case CollectiveOp::kBroadcast: return "broadcast";
     case CollectiveOp::kGather: return "gather";
     case CollectiveOp::kBarrier: return "barrier";
+    case CollectiveOp::kExchange: return "exchange";
   }
   return "unknown";
 }

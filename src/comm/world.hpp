@@ -5,12 +5,20 @@
 /// Communicator (see communicator.hpp).
 ///
 /// This substitutes for MPI in the paper's design (DESIGN.md §2): pipeline
-/// code is written exactly as a bulk-synchronous MPI program would be —
-/// per-destination buffers, irregular all-to-all exchanges, barriers — and
-/// every byte that would cross the network is recorded per (src, dst) pair
-/// for the network cost model. Rank failures poison the world so sibling
-/// ranks blocked in collectives terminate instead of deadlocking, and the
-/// first exception is rethrown from World::run.
+/// code is written exactly as an MPI program would be — per-destination
+/// buffers, irregular all-to-all exchanges, barriers — and every byte that
+/// would cross the network is recorded per (src, dst) pair for the network
+/// cost model. Payloads move through per-peer mailbox slots tagged with the
+/// sender's collective epoch: a collective deposits for its destinations
+/// without blocking and consumes from its sources as their deposits arrive,
+/// so ranks synchronize only pairwise and only on the data they actually
+/// need — which is what lets comm::Exchanger overlap an in-flight batch
+/// with local compute. The blocking collectives (communicator.hpp) are thin
+/// wrappers over the same protocol, and barrier() is the one remaining
+/// whole-world phase fence. Rank failures (and epoch/op tag mismatches,
+/// i.e. mismatched collective sequences) poison the world so sibling ranks
+/// blocked in collectives terminate instead of deadlocking, and the first
+/// exception is rethrown from World::run.
 
 #include <functional>
 #include <memory>
@@ -36,7 +44,7 @@ class WorldPoisoned : public Error {
 /// A fixed-size group of SPMD ranks.
 class World {
  public:
-  /// Create a world of `ranks` ranks. Barrier waits exceeding
+  /// Create a world of `ranks` ranks. Barrier or mailbox waits exceeding
   /// `barrier_timeout_seconds` abort the run (guards against mismatched
   /// collective sequences, which would otherwise deadlock).
   explicit World(int ranks, double barrier_timeout_seconds = 300.0);

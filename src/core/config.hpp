@@ -20,8 +20,19 @@ struct PipelineConfig {
   double assumed_coverage = 30.0;    ///< data model input for auto m
 
   // --- streaming / memory bounds
-  u64 batch_kmers = 1u << 20;  ///< per-rank occurrences per BSP batch
+  u64 batch_kmers = 1u << 20;  ///< per-rank occurrences per exchange batch
   double bloom_fpr = 0.05;
+
+  // --- communication schedule
+  /// Run every stage's exchanges on the nonblocking comm::Exchanger,
+  /// packing batch i+1 and consuming batch i-1 while batch i is in flight.
+  /// Off = the paper's bulk-synchronous pack -> alltoallv -> consume loops.
+  /// The alignment output and counters are bitwise-identical either way.
+  bool overlap_comm = true;
+  /// Mailbox chunk granularity of the nonblocking exchanges.
+  u64 exchange_chunk_bytes = 1u << 20;
+  /// Stage-3 wire tasks per destination per exchange batch.
+  u64 batch_overlap_tasks = 1u << 18;
 
   // --- overlap / alignment
   overlap::SeedFilterConfig seed_filter = overlap::SeedFilterConfig::one_seed();

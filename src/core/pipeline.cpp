@@ -52,6 +52,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     bcfg.batch_kmers = config.batch_kmers;
     bcfg.bloom_fpr = config.bloom_fpr;
     bcfg.assumed_error_rate = config.assumed_error_rate;
+    bcfg.overlap_comm = config.overlap_comm;
+    bcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
     bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
 
     // Stage 2: distributed hash table with occurrence metadata + purge.
@@ -60,15 +62,23 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     hcfg.batch_instances = config.batch_kmers;
     hcfg.min_count = config.min_kmer_count;
     hcfg.max_count = max_count;
+    hcfg.overlap_comm = config.overlap_comm;
+    hcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
     ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
 
     // Stage 3: overlap detection (Algorithm 1) + task exchange.
     overlap::OverlapStageConfig ocfg;
     ocfg.seed_filter = config.seed_filter;
+    ocfg.overlap_comm = config.overlap_comm;
+    ocfg.batch_tasks = config.batch_overlap_tasks;
+    ocfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
     auto tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
 
     // Stage 4a: replicate remote reads to match the task distribution.
-    rx_res[rank] = align::run_read_exchange(ctx, store, tasks);
+    align::ReadExchangeConfig rcfg;
+    rcfg.overlap_comm = config.overlap_comm;
+    rcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+    rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
 
     // Stage 4b: embarrassingly parallel x-drop alignment.
     align::AlignmentStageConfig acfg;

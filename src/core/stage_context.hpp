@@ -19,12 +19,15 @@ struct StageContext {
   netsim::RankTrace& trace;
 
   /// Wire the communicator's record stream into the trace so exchange
-  /// events interleave with compute events. Call once per rank before any
+  /// events interleave with compute events, and bracket nonblocking
+  /// exchanges with start markers so the cost model can tell which compute
+  /// ran while an exchange was in flight. Call once per rank before any
   /// stage runs.
   void attach() {
     comm.set_record_sink([t = &trace](const comm::ExchangeRecord& rec) {
       t->add_exchange(rec.seq);
     });
+    comm.set_exchange_start_sink([t = &trace] { t->add_exchange_start(); });
   }
 };
 

@@ -1,6 +1,7 @@
 #include "dht/distributed_table.hpp"
 
 #include "bloom/distributed_bloom.hpp"  // kmer_owner: same routing as stage 1
+#include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
 #include "kmer/occurrence_stream.hpp"
 
@@ -17,42 +18,79 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
   HashTableStageResult result;
   result.keys_before_purge = table.size();
 
+  // As in stage 1, both schedules consume each batch in source-rank order
+  // over the same batch boundaries — identical insertion order, identical
+  // table contents.
   kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
-  bool more = true;
-  while (true) {
-    std::vector<std::vector<KmerInstance>> outgoing(static_cast<std::size_t>(P));
-    u64 parsed_this_batch = 0;
-    if (more) {
-      more = stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
-        KmerInstance inst;
-        inst.km = occ.kmer;
-        inst.rid = rid;
-        inst.pos = occ.pos;
-        inst.is_forward = occ.is_forward ? 1 : 0;
-        outgoing[static_cast<std::size_t>(bloom::kmer_owner(occ.kmer, P))].push_back(inst);
-        ++parsed_this_batch;
-      });
-      result.parsed_instances += parsed_this_batch;
-    }
-    u64 buffered = 0;
-    for (const auto& v : outgoing) buffered += v.size() * sizeof(KmerInstance);
-    ctx.trace.add_compute("ht:pack",
-                          static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
-                          buffered);
-
-    auto incoming = comm.alltoallv_flat(outgoing);
-    for (const auto& inst : incoming) {
+  auto insert_batch = [&](const KmerInstance* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const KmerInstance& inst = data[i];
       ++result.received_instances;
       ReadOccurrence occ{inst.rid, inst.pos, inst.is_forward};
       if (table.add_occurrence(inst.km, occ)) ++result.inserted_occurrences;
     }
-    ctx.trace.add_compute("ht:local",
-                          static_cast<double>(incoming.size()) * costs.table_insert,
+    ctx.trace.add_compute("ht:local", static_cast<double>(n) * costs.table_insert,
                           table.memory_bytes());
-    ++result.batches;
+  };
 
-    bool all_done = comm.allreduce_and(!more);
-    if (all_done) break;
+  if (cfg.overlap_comm) {
+    comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+    std::vector<KmerInstance> scratch;
+    result.batches = comm::run_overlapped_exchange(
+        ex,
+        [&] {
+          u64 parsed = 0;
+          bool more =
+              stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
+                KmerInstance inst;
+                inst.km = occ.kmer;
+                inst.rid = rid;
+                inst.pos = occ.pos;
+                inst.is_forward = occ.is_forward ? 1 : 0;
+                ex.post(bloom::kmer_owner(occ.kmer, P), &inst, 1);
+                ++parsed;
+              });
+          result.parsed_instances += parsed;
+          ctx.trace.add_compute("ht:pack",
+                                static_cast<double>(parsed) * costs.parse_per_kmer,
+                                ex.pending_bytes());
+          return more;
+        },
+        [&](const comm::RecvBatch& batch) {
+          scratch.clear();
+          batch.append_to(scratch);
+          insert_batch(scratch.data(), scratch.size());
+        });
+  } else {
+    bool more = true;
+    while (true) {
+      std::vector<std::vector<KmerInstance>> outgoing(static_cast<std::size_t>(P));
+      u64 parsed_this_batch = 0;
+      if (more) {
+        more = stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
+          KmerInstance inst;
+          inst.km = occ.kmer;
+          inst.rid = rid;
+          inst.pos = occ.pos;
+          inst.is_forward = occ.is_forward ? 1 : 0;
+          outgoing[static_cast<std::size_t>(bloom::kmer_owner(occ.kmer, P))].push_back(inst);
+          ++parsed_this_batch;
+        });
+        result.parsed_instances += parsed_this_batch;
+      }
+      u64 buffered = 0;
+      for (const auto& v : outgoing) buffered += v.size() * sizeof(KmerInstance);
+      ctx.trace.add_compute("ht:pack",
+                            static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                            buffered);
+
+      auto incoming = comm.alltoallv_flat(outgoing);
+      insert_batch(incoming.data(), incoming.size());
+      ++result.batches;
+
+      bool all_done = comm.allreduce_and(!more);
+      if (all_done) break;
+    }
   }
 
   // Purge: false-positive singletons and high-frequency k-mers (> m). The

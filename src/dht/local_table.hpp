@@ -66,12 +66,28 @@ class LocalKmerTable {
   template <class Fn>
   void for_each(Fn&& fn) const {
     std::vector<ReadOccurrence> scratch;
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
+    for_each_from(0, slots_.size(), scratch, fn);
+  }
+
+  /// Resumable bounded traversal: visit up to `max_keys` resident keys
+  /// starting at slot `slot_cursor` (same callback contract and visit order
+  /// as for_each; `scratch` is the caller-owned reusable occurrence buffer).
+  /// Returns the slot cursor to resume from; traversal is exhausted when it
+  /// reaches capacity(). Lets the overlap stage interleave pair formation
+  /// with the in-flight task exchange.
+  template <class Fn>
+  std::size_t for_each_from(std::size_t slot_cursor, std::size_t max_keys,
+                            std::vector<ReadOccurrence>& scratch, Fn&& fn) const {
+    std::size_t visited = 0;
+    std::size_t i = slot_cursor;
+    for (; i < slots_.size() && visited < max_keys; ++i) {
       if (state_[i] != SlotState::kFull) continue;
       scratch.clear();
       append_occurrences_of_slot(i, scratch);
       fn(slots_[i].key, slots_[i].count, scratch);
+      ++visited;
     }
+    return i;
   }
 
   std::size_t size() const { return size_; }

@@ -14,8 +14,15 @@
 namespace dibella::netsim {
 
 /// One element of a rank's trace.
+///
+/// kExchangeStart marks the launch of a nonblocking exchange
+/// (Exchanger::flush_async): every compute segment between it and the next
+/// kExchange event ran while that exchange was in flight, so the cost model
+/// may hide the exchange's virtual time behind it (the exposed/hidden
+/// split). A kExchange with no preceding start marker is a blocking
+/// collective — fully exposed.
 struct TraceEvent {
-  enum class Kind : u8 { kCompute, kExchange };
+  enum class Kind : u8 { kCompute, kExchange, kExchangeStart };
   Kind kind = Kind::kCompute;
 
   // kCompute fields:
@@ -45,6 +52,15 @@ class RankTrace {
     TraceEvent ev;
     ev.kind = TraceEvent::Kind::kExchange;
     ev.exchange_seq = seq;
+    events_.push_back(std::move(ev));
+  }
+
+  /// Record that a nonblocking exchange started; it completes at the next
+  /// kExchange event in this trace, and compute recorded in between is
+  /// concurrent with the exchange.
+  void add_exchange_start() {
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::kExchangeStart;
     events_.push_back(std::move(ev));
   }
 

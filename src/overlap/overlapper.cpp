@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
 
 namespace dibella::overlap {
@@ -81,15 +82,15 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
 
   const auto& costs = core::KernelCosts::get();
 
-  // --- Algorithm 1: traverse the partition, form all pairs per key, buffer
-  // each task for the owner of one of its reads.
-  std::vector<std::vector<OverlapTaskWire>> outgoing(static_cast<std::size_t>(P));
-  {
-    table.for_each([&](const kmer::Kmer& /*km*/, u32 /*count*/,
-                       std::vector<dht::ReadOccurrence>& occs) {
+  // --- Algorithm 1: traverse the partition, form all pairs per key, route
+  // each task to the owner of one of its reads. `emit` abstracts the
+  // destination buffer so both schedules share the pair-formation logic.
+  auto visit_key = [&](const auto& emit) {
+    return [&res, &partition, emit](const kmer::Kmer& /*km*/, u32 /*count*/,
+                                    std::vector<dht::ReadOccurrence>& occs) {
       ++res.retained_kmers;
       // Deterministic pair formation independent of arrival order; `occs` is
-      // for_each's reusable scratch, sorted in place (no per-key copy).
+      // the traversal's reusable scratch, sorted in place (no per-key copy).
       std::sort(occs.begin(), occs.end(),
                 [](const dht::ReadOccurrence& x, const dht::ReadOccurrence& y) {
                   return x.rid != y.rid ? x.rid < y.rid : x.pos < y.pos;
@@ -106,11 +107,67 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
           task.pos_b = ob.pos;
           task.same_orientation = oa.is_forward == ob.is_forward ? 1 : 0;
           u64 owner_rid = task_owner_read(oa.rid, ob.rid) == 0 ? oa.rid : ob.rid;
-          outgoing[static_cast<std::size_t>(partition.owner_of(owner_rid))].push_back(task);
+          emit(partition.owner_of(owner_rid), task);
           ++res.pair_tasks_formed;
         }
       }
+    };
+  };
+
+  // --- pair formation + the irregular all-to-all of buffered tasks. The
+  // incoming task order differs between the schedules, but consolidate_tasks
+  // sorts on the full tuple, so the consolidated output doesn't.
+  std::vector<OverlapTaskWire> incoming;
+  if (cfg.overlap_comm) {
+    // Nonblocking schedule: traverse enough of the partition to form the
+    // next ~batch_tasks tasks while the previous batch is in flight, and
+    // normalize each arrived batch (rid_a < rid_b) before the next lands —
+    // the traversal itself is the compute that hides the exchange.
+    comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+    std::vector<dht::ReadOccurrence> scratch;
+    std::size_t slot_cursor = 0;
+    auto visit = visit_key([&ex](int dest, const OverlapTaskWire& task) {
+      ex.post(dest, &task, 1);
     });
+    comm::run_overlapped_exchange(
+        ex,
+        [&] {
+          u64 keys_before = res.retained_kmers;
+          u64 formed_before = res.pair_tasks_formed;
+          // Visit keys in bounded strides until the task budget fills (a
+          // single hub key may overshoot by its own pair count, the same
+          // granularity the streaming stages batch at).
+          while (slot_cursor < table.capacity() &&
+                 res.pair_tasks_formed - formed_before < cfg.batch_tasks) {
+            slot_cursor = table.for_each_from(slot_cursor, 256, scratch, visit);
+          }
+          u64 posted = (res.pair_tasks_formed - formed_before) * sizeof(OverlapTaskWire);
+          ctx.trace.add_compute(
+              "overlap:traverse",
+              static_cast<double>(res.retained_kmers - keys_before) * costs.table_traverse +
+                  static_cast<double>(posted) * costs.per_byte_copy,
+              table.memory_bytes() + posted);
+          return slot_cursor < table.capacity();
+        },
+        [&](const comm::RecvBatch& batch) {
+          // Tasks arrive already normalized (pair formation emits sorted
+          // occurrence pairs); consolidate_tasks re-checks regardless. Only
+          // the accumulation copy happens here.
+          std::size_t at = incoming.size();
+          batch.append_to(incoming);
+          ctx.trace.add_compute(
+              "overlap:recv",
+              static_cast<double>(incoming.size() - at) * sizeof(OverlapTaskWire) *
+                  costs.per_byte_copy,
+              (incoming.size() - at) * sizeof(OverlapTaskWire));
+        });
+  } else {
+    // Bulk-synchronous schedule: full traversal into per-destination
+    // buffers, then one blocking alltoallv.
+    std::vector<std::vector<OverlapTaskWire>> outgoing(static_cast<std::size_t>(P));
+    table.for_each(visit_key([&outgoing](int dest, const OverlapTaskWire& task) {
+      outgoing[static_cast<std::size_t>(dest)].push_back(task);
+    }));
     u64 buffered = 0;
     for (const auto& v : outgoing) buffered += v.size() * sizeof(OverlapTaskWire);
     ctx.trace.add_compute(
@@ -118,12 +175,8 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
         static_cast<double>(res.retained_kmers) * costs.table_traverse +
             static_cast<double>(buffered) * costs.per_byte_copy,
         table.memory_bytes() + buffered);
+    incoming = comm.alltoallv_flat(outgoing);
   }
-
-  // --- one irregular all-to-all of buffered tasks.
-  auto incoming = comm.alltoallv_flat(outgoing);
-  outgoing.clear();
-  outgoing.shrink_to_fit();
 
   // --- consolidate per-pair seed lists, then apply the seed policy.
   const u64 received_bytes = incoming.size() * sizeof(OverlapTaskWire);

@@ -70,7 +70,11 @@ std::map<std::string, u64> parse_counters(const std::string& data) {
 class CliSmoke : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::path(::testing::TempDir()) / "dibella_cli_smoke";
+    // Per-test directory: ctest runs each discovered test as its own
+    // process, so a shared path would race under `ctest -j`.
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("dibella_cli_smoke_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }
@@ -199,4 +203,35 @@ TEST(CliUsage, MalformedNumericValueIsAUsageError) {
             dibella::cli::kExitUsageError);
   EXPECT_EQ(run_driver({"--preset=tiny", "--k=1x7"}).exit_code,
             dibella::cli::kExitUsageError);
+}
+
+TEST_F(CliSmoke, OverlapCommSchedulesProduceIdenticalOutputs) {
+  // --overlap-comm=on vs off: identical alignments.paf and counters.tsv,
+  // and timings.tsv carries the exposed/hidden exchange columns.
+  fs::path on_dir = dir_ / "on";
+  fs::path off_dir = dir_ / "off";
+  DriverResult on = run_driver({"--preset=tiny", "--ranks=3", "--overlap-comm=on",
+                                "--out-dir=" + on_dir.string()});
+  ASSERT_EQ(on.exit_code, dibella::cli::kExitOk) << on.err;
+  DriverResult off = run_driver({"--preset=tiny", "--ranks=3", "--overlap-comm=off",
+                                 "--out-dir=" + off_dir.string()});
+  ASSERT_EQ(off.exit_code, dibella::cli::kExitOk) << off.err;
+
+  EXPECT_EQ(dibella::io::load_file((on_dir / dibella::cli::kAlignmentsFile).string()),
+            dibella::io::load_file((off_dir / dibella::cli::kAlignmentsFile).string()));
+  EXPECT_EQ(dibella::io::load_file((on_dir / dibella::cli::kCountersFile).string()),
+            dibella::io::load_file((off_dir / dibella::cli::kCountersFile).string()));
+
+  auto timings = nonempty_lines(
+      dibella::io::load_file((on_dir / dibella::cli::kTimingsFile).string()));
+  ASSERT_FALSE(timings.empty());
+  EXPECT_NE(timings[0].find("exchange_exposed_s"), std::string::npos);
+  EXPECT_NE(timings[0].find("exchange_hidden_s"), std::string::npos);
+}
+
+TEST(CliUsage, BadOverlapCommValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--overlap-comm=maybe"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("overlap-comm"), std::string::npos);
 }

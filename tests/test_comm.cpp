@@ -9,6 +9,7 @@
 #include <numeric>
 
 #include "comm/communicator.hpp"
+#include "comm/exchanger.hpp"
 #include "comm/world.hpp"
 #include "util/random.hpp"
 
@@ -222,8 +223,10 @@ TEST(Comm, ExchangeRecordsAlignedAndAccurate) {
     EXPECT_EQ(log[0].seq, 0u);
     EXPECT_EQ(log[0].op, dc::CollectiveOp::kAlltoallv);
     EXPECT_EQ(log[0].stage, "phase_one");
-    // Rank r sent (r+1) u64s to each of P peers.
-    EXPECT_EQ(log[0].total_bytes(), static_cast<u64>((r + 1) * 8 * P));
+    // Rank r sent (r+1) u64s to each of P-1 peers; the self-destination
+    // payload never touches the wire and is excluded from the record.
+    EXPECT_EQ(log[0].total_bytes(), static_cast<u64>((r + 1) * 8 * (P - 1)));
+    EXPECT_EQ(log[0].bytes_to_peer[static_cast<std::size_t>(r)], 0u);
     EXPECT_EQ(log[1].op, dc::CollectiveOp::kBarrier);
     EXPECT_EQ(log[1].stage, "phase_two");
     EXPECT_GE(log[0].wall_seconds, 0.0);
@@ -294,4 +297,282 @@ TEST(Comm, LargePayloadIntegrity) {
       EXPECT_EQ(recv[static_cast<std::size_t>(s)], expect);
     }
   });
+}
+
+// --- self-byte accounting ----------------------------------------------------
+
+TEST(Comm, RecordsExcludeSelfBytesEverywhere) {
+  // Regression: alltoallv used to record the self-destination payload in
+  // bytes_to_peer while allgatherv/gather excluded it. Self bytes never
+  // touch the wire, so every collective must record bytes_to_peer[self]==0.
+  const int P = 4;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    std::vector<std::vector<u64>> send(P);
+    for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)].assign(3, 7);
+    comm.alltoallv(send);
+    comm.alltoallv_flat(send);
+    comm.allgatherv(std::vector<u64>{1, 2});
+    comm.broadcast(u64{9}, 1);
+    comm.gather(std::vector<u64>{5}, 2);
+    dc::Exchanger ex(comm);
+    for (int d = 0; d < P; ++d) ex.post(d, send[static_cast<std::size_t>(d)]);
+    ex.flush_async(/*done=*/true);
+    ex.wait();
+  });
+  auto records = world.exchange_records();
+  for (int r = 0; r < P; ++r) {
+    for (const auto& rec : records[static_cast<std::size_t>(r)]) {
+      EXPECT_EQ(rec.bytes_to_peer[static_cast<std::size_t>(r)], 0u)
+          << dc::collective_op_name(rec.op) << " recorded self bytes on rank " << r;
+    }
+    // alltoallv: 3 u64s to each of P-1 wire peers.
+    EXPECT_EQ(records[static_cast<std::size_t>(r)][0].total_bytes(),
+              static_cast<u64>(3 * 8 * (P - 1)));
+    // The Exchanger batch has the same wire footprint as the alltoallv.
+    const auto& ex_rec = records[static_cast<std::size_t>(r)].back();
+    EXPECT_EQ(ex_rec.op, dc::CollectiveOp::kExchange);
+    EXPECT_EQ(ex_rec.total_bytes(), static_cast<u64>(3 * 8 * (P - 1)));
+  }
+}
+
+TEST(Comm, AlltoallvFlatReportsSourceOffsets) {
+  const int P = 3;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    // Rank r sends r+1 copies of its rank id to every destination.
+    std::vector<std::vector<u32>> send(P);
+    for (int d = 0; d < P; ++d) {
+      send[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(comm.rank() + 1),
+                                               static_cast<u32>(comm.rank()));
+    }
+    std::vector<u64> offsets;
+    auto flat = comm.alltoallv_flat(send, &offsets);
+    ASSERT_EQ(offsets.size(), static_cast<std::size_t>(P) + 1);
+    EXPECT_EQ(offsets[0], 0u);
+    EXPECT_EQ(offsets.back(), flat.size());
+    for (int s = 0; s < P; ++s) {
+      u64 lo = offsets[static_cast<std::size_t>(s)];
+      u64 hi = offsets[static_cast<std::size_t>(s) + 1];
+      ASSERT_EQ(hi - lo, static_cast<u64>(s + 1)) << "from " << s;
+      for (u64 i = lo; i < hi; ++i) EXPECT_EQ(flat[i], static_cast<u32>(s));
+    }
+  });
+}
+
+// --- the nonblocking batched Exchanger ---------------------------------------
+
+TEST(Exchanger, DeliversBatchesInSourceRankOrder) {
+  const int P = 4;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    dc::Exchanger ex(comm);
+    // Two batches; values tag (src, batch).
+    for (int batch = 0; batch < 2; ++batch) {
+      for (int d = 0; d < P; ++d) {
+        std::vector<u32> payload(static_cast<std::size_t>(comm.rank() + 1),
+                                 static_cast<u32>(comm.rank() * 10 + batch));
+        ex.post(d, payload);
+      }
+      ex.flush_async(/*done=*/batch == 1);
+      auto got = ex.wait();
+      EXPECT_EQ(got.all_done(), batch == 1);
+      std::vector<u32> items;
+      got.append_to(items);
+      std::size_t at = 0;
+      for (int s = 0; s < P; ++s) {
+        // Source s's slice: s+1 copies of s*10+batch, in source-rank order.
+        ASSERT_EQ(got.src_size_bytes(s), static_cast<u64>((s + 1) * sizeof(u32)));
+        for (int i = 0; i <= s; ++i) {
+          EXPECT_EQ(items[at++], static_cast<u32>(s * 10 + batch));
+        }
+      }
+      EXPECT_EQ(at, items.size());
+    }
+  });
+}
+
+TEST(Exchanger, ChunkTrainsReassembleLargePayloads) {
+  const int P = 3;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    // 64-byte chunks force multi-chunk trains with ragged tails.
+    dc::Exchanger ex(comm, dc::Exchanger::Config{64});
+    dibella::util::Xoshiro256 rng(static_cast<u64>(comm.rank()) + 41);
+    std::vector<std::vector<u64>> sent(P);
+    for (int d = 0; d < P; ++d) {
+      sent[static_cast<std::size_t>(d)].resize(100 + rng.uniform_below(200));
+      for (auto& v : sent[static_cast<std::size_t>(d)]) v = rng.next();
+      ex.post(d, sent[static_cast<std::size_t>(d)]);
+    }
+    ex.flush_async(true);
+    auto got = ex.wait();
+    for (int s = 0; s < P; ++s) {
+      // Regenerate the peer's stream to verify chunk reassembly.
+      dibella::util::Xoshiro256 peer(static_cast<u64>(s) + 41);
+      std::vector<u64> expect;
+      for (int d = 0; d < P; ++d) {
+        std::vector<u64> block(100 + peer.uniform_below(200));
+        for (auto& v : block) v = peer.next();
+        if (d == comm.rank()) expect = std::move(block);
+      }
+      std::vector<u64> items;
+      got.append_from(s, items);
+      EXPECT_EQ(items, expect);
+    }
+  });
+}
+
+TEST(Exchanger, OverlappedLoopMatchesBlockingLoop) {
+  // The overlapped helper must deliver, batch for batch, exactly what the
+  // blocking pack -> alltoallv_flat -> allreduce loop delivers, including
+  // the ragged termination (ranks run out of data at different times).
+  const int P = 5;
+  const int kBatches[] = {7, 2, 5, 1, 4};  // per-rank batch counts
+  auto payload = [](int src, int batch, int dst) {
+    return static_cast<u64>(src * 10000 + batch * 100 + dst);
+  };
+
+  // Reference: blocking schedule.
+  std::vector<std::vector<u64>> blocking_recv(P);
+  {
+    dc::World world(P);
+    world.run([&](dc::Communicator& comm) {
+      int me = comm.rank();
+      int sent = 0;
+      bool more = true;
+      while (true) {
+        std::vector<std::vector<u64>> send(P);
+        if (more) {
+          for (int d = 0; d < P; ++d) send[static_cast<std::size_t>(d)] = {payload(me, sent, d)};
+          ++sent;
+          more = sent < kBatches[me];
+        }
+        auto flat = comm.alltoallv_flat(send);
+        auto& sink = blocking_recv[static_cast<std::size_t>(me)];
+        sink.insert(sink.end(), flat.begin(), flat.end());
+        if (comm.allreduce_and(!more)) break;
+      }
+    });
+  }
+
+  // Overlapped schedule on the Exchanger.
+  std::vector<std::vector<u64>> overlapped_recv(P);
+  std::vector<u64> batches(P, 0);
+  {
+    dc::World world(P);
+    world.run([&](dc::Communicator& comm) {
+      int me = comm.rank();
+      dc::Exchanger ex(comm);
+      int sent = 0;
+      batches[static_cast<std::size_t>(me)] = dc::run_overlapped_exchange(
+          ex,
+          [&] {
+            for (int d = 0; d < P; ++d) {
+              u64 v = payload(me, sent, d);
+              ex.post(d, &v, 1);
+            }
+            ++sent;
+            return sent < kBatches[me];
+          },
+          [&](const dc::RecvBatch& batch) {
+            batch.append_to(overlapped_recv[static_cast<std::size_t>(me)]);
+          });
+    });
+  }
+
+  for (int r = 0; r < P; ++r) {
+    EXPECT_EQ(overlapped_recv[static_cast<std::size_t>(r)],
+              blocking_recv[static_cast<std::size_t>(r)])
+        << "rank " << r;
+    // Same number of exchange rounds as the blocking loop (max batches = 7).
+    EXPECT_EQ(batches[static_cast<std::size_t>(r)], 7u);
+  }
+}
+
+TEST(Exchanger, RecordsHiddenWindowAndInterleavesWithCollectives) {
+  const int P = 2;
+  dc::World world(P);
+  world.run([&](dc::Communicator& comm) {
+    comm.set_stage("overlap_test");
+    dc::Exchanger ex(comm);
+    std::vector<u32> v{1, 2, 3};
+    for (int d = 0; d < P; ++d) ex.post(d, v);
+    ex.flush_async(true);
+    // A blocking collective result computed while the batch is in flight
+    // must coexist with the pending exchange (distinct epoch tags).
+    EXPECT_EQ(comm.allreduce_sum(u64{1}), static_cast<u64>(P));
+    auto got = ex.wait();
+    std::vector<u32> items;
+    got.append_to(items);
+    ASSERT_EQ(items.size(), static_cast<std::size_t>(P) * 3);
+  });
+  auto records = world.exchange_records();
+  for (int r = 0; r < P; ++r) {
+    const auto& log = records[static_cast<std::size_t>(r)];
+    // allgather (from allreduce) finishes before the exchange's wait().
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].op, dc::CollectiveOp::kAllgather);
+    EXPECT_EQ(log[1].op, dc::CollectiveOp::kExchange);
+    EXPECT_EQ(log[1].stage, "overlap_test");
+    EXPECT_GE(log[1].hidden_wall_seconds, 0.0);
+    EXPECT_GE(log[1].wall_seconds, 0.0);
+  }
+}
+
+// --- collective misuse paths -------------------------------------------------
+
+TEST(CommFailure, BarrierTimeoutAbortsRun) {
+  // Rank 0 skips the second barrier entirely and leaves the region; the
+  // stragglers' barrier must time out and abort instead of hanging.
+  dc::World world(3, /*barrier_timeout_seconds=*/1.0);
+  EXPECT_THROW(world.run([&](dc::Communicator& comm) {
+                 comm.barrier();
+                 if (comm.rank() != 0) comm.barrier();
+               }),
+               dibella::Error);
+  // The world stays usable afterwards.
+  int ok = 0;
+  world.run([&](dc::Communicator& comm) {
+    comm.barrier();
+    if (comm.rank() == 0) ++ok;
+  });
+  EXPECT_EQ(ok, 1);
+}
+
+TEST(CommFailure, MismatchedCollectiveKindsPoisonTheWorld) {
+  // Rank 0 calls alltoallv while the others call allgatherv at the same
+  // epoch: the mailbox tags disagree, which must abort the run with a
+  // sequence-mismatch error, not mix payloads or deadlock.
+  dc::World world(3, /*barrier_timeout_seconds=*/5.0);
+  try {
+    world.run([&](dc::Communicator& comm) {
+      if (comm.rank() == 0) {
+        std::vector<std::vector<u64>> send(3);
+        comm.alltoallv(send);
+      } else {
+        comm.allgatherv(std::vector<u64>{1});
+      }
+    });
+    FAIL() << "mismatched collectives must throw";
+  } catch (const dibella::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("mismatch"), std::string::npos) << e.what();
+  }
+}
+
+TEST(CommFailure, MismatchedBarrierEpochPoisonsTheWorld) {
+  // Rank 0 runs one collective before its barrier, the others none: all
+  // ranks meet at the fence but disagree on the epoch — a mismatched
+  // sequence that must abort, not silently desynchronize the record logs.
+  dc::World world(2, /*barrier_timeout_seconds=*/1.5);
+  try {
+    world.run([&](dc::Communicator& comm) {
+      if (comm.rank() == 0) comm.allgatherv(std::vector<u64>{});
+      comm.barrier();
+      if (comm.rank() == 1) comm.allgatherv(std::vector<u64>{});
+    });
+    FAIL() << "mismatched barrier epochs must throw";
+  } catch (const dibella::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("mismatch"), std::string::npos) << e.what();
+  }
 }

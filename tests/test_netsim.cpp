@@ -250,5 +250,65 @@ TEST(CostModel, EndToEndWithRealWorldRecords) {
   // Compute: max cpu = 0.004 scaled by at least the core factor.
   EXPECT_GE(report.stage("work").compute_virtual, 0.004 * dn::titan().core_time_factor * 0.99);
   EXPECT_GT(report.stage("work").exchange_virtual, 0.0);
-  EXPECT_EQ(report.stage("work").exchange_bytes, static_cast<u64>(P * P * 100 * 8));
+  // Self-destination bytes are excluded from the records (P-1 wire peers).
+  EXPECT_EQ(report.stage("work").exchange_bytes, static_cast<u64>(P * (P - 1) * 100 * 8));
+}
+
+TEST(CostModel, OverlappedExchangeSplitsExposedAndHidden) {
+  // One rank computes 2.0s virtual inside the flush...wait bracket, the
+  // other nothing: rank 1's cost is fully exposed, rank 0 hides up to its
+  // window. Exposed = max over ranks of (per-rank cost - window).
+  dn::Topology topo{2, 1};
+  dn::CostModel model(dn::local_host(), topo);
+
+  std::vector<dn::RankTrace> traces(2);
+  traces[0].add_exchange_start();
+  traces[0].add_compute("alpha", 2.0, 0);
+  traces[0].add_exchange(0);
+  traces[1].add_exchange_start();
+  traces[1].add_exchange(0);
+
+  std::vector<std::vector<dc::ExchangeRecord>> records(2);
+  for (int r = 0; r < 2; ++r) {
+    dc::ExchangeRecord rec;
+    rec.op = dc::CollectiveOp::kExchange;
+    rec.stage = "alpha";
+    rec.seq = 0;
+    rec.bytes_to_peer = {0, 0};
+    rec.bytes_to_peer[static_cast<std::size_t>(1 - r)] = 4'000'000;
+    records[static_cast<std::size_t>(r)].push_back(rec);
+  }
+
+  auto report = model.evaluate(traces, records);
+  const auto& st = report.stage("alpha");
+  EXPECT_GT(st.exchange_virtual, 0.0);
+  // Rank 1 had no compute in the window, so its full cost stays exposed;
+  // rank 0's window (2.0s virtual) covers its cost entirely on this model.
+  EXPECT_GT(st.exchange_exposed_virtual, 0.0);
+  EXPECT_LE(st.exchange_exposed_virtual, st.exchange_virtual);
+  // Totals: makespan counts compute + exposed only.
+  EXPECT_DOUBLE_EQ(report.total_virtual(),
+                   report.total_compute_virtual() +
+                       report.total_exchange_exposed_virtual());
+}
+
+TEST(CostModel, BlockingCollectivesStayFullyExposed) {
+  // No start markers -> exposed == full exchange time (the pre-overlap
+  // behavior, which the paper-figure benches rely on).
+  dn::Topology topo{2, 1};
+  dn::CostModel model(dn::local_host(), topo);
+  std::vector<dn::RankTrace> traces(2);
+  for (int r = 0; r < 2; ++r) {
+    traces[static_cast<std::size_t>(r)].add_compute("s", 1.0, 0);
+    traces[static_cast<std::size_t>(r)].add_exchange(0);
+  }
+  auto recs = make_alltoallv({{0, 1'000'000}, {1'000'000, 0}});
+  std::vector<std::vector<dc::ExchangeRecord>> records(2);
+  records[0] = {recs[0]};
+  records[1] = {recs[1]};
+  for (auto& log : records) log[0].stage = "s";
+  auto report = model.evaluate(traces, records);
+  EXPECT_DOUBLE_EQ(report.stage("s").exchange_exposed_virtual,
+                   report.stage("s").exchange_virtual);
+  EXPECT_GT(report.stage("s").exchange_virtual, 0.0);
 }

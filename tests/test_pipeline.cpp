@@ -235,3 +235,99 @@ TEST(Pipeline, SingleRankWorld) {
   EXPECT_GT(out.alignments.size(), 0u);
   EXPECT_EQ(out.counters.reads_exchanged, 0u);  // everything is local
 }
+
+TEST(Pipeline, OverlappedScheduleBitwiseIdenticalToBlocking) {
+  // The tentpole contract: the nonblocking Exchanger schedule and the
+  // bulk-synchronous schedule produce byte-for-byte the same alignments and
+  // the same counters (small batches force many in-flight batches per stage).
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(53));
+  auto cfg = tiny_config();
+  cfg.batch_kmers = 5'000;  // many batches -> real overlap in stages 1/2
+  dibella::comm::World world(4);
+
+  cfg.overlap_comm = true;
+  auto on = run_pipeline(world, sim.reads, cfg);
+  cfg.overlap_comm = false;
+  auto off = run_pipeline(world, sim.reads, cfg);
+
+  ASSERT_EQ(on.alignments.size(), off.alignments.size());
+  for (std::size_t i = 0; i < on.alignments.size(); ++i) {
+    const auto& x = on.alignments[i];
+    const auto& y = off.alignments[i];
+    EXPECT_EQ(x.rid_a, y.rid_a);
+    EXPECT_EQ(x.rid_b, y.rid_b);
+    EXPECT_EQ(x.score, y.score);
+    EXPECT_EQ(x.a_begin, y.a_begin);
+    EXPECT_EQ(x.a_end, y.a_end);
+    EXPECT_EQ(x.b_begin, y.b_begin);
+    EXPECT_EQ(x.b_end, y.b_end);
+    EXPECT_EQ(x.same_orientation, y.same_orientation);
+  }
+  // Every aggregated counter matches, not just the rank-independent ones —
+  // the schedules do identical work in identical order per rank.
+  EXPECT_EQ(on.counters.kmers_parsed, off.counters.kmers_parsed);
+  EXPECT_EQ(on.counters.candidate_keys, off.counters.candidate_keys);
+  EXPECT_EQ(on.counters.retained_kmers, off.counters.retained_kmers);
+  EXPECT_EQ(on.counters.purged_keys, off.counters.purged_keys);
+  EXPECT_EQ(on.counters.overlap_tasks, off.counters.overlap_tasks);
+  EXPECT_EQ(on.counters.read_pairs, off.counters.read_pairs);
+  EXPECT_EQ(on.counters.seeds_after_filter, off.counters.seeds_after_filter);
+  EXPECT_EQ(on.counters.reads_exchanged, off.counters.reads_exchanged);
+  EXPECT_EQ(on.counters.read_bytes_exchanged, off.counters.read_bytes_exchanged);
+  EXPECT_EQ(on.counters.pairs_aligned, off.counters.pairs_aligned);
+  EXPECT_EQ(on.counters.alignments_computed, off.counters.alignments_computed);
+  EXPECT_EQ(on.counters.dp_cells, off.counters.dp_cells);
+  EXPECT_EQ(on.counters.alignments_reported, off.counters.alignments_reported);
+}
+
+TEST(Pipeline, BlockingScheduleIndependentOfRankCount) {
+  // The default schedule's rank invariance is pinned by
+  // OutputIndependentOfRankCount; the blocking fallback must keep it too.
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(3));
+  auto cfg = tiny_config();
+  cfg.overlap_comm = false;
+
+  dibella::comm::World w1(1), w5(5);
+  auto out1 = run_pipeline(w1, sim.reads, cfg);
+  auto out5 = run_pipeline(w5, sim.reads, cfg);
+  ASSERT_EQ(out1.alignments.size(), out5.alignments.size());
+  for (std::size_t i = 0; i < out1.alignments.size(); ++i) {
+    EXPECT_EQ(out1.alignments[i].score, out5.alignments[i].score);
+    EXPECT_EQ(out1.alignments[i].rid_a, out5.alignments[i].rid_a);
+    EXPECT_EQ(out1.alignments[i].rid_b, out5.alignments[i].rid_b);
+  }
+}
+
+TEST(Pipeline, OverlappedScheduleHidesExchangeTime) {
+  // With multiple in-flight batches, part of the modeled exchange time must
+  // be hidden behind compute, and the exposed total must shrink relative to
+  // the blocking schedule (same workload, same cost model).
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(59));
+  auto cfg = tiny_config();
+  cfg.batch_kmers = 5'000;
+  dibella::comm::World world(4);
+
+  cfg.overlap_comm = true;
+  auto on = run_pipeline(world, sim.reads, cfg);
+  cfg.overlap_comm = false;
+  auto off = run_pipeline(world, sim.reads, cfg);
+
+  auto topo = dibella::netsim::Topology{2, 2};
+  auto rep_on = on.evaluate(dibella::netsim::cori(), topo);
+  auto rep_off = off.evaluate(dibella::netsim::cori(), topo);
+
+  // Blocking: nothing is hidden.
+  EXPECT_DOUBLE_EQ(rep_off.total_exchange_exposed_virtual(),
+                   rep_off.total_exchange_virtual());
+  // Overlapped: a nonzero hidden share, and exposed <= full for every stage.
+  EXPECT_GT(rep_on.total_exchange_virtual(),
+            rep_on.total_exchange_exposed_virtual());
+  for (const auto& name : rep_on.stage_order) {
+    const auto& st = rep_on.stage(name);
+    EXPECT_LE(st.exchange_exposed_virtual, st.exchange_virtual + 1e-12) << name;
+    EXPECT_GE(st.exchange_exposed_virtual, 0.0) << name;
+  }
+  // The overlapped schedule's exposed exchange beats the blocking schedule's.
+  EXPECT_LT(rep_on.total_exchange_exposed_virtual(),
+            rep_off.total_exchange_exposed_virtual());
+}
