@@ -16,6 +16,12 @@
 //                   nonblocking batched Exchanger (optimized) — virtual
 //                   cost-model time, deterministic by construction (see
 //                   bench_exchange_overlap for the per-stage breakdown)
+//   * sgraph_reduction: stage-5 string-graph transitive reduction,
+//                   sequential graph::OverlapGraph oracle (baseline) vs the
+//                   distributed sgraph stage over a 4-rank World
+//                   (optimized); `cells` carries the edges removed and
+//                   `items` the dovetail edges entering reduction (see
+//                   bench_sgraph_reduction for the workload sweep)
 //
 // usage: bench_kernel_wallclock [--smoke] [--reps=N] [--out=PATH]
 //   --smoke   tiny workload + fewer reps (CI-sized; shape, not significance)
@@ -38,6 +44,7 @@
 #include "align/xdrop.hpp"
 #include "common/bench_common.hpp"
 #include "common/exchange_overlap.hpp"
+#include "common/sgraph_workload.hpp"
 #include "kmer/dna.hpp"
 #include "overlap/overlapper.hpp"
 #include "util/args.hpp"
@@ -284,6 +291,26 @@ BenchRow bench_exchange_overlap(bool smoke) {
   return row;
 }
 
+BenchRow bench_sgraph(bool smoke, int reps) {
+  // Both paths are cross-checked against each other inside the measurement.
+  // ~30x coverage layout (the paper's E. coli 30x shape).
+  std::size_t n_reads = smoke ? 600 : 6'000;
+  auto w = benchx::make_sgraph_workload(n_reads, n_reads * 200, 6'000, 500,
+                                        /*seed=*/0x5647);
+  sgraph::StringGraphConfig cfg;
+  auto r = benchx::measure_sgraph_reduction(w, /*ranks=*/4, reps, cfg);
+  BenchRow row;
+  row.name = "sgraph_reduction";
+  row.unit = "edges/s";
+  row.items = r.edges_in;
+  row.cells = r.edges_removed;  // for this entry: edges removed, not DP cells
+  row.baseline_s = r.sequential_s;
+  row.optimized_s = r.distributed_s;
+  row.throughput =
+      r.distributed_s > 0 ? static_cast<double>(r.edges_in) / r.distributed_s : 0.0;
+  return row;
+}
+
 // --- output ------------------------------------------------------------------
 
 std::string json_escapeless(double v) {
@@ -348,6 +375,7 @@ int main(int argc, char** argv) {
     rows.push_back(bench_consolidate(2'000'000, 60'000, reps, rng));
   }
   rows.push_back(bench_exchange_overlap(smoke));
+  rows.push_back(bench_sgraph(smoke, reps));
 
   util::Table t({"kernel", "baseline (s)", "optimized (s)", "speedup", "ns/cell",
                  "throughput"});

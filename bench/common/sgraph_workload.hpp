@@ -1,0 +1,197 @@
+#pragma once
+/// \file sgraph_workload.hpp
+/// Shared workload + measurement for the stage-5 benches: a synthetic
+/// genome read layout (reads at random positions, overlap records derived
+/// from the true interval intersections) pushed through (a) the sequential
+/// graph::OverlapGraph oracle and (b) the distributed sgraph stage over an
+/// in-process World. Both paths are checksummed against each other before
+/// any number is reported, mirroring the PR 2 bench rule.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "core/kernel_costs.hpp"
+#include "core/stage_context.hpp"
+#include "graph/overlap_graph.hpp"
+#include "io/read_store.hpp"
+#include "netsim/cost_model.hpp"
+#include "netsim/platform.hpp"
+#include "netsim/rank_trace.hpp"
+#include "sgraph/string_graph.hpp"
+#include "util/common.hpp"
+#include "util/random.hpp"
+#include "util/timer.hpp"
+
+namespace dibella::benchx {
+
+struct SgraphWorkload {
+  std::vector<align::AlignmentRecord> records;
+  std::vector<u64> read_lengths;
+};
+
+/// Reads tiled over a circular-free linear genome; every true overlap of at
+/// least `min_overlap` bp yields one perfect alignment record (score = the
+/// overlap length), so classification produces the realistic contained /
+/// dovetail / internal mix of a coverage-`n_reads * mean_len / genome_len`
+/// layout.
+inline SgraphWorkload make_sgraph_workload(std::size_t n_reads, u64 genome_len,
+                                           u64 mean_len, u64 min_overlap, u64 seed) {
+  util::Xoshiro256 rng(seed);
+  struct Placed {
+    u64 start, len, gid;
+  };
+  std::vector<Placed> placed(n_reads);
+  SgraphWorkload w;
+  w.read_lengths.resize(n_reads);
+  for (std::size_t i = 0; i < n_reads; ++i) {
+    u64 len = mean_len / 2 + rng.uniform_below(mean_len);
+    u64 start = rng.uniform_below(genome_len > len ? genome_len - len : 1);
+    placed[i] = Placed{start, len, i};
+    w.read_lengths[i] = len;
+  }
+  std::sort(placed.begin(), placed.end(),
+            [](const Placed& x, const Placed& y) { return x.start < y.start; });
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      const auto& a = placed[i];
+      const auto& b = placed[j];
+      if (b.start >= a.start + a.len) break;  // sorted: no further overlaps
+      u64 s = b.start;
+      u64 e = std::min(a.start + a.len, b.start + b.len);
+      if (e <= s || e - s < min_overlap) continue;
+      align::AlignmentRecord rec;
+      rec.rid_a = a.gid;
+      rec.rid_b = b.gid;
+      rec.a_begin = static_cast<u32>(s - a.start);
+      rec.a_end = static_cast<u32>(e - a.start);
+      rec.b_begin = static_cast<u32>(s - b.start);
+      rec.b_end = static_cast<u32>(e - b.start);
+      rec.score = static_cast<i32>(e - s);
+      rec.same_orientation = 1;
+      w.records.push_back(rec);
+    }
+  }
+  return w;
+}
+
+struct SgraphBenchResult {
+  double sequential_s = 0;   ///< oracle classify + reduce, best-of-reps wall
+  double distributed_s = 0;  ///< sgraph stage over a World, best-of-reps wall
+  /// Modeled stage-5 seconds on Cori at the run's rank count (exact wire
+  /// volumes, work-based compute accounting) — deterministic, so it carries
+  /// the strong-scaling story even on a single-core host, where the real
+  /// `distributed_s` of an in-process thread World measures distribution
+  /// overhead rather than parallel speedup.
+  double modeled_virtual_s = 0;
+  u64 edges_in = 0;          ///< dovetail edges entering reduction
+  u64 edges_removed = 0;
+  u64 edges_surviving = 0;
+  u64 unitigs = 0;
+};
+
+/// Run both reductions on the workload and cross-check their surviving sets.
+inline SgraphBenchResult measure_sgraph_reduction(const SgraphWorkload& w, int ranks,
+                                                  int reps,
+                                                  const sgraph::StringGraphConfig& cfg) {
+  SgraphBenchResult out;
+
+  // --- sequential oracle: classify + contained-drop + OverlapGraph reduce.
+  std::vector<graph::LiveEdge> oracle;
+  {
+    core::KernelCosts::get();  // calibrate outside the timed regions
+    util::WallTimer total;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      util::WallTimer t;
+      std::set<u64> contained;
+      std::vector<std::pair<align::AlignmentRecord, sgraph::EdgeGeometry>> dovetails;
+      for (const auto& rec : w.records) {
+        if (rec.rid_a == rec.rid_b || rec.score < cfg.min_overlap_score) continue;
+        auto geom = sgraph::classify_alignment(
+            rec, w.read_lengths[static_cast<std::size_t>(rec.rid_a)],
+            w.read_lengths[static_cast<std::size_t>(rec.rid_b)], cfg.fuzz);
+        if (geom.cls == sgraph::EdgeClass::kContainedA) contained.insert(rec.rid_a);
+        if (geom.cls == sgraph::EdgeClass::kContainedB) contained.insert(rec.rid_b);
+        if (geom.cls == sgraph::EdgeClass::kDovetail) dovetails.push_back({rec, geom});
+      }
+      std::vector<align::AlignmentRecord> kept;
+      for (const auto& [rec, geom] : dovetails) {
+        if (contained.count(rec.rid_a) || contained.count(rec.rid_b)) continue;
+        kept.push_back(rec);
+      }
+      auto g = graph::OverlapGraph::from_alignments(kept, w.read_lengths.size());
+      u64 edges_in = g.num_edges();
+      u64 removed = g.transitive_reduction();
+      best = std::min(best, t.seconds());
+      if (r == 0) {
+        oracle = g.live_edges();
+        out.edges_in = edges_in;
+        out.edges_removed = removed;
+      }
+    }
+    out.sequential_s = best;
+    (void)total;
+  }
+
+  // --- distributed stage: records spread round-robin (as stage 4 leaves
+  // them), one World per rep so collective state starts cold each time.
+  {
+    std::vector<io::Read> reads(w.read_lengths.size());
+    for (std::size_t i = 0; i < reads.size(); ++i) {
+      reads[i].gid = i;
+      // std::string("b").append(...) sidesteps GCC 12's -Wrestrict false
+      // positive (PR105329) on `const char* + std::string&&` at -O3.
+      reads[i].name = std::string("b").append(std::to_string(i));
+      reads[i].seq.assign(w.read_lengths[i], 'A');
+    }
+    io::ReadPartition partition(w.read_lengths, ranks);
+    std::vector<std::vector<align::AlignmentRecord>> per_rank(
+        static_cast<std::size_t>(ranks));
+    for (std::size_t i = 0; i < w.records.size(); ++i) {
+      per_rank[i % static_cast<std::size_t>(ranks)].push_back(w.records[i]);
+    }
+    double best = 1e300;
+    std::vector<sgraph::DovetailEdge> surviving;
+    for (int r = 0; r < reps; ++r) {
+      comm::World world(ranks);
+      std::vector<netsim::RankTrace> traces(static_cast<std::size_t>(ranks));
+      std::vector<sgraph::StringGraphOutput> outs(static_cast<std::size_t>(ranks));
+      util::WallTimer t;
+      world.run([&](comm::Communicator& comm) {
+        const auto rank = static_cast<std::size_t>(comm.rank());
+        core::StageContext ctx{comm, traces[rank]};
+        ctx.attach();
+        io::ReadStore store(reads, partition, comm.rank());
+        outs[rank] = sgraph::run_string_graph_stage(ctx, store, per_rank[rank], cfg);
+      });
+      best = std::min(best, t.seconds());
+      if (r == 0) {
+        surviving = std::move(outs[0].surviving_edges);
+        out.unitigs = outs[0].layout.unitigs.size();
+        int rpn = 1;
+        for (int d = 2; d <= std::min(4, ranks); ++d) {
+          if (ranks % d == 0) rpn = d;
+        }
+        netsim::CostModel model(netsim::cori(), netsim::Topology{ranks / rpn, rpn});
+        auto report = model.evaluate(traces, world.exchange_records());
+        out.modeled_virtual_s = report.stage("sgraph").total_virtual();
+      }
+    }
+    out.distributed_s = best;
+    out.edges_surviving = surviving.size();
+
+    // Checksum: the two reductions must agree edge for edge.
+    DIBELLA_CHECK(surviving.size() == oracle.size(),
+                  "sgraph bench: distributed surviving count diverged from oracle");
+    for (std::size_t i = 0; i < surviving.size(); ++i) {
+      DIBELLA_CHECK(surviving[i].lo == oracle[i].lo && surviving[i].hi == oracle[i].hi &&
+                        surviving[i].overlap_len == oracle[i].overlap_len,
+                    "sgraph bench: distributed surviving set diverged from oracle");
+    }
+  }
+  return out;
+}
+
+}  // namespace dibella::benchx

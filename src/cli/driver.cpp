@@ -16,6 +16,7 @@
 #include "io/fastx.hpp"
 #include "netsim/cost_model.hpp"
 #include "netsim/platform.hpp"
+#include "sgraph/unitig.hpp"
 #include "simgen/presets.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
@@ -26,10 +27,11 @@ namespace {
 
 constexpr const char* kUsage = R"(dibella — distributed long read to long read alignment (paper pipeline driver)
 
-Runs the four-stage diBELLA pipeline (distributed Bloom filter, distributed
-hash table, overlap detection, read exchange + x-drop alignment) over P
-in-process SPMD ranks, then writes the alignments, stage counters, and the
-netsim cost-model report.
+Runs the diBELLA pipeline (distributed Bloom filter, distributed hash
+table, overlap detection, read exchange + x-drop alignment, and optionally
+stage 5: distributed string-graph reduction + unitig/GFA layout) over P
+in-process SPMD ranks, then writes the alignments, stage counters, string
+graph, and the netsim cost-model report.
 
 usage: dibella [options]            (all options are --key=value or --flag)
 
@@ -57,6 +59,17 @@ pipeline:
                         Alignments and counters are identical either way;
                         timings.tsv shows the exposed/hidden exchange split.
 
+string graph (stage 5):
+  --stage5=MODE         on (default) = build the string graph from the
+                        alignments: classify contained/dovetail/internal
+                        edges, run the distributed transitive reduction,
+                        extract unitigs, and write GFA1 + components.tsv.
+                        off = stop after alignment (stages 1-4 only).
+  --gfa=PATH            GFA1 output path (default <out-dir>/graph.gfa);
+                        an explicit path is honored even with --no-output
+  --min-overlap-score=N drop alignments scoring below N before the graph
+                        (default 0)
+
 cost model:
   --platform=NAME       local | cori | edison | titan | aws (default local)
   --ranks-per-node=N    simulated ranks per node (default min(4, ranks);
@@ -78,7 +91,8 @@ const std::set<std::string>& known_options() {
       "k",          "min-kmer-count", "max-kmer-count", "coverage",
       "error-rate", "seed-policy",   "spacing",        "xdrop",
       "min-score",  "bloom-fpr",     "overlap-comm",   "platform",
-      "ranks-per-node", "out-dir",   "no-output",      "help"};
+      "ranks-per-node", "out-dir",   "no-output",      "help",
+      "stage5",     "gfa",           "min-overlap-score"};
   return opts;
 }
 
@@ -157,6 +171,13 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("dp_cells", c.dp_cells);
   row("alignments_reported", c.alignments_reported);
   row("sw_band_fallbacks", c.sw_band_fallbacks);
+  row("sg_contained_reads", c.sg_contained_reads);
+  row("sg_internal_records", c.sg_internal_records);
+  row("sg_dovetail_edges", c.sg_dovetail_edges);
+  row("sg_edges_removed", c.sg_edges_removed);
+  row("sg_edges_surviving", c.sg_edges_surviving);
+  row("sg_unitigs", c.sg_unitigs);
+  row("sg_components", c.sg_components);
   row("max_kmer_count", c.max_kmer_count);
   return os.str();
 }
@@ -186,7 +207,8 @@ std::string timings_tsv(const netsim::TimingReport& report) {
   return os.str();
 }
 
-void print_counters(std::ostream& out, const core::PipelineCounters& c, int ranks) {
+void print_counters(std::ostream& out, const core::PipelineCounters& c, int ranks,
+                    bool stage5) {
   util::Table t({"stage counter", "value"});
   auto row = [&](const char* name, u64 v) {
     t.start_row();
@@ -204,6 +226,15 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
   row("4. pairs aligned", c.pairs_aligned);
   row("4. seed extensions (alignments)", c.alignments_computed);
   row("4. alignments reported", c.alignments_reported);
+  if (stage5) {
+    row("5. contained reads dropped", c.sg_contained_reads);
+    row("5. internal matches discarded", c.sg_internal_records);
+    row("5. dovetail edges", c.sg_dovetail_edges);
+    row("5. edges removed (transitive)", c.sg_edges_removed);
+    row("5. edges surviving", c.sg_edges_surviving);
+    row("5. unitigs", c.sg_unitigs);
+    row("5. components", c.sg_components);
+  }
   out << t.to_text("diBELLA pipeline on " + std::to_string(ranks) + " ranks");
 }
 
@@ -329,6 +360,19 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   } else {
     throw UsageError("unknown --overlap-comm=" + overlap_mode + " (expected on|off)");
   }
+  const std::string stage5_mode = args.get("stage5", "on");
+  if (stage5_mode == "on") {
+    cfg.stage5 = true;
+  } else if (stage5_mode == "off") {
+    cfg.stage5 = false;
+  } else {
+    throw UsageError("unknown --stage5=" + stage5_mode + " (expected on|off)");
+  }
+  cfg.min_overlap_score =
+      static_cast<i32>(parse_i64(args, "min-overlap-score", cfg.min_overlap_score));
+  if (args.has("gfa") && !cfg.stage5) {
+    throw UsageError("--gfa requires --stage5=on");
+  }
   const netsim::Platform platform = platform_by_name(args.get("platform", "local"));
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
@@ -339,30 +383,51 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   comm::World world(ranks);
   core::PipelineOutput result = core::run_pipeline(world, reads, cfg);
 
-  print_counters(out, result.counters, ranks);
+  print_counters(out, result.counters, ranks, cfg.stage5);
 
   const netsim::Topology topo{ranks / ranks_per_node, ranks_per_node};
   const netsim::TimingReport report = result.evaluate(platform, topo);
   print_timings(out, report, platform, topo);
 
   // --- persist.
-  if (!args.get_bool("no-output", false)) {
+  const bool no_output = args.get_bool("no-output", false);
+  if (!no_output) {
     const std::filesystem::path dir = args.get("out-dir", "dibella_out");
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec) throw Error("cannot create --out-dir " + dir.string() + ": " + ec.message());
 
     std::ostringstream paf;
-    core::write_paf(paf, result.alignments, reads);
+    core::write_paf(paf, result.alignments, reads, cfg.sgraph_fuzz);
     write_file(dir / kAlignmentsFile, paf.str());
     write_file(dir / kCountersFile, counters_tsv(result.counters, ranks));
     write_file(dir / kTimingsFile, timings_tsv(report));
     if (simulated) write_file(dir / kReadsFile, io::to_fasta(reads));
+    if (cfg.stage5) {
+      std::ostringstream comp;
+      sgraph::write_component_summary(comp, result.string_graph.layout);
+      write_file(dir / kComponentsFile, comp.str());
+    }
 
     out << "\nwrote " << result.alignments.size() << " alignments to "
         << (dir / kAlignmentsFile).string() << " (+ " << kCountersFile << ", "
-        << kTimingsFile << (simulated ? std::string(", ") + kReadsFile : "")
-        << ")\n";
+        << kTimingsFile << (cfg.stage5 ? std::string(", ") + kComponentsFile : "")
+        << (simulated ? std::string(", ") + kReadsFile : "") << ")\n";
+  }
+  // The GFA rides --out-dir by default but an explicit --gfa path is
+  // honored even under --no-output (the quickstart's one-file ask).
+  if (cfg.stage5 && (!no_output || args.has("gfa"))) {
+    const std::filesystem::path gfa_path =
+        args.has("gfa")
+            ? std::filesystem::path(args.get("gfa", ""))
+            : std::filesystem::path(args.get("out-dir", "dibella_out")) / kGfaFile;
+    std::ostringstream gfa;
+    sgraph::write_gfa(gfa, result.string_graph.surviving_edges, reads);
+    write_file(gfa_path, gfa.str());
+    out << "string graph: " << result.counters.sg_edges_surviving
+        << " edges, " << result.counters.sg_unitigs << " unitigs in "
+        << result.counters.sg_components << " components -> " << gfa_path.string()
+        << "\n";
   }
 
   if (result.counters.alignments_reported == 0) {

@@ -22,6 +22,8 @@ inline constexpr const char* kAlignmentsFile = "alignments.paf";
 inline constexpr const char* kCountersFile = "counters.tsv";
 inline constexpr const char* kTimingsFile = "timings.tsv";
 inline constexpr const char* kReadsFile = "reads.fasta";  ///< simulated runs only
+inline constexpr const char* kGfaFile = "graph.gfa";      ///< stage 5 (default --gfa path)
+inline constexpr const char* kComponentsFile = "components.tsv";  ///< stage 5
 
 /// Run the driver with the given argv. Progress and results go to `out`,
 /// diagnostics to `err`. Never throws; failures map to the exit codes above.

@@ -94,6 +94,50 @@ struct RecvBatch {
   }
 };
 
+/// Sequential POD reader over a received byte region (one source's slice of
+/// a RecvBatch, a per-source vector from alltoallv, or bytes accumulated
+/// across several overlapped batches): the consumption-side counterpart of
+/// post()-ing a framed record stream field by field. Framed streams let a
+/// stage ship ragged records (header + variable payload) through the same
+/// byte exchanges as flat ones; the reader checks bounds so a truncated or
+/// misaligned frame fails loudly instead of reading garbage.
+class ByteReader {
+ public:
+  ByteReader(const u8* data, u64 size) : p_(data), left_(size) {}
+  explicit ByteReader(const std::vector<u8>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool empty() const { return left_ == 0; }
+  u64 remaining() const { return left_; }
+
+  template <class T>
+  T read() {
+    static_assert(std::is_trivially_copyable_v<T>, "framed payload must be POD");
+    DIBELLA_CHECK(left_ >= sizeof(T), "ByteReader: truncated frame");
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    left_ -= sizeof(T);
+    return v;
+  }
+
+  /// Append `n` items of T to `out`.
+  template <class T>
+  void read_into(std::vector<T>& out, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>, "framed payload must be POD");
+    DIBELLA_CHECK(left_ >= n * sizeof(T), "ByteReader: truncated frame payload");
+    std::size_t at = out.size();
+    out.resize(at + n);
+    if (n > 0) std::memcpy(out.data() + at, p_, n * sizeof(T));
+    p_ += n * sizeof(T);
+    left_ -= n * sizeof(T);
+  }
+
+ private:
+  const u8* p_;
+  u64 left_;
+};
+
 class Exchanger {
  public:
   struct Config {

@@ -7,6 +7,7 @@
 
 #include "align/scoring.hpp"
 #include "overlap/seed_filter.hpp"
+#include "sgraph/edge_class.hpp"
 #include "util/common.hpp"
 
 namespace dibella::core {
@@ -39,6 +40,12 @@ struct PipelineConfig {
   align::Scoring scoring;
   int xdrop = 25;
   int min_report_score = 0;  ///< drop alignments scoring below this
+
+  // --- string graph (optional stage 5: src/sgraph/)
+  bool stage5 = false;          ///< classify + reduce + lay out the string graph
+  i32 min_overlap_score = 0;    ///< drop records below this before the graph
+  u32 sgraph_fuzz = sgraph::kDefaultFuzz;  ///< end tolerance (bp) for classification
+  u64 batch_graph_bytes = 1u << 20;  ///< stage-5 bytes per destination per batch
 
   /// Resolved high-frequency ceiling (max_kmer_count, or the BELLA model
   /// value when max_kmer_count == 0).

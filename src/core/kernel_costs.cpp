@@ -154,6 +154,22 @@ KernelCosts measure() {
     });
   }
 
+  // Stage-5 triangle probe: a binary search into a sorted adjacency list
+  // (the transitive reduction's witness lookup).
+  {
+    util::Xoshiro256 rng(8);
+    std::vector<u64> nbrs(64);
+    for (auto& v : nbrs) v = rng.next();
+    std::sort(nbrs.begin(), nbrs.end());
+    costs.graph_probe = calibrate([&](u64) {
+      for (int i = 0; i < 10'000; ++i) {
+        auto it = std::lower_bound(nbrs.begin(), nbrs.end(), rng.next());
+        sink = sink + (it != nbrs.end() ? *it : 0);
+      }
+      return u64{10'000};
+    });
+  }
+
   // Bulk byte copy (message marshalling / read serialization).
   {
     std::vector<char> src(1u << 20, 'x');

@@ -28,6 +28,7 @@ struct KernelCosts {
   double pair_consolidate = 0.0;    ///< per-task map-based consolidation
   double xdrop_per_cell = 0.0;      ///< per DP cell of x-drop extension
   double per_byte_copy = 0.0;       ///< bulk byte marshalling
+  double graph_probe = 0.0;         ///< per witness lookup of transitive reduction
 
   /// The process-wide calibrated instance (measured on first use; takes
   /// roughly half a second once).

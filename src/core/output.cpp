@@ -8,24 +8,32 @@
 namespace dibella::core {
 
 std::string paf_line(const align::AlignmentRecord& rec, const io::Read& a,
-                     const io::Read& b) {
+                     const io::Read& b, u32 fuzz) {
   DIBELLA_CHECK(a.gid == rec.rid_a && b.gid == rec.rid_b, "paf_line: read/record mismatch");
   std::ostringstream os;
   u64 alen = std::max<u64>(rec.a_end - rec.a_begin, rec.b_end - rec.b_begin);
+  // Self-overlaps never enter the string graph; tag them 'S' instead of
+  // classifying (a read trivially "contains" itself).
+  char cls = rec.rid_a == rec.rid_b
+                 ? 'S'
+                 : sgraph::edge_class_code(
+                       sgraph::classify_alignment(rec, a.seq.size(), b.seq.size(), fuzz)
+                           .cls);
   os << a.name << '\t' << a.seq.size() << '\t' << rec.a_begin << '\t' << rec.a_end
      << '\t' << (rec.same_orientation ? '+' : '-') << '\t' << b.name << '\t'
      << b.seq.size() << '\t' << rec.b_begin << '\t' << rec.b_end << '\t' << rec.score
-     << '\t' << alen << '\t' << 255;
+     << '\t' << alen << '\t' << 255 << "\tol:i:" << sgraph::overlap_length(rec)
+     << "\ttp:A:" << cls;
   return os.str();
 }
 
 void write_paf(std::ostream& os, const std::vector<align::AlignmentRecord>& alignments,
-               const std::vector<io::Read>& reads) {
+               const std::vector<io::Read>& reads, u32 fuzz) {
   for (const auto& rec : alignments) {
     DIBELLA_CHECK(rec.rid_a < reads.size() && rec.rid_b < reads.size(),
                   "write_paf: record references unknown read");
     os << paf_line(rec, reads[static_cast<std::size_t>(rec.rid_a)],
-                   reads[static_cast<std::size_t>(rec.rid_b)])
+                   reads[static_cast<std::size_t>(rec.rid_b)], fuzz)
        << '\n';
   }
 }

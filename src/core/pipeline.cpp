@@ -36,6 +36,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   std::vector<align::ReadExchangeResult> rx_res(static_cast<std::size_t>(P));
   std::vector<align::AlignmentStageResult> al_res(static_cast<std::size_t>(P));
   std::vector<std::vector<align::AlignmentRecord>> records(static_cast<std::size_t>(P));
+  std::vector<sgraph::StringGraphStageResult> sg_res(static_cast<std::size_t>(P));
+  std::vector<sgraph::StringGraphOutput> sg_out(static_cast<std::size_t>(P));
 
   world.clear_exchange_records();
   world.run([&](comm::Communicator& comm) {
@@ -87,6 +89,19 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     acfg.k = config.k;
     acfg.min_score = config.min_report_score;
     records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
+
+    // Stage 5 (optional): distributed string graph — classification, edge
+    // partition, ghost-edge transitive reduction, unitig/GFA layout.
+    if (config.stage5) {
+      sgraph::StringGraphConfig scfg;
+      scfg.min_overlap_score = config.min_overlap_score;
+      scfg.fuzz = config.sgraph_fuzz;
+      scfg.overlap_comm = config.overlap_comm;
+      scfg.batch_bytes = config.batch_graph_bytes;
+      scfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      sg_out[rank] =
+          sgraph::run_string_graph_stage(ctx, store, records[rank], scfg, &sg_res[rank]);
+    }
   });
 
   // --- merge per-rank outputs.
@@ -126,6 +141,18 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     c.dp_cells += al_res[rank].dp_cells;
     c.alignments_reported += al_res[rank].records_kept;
     c.sw_band_fallbacks += al_res[rank].sw_band_fallbacks;
+    // Stage-5 ownership rules (records where produced, contained reads by
+    // owner, edges by the owner of lo) make these plain sums.
+    c.sg_contained_reads += sg_res[rank].contained_reads;
+    c.sg_internal_records += sg_res[rank].internal_records;
+    c.sg_dovetail_edges += sg_res[rank].edges_owned;
+    c.sg_edges_removed += sg_res[rank].edges_removed;
+    c.sg_edges_surviving += sg_res[rank].edges_surviving;
+  }
+  if (config.stage5) {
+    out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
+    c.sg_unitigs = out.string_graph.layout.unitigs.size();
+    c.sg_components = out.string_graph.layout.components.size();
   }
   return out;
 }

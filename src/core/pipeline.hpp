@@ -2,7 +2,9 @@
 /// \file pipeline.hpp
 /// The diBELLA pipeline (§4): the four bulk-synchronous stages — distributed
 /// Bloom filter, distributed hash table, overlap detection, read exchange +
-/// x-drop alignment — orchestrated over a World of SPMD ranks.
+/// x-drop alignment — orchestrated over a World of SPMD ranks, plus the
+/// optional stage 5 (config.stage5): distributed string-graph construction,
+/// transitive reduction, and unitig/GFA layout (src/sgraph/).
 ///
 /// The pipeline produces (a) the alignment records, (b) aggregated stage
 /// counters, and (c) the raw per-rank traces + exchange records that the
@@ -20,6 +22,7 @@
 #include "io/read_store.hpp"
 #include "netsim/cost_model.hpp"
 #include "overlap/overlapper.hpp"
+#include "sgraph/string_graph.hpp"
 
 namespace dibella::core {
 
@@ -43,6 +46,14 @@ struct PipelineCounters {
   u64 dp_cells = 0;
   u64 alignments_reported = 0;
   u64 sw_band_fallbacks = 0;     ///< exact-SW traceback budget fallbacks
+  // stage 5 (string graph; all zero when stage5 is off)
+  u64 sg_contained_reads = 0;    ///< reads dropped as contained
+  u64 sg_internal_records = 0;   ///< records discarded as internal matches
+  u64 sg_dovetail_edges = 0;     ///< graph edges before reduction
+  u64 sg_edges_removed = 0;      ///< edges removed by transitive reduction
+  u64 sg_edges_surviving = 0;
+  u64 sg_unitigs = 0;
+  u64 sg_components = 0;
   // resolved parameters
   u32 max_kmer_count = 0;        ///< the m actually used
 };
@@ -51,6 +62,9 @@ struct PipelineCounters {
 struct PipelineOutput {
   std::vector<align::AlignmentRecord> alignments;  ///< merged, sorted by (rid_a, rid_b)
   PipelineCounters counters;
+  /// Stage-5 string graph products (surviving edges, unitigs, components);
+  /// empty unless config.stage5.
+  sgraph::StringGraphOutput string_graph;
   std::vector<netsim::RankTrace> traces;                       ///< per rank
   std::vector<std::vector<comm::ExchangeRecord>> exchange_log;  ///< per rank
   io::ReadPartition partition;

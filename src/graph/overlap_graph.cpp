@@ -4,6 +4,8 @@
 #include <map>
 #include <numeric>
 
+#include "sgraph/edge_class.hpp"
+
 namespace dibella::graph {
 
 OverlapGraph OverlapGraph::from_alignments(
@@ -74,37 +76,68 @@ util::Histogram OverlapGraph::degree_histogram() const {
   return h;
 }
 
-u64 OverlapGraph::transitive_reduction() {
-  u64 removed = 0;
-  // For each vertex a, test each live edge (a, c) against two-hop paths.
+std::vector<LiveEdge> OverlapGraph::live_edges() const {
+  std::vector<LiveEdge> out;
+  out.reserve(static_cast<std::size_t>(edges_));
   for (u64 a = 0; a < num_vertices(); ++a) {
-    auto& a_edges = adj_[static_cast<std::size_t>(a)];
-    for (auto& ac : a_edges) {
+    for (const auto& e : adj_[static_cast<std::size_t>(a)]) {
+      if (e.removed || e.to < a) continue;
+      out.push_back(LiveEdge{a, e.to, e.overlap_len, e.score, e.same_orientation});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const LiveEdge& x, const LiveEdge& y) {
+    return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
+  });
+  return out;
+}
+
+// The strict total order (longer overlap outranks, ties break on the
+// canonical endpoint pair) is shared with the distributed stage —
+// sgraph::edge_outranks — so the sequential oracle and the rank-parallel
+// reduction agree bit for bit by construction.
+using sgraph::edge_outranks;
+
+u64 OverlapGraph::transitive_reduction() {
+  // Pass 1: mark. Every verdict reads the pre-call edge set only, so marks
+  // commute and the traversal order is immaterial (simultaneous semantics).
+  std::vector<std::pair<u64, u64>> marked;
+  for (u64 a = 0; a < num_vertices(); ++a) {
+    const auto& a_edges = adj_[static_cast<std::size_t>(a)];
+    for (const auto& ac : a_edges) {
       if (ac.removed || ac.to < a) continue;  // handle each undirected edge once
+      const u64 c = ac.to;
       bool transitive = false;
       for (const auto& ab : a_edges) {
-        if (ab.removed || ab.to == ac.to) continue;
-        if (ab.overlap_len < ac.overlap_len) continue;
-        // Is (b, c) an edge at least as strong as (a, c)?
+        if (ab.removed || ab.to == c) continue;
+        if (!edge_outranks(ab.overlap_len, std::min(a, ab.to), std::max(a, ab.to),
+                           ac.overlap_len, a, c)) {
+          continue;
+        }
+        // Is (b, c) a live edge strictly outranking (a, c)?
         for (const auto& bc : adj_[static_cast<std::size_t>(ab.to)]) {
-          if (!bc.removed && bc.to == ac.to && bc.overlap_len >= ac.overlap_len) {
+          if (!bc.removed && bc.to == c &&
+              edge_outranks(bc.overlap_len, std::min(ab.to, c), std::max(ab.to, c),
+                            ac.overlap_len, a, c)) {
             transitive = true;
             break;
           }
         }
         if (transitive) break;
       }
-      if (transitive) {
-        ac.removed = true;
-        for (auto& rev : adj_[static_cast<std::size_t>(ac.to)]) {
-          if (rev.to == a) rev.removed = true;
-        }
-        ++removed;
-        --edges_;
-      }
+      if (transitive) marked.push_back({a, c});
     }
   }
-  return removed;
+  // Pass 2: apply all marks at once.
+  for (const auto& [a, c] : marked) {
+    for (auto& e : adj_[static_cast<std::size_t>(a)]) {
+      if (e.to == c) e.removed = true;
+    }
+    for (auto& e : adj_[static_cast<std::size_t>(c)]) {
+      if (e.to == a) e.removed = true;
+    }
+    --edges_;
+  }
+  return marked.size();
 }
 
 }  // namespace dibella::graph

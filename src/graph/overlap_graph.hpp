@@ -23,6 +23,18 @@ struct OverlapEdge {
   bool removed = false;    ///< marked by transitive reduction
 };
 
+/// One live edge in canonical form (lo < hi), for whole-graph comparisons —
+/// the differential tests pin the distributed stage-5 reduction's surviving
+/// set against this sequential oracle's, field for field.
+struct LiveEdge {
+  u64 lo = 0;
+  u64 hi = 0;
+  u32 overlap_len = 0;
+  i32 score = 0;
+  u8 same_orientation = 1;
+  bool operator==(const LiveEdge&) const = default;
+};
+
 class OverlapGraph {
  public:
   /// Build from alignment records; edges scoring below `min_score` are
@@ -44,10 +56,19 @@ class OverlapGraph {
   /// Histogram of live vertex degrees.
   util::Histogram degree_histogram() const;
 
+  /// Every live edge in canonical (lo, hi) order.
+  std::vector<LiveEdge> live_edges() const;
+
   /// Myers-style transitive reduction: an edge (a, c) is marked removed when
-  /// some b neighbours both a and c with overlap(a,b) >= overlap(a,c) and
-  /// overlap(b,c) >= overlap(a,c) — i.e. the a-c adjacency is explained by
-  /// the path through b. Returns the number of (undirected) edges removed.
+  /// some b neighbours both a and c through two strictly higher-ranked edges
+  /// — i.e. the a-c adjacency is explained by the path through b. Edges are
+  /// ranked by the strict total order (overlap_len, lo, hi), and every
+  /// verdict is evaluated against the edge set as of the call, with all
+  /// marks applied simultaneously: the result is independent of traversal
+  /// order (which is what lets stage 5 compute the identical reduction
+  /// rank-parallel), and the strictness means mutual elimination of
+  /// equal-overlap triangles cannot occur. Returns the number of
+  /// (undirected) edges removed.
   u64 transitive_reduction();
 
  private:

@@ -1,0 +1,80 @@
+#include "sgraph/edge_class.hpp"
+
+#include <algorithm>
+
+namespace dibella::sgraph {
+
+char edge_class_code(EdgeClass cls) {
+  switch (cls) {
+    case EdgeClass::kInternal:
+      return 'I';
+    case EdgeClass::kContainedA:
+    case EdgeClass::kContainedB:
+      return 'C';
+    case EdgeClass::kDovetail:
+      return 'D';
+  }
+  return '?';
+}
+
+u32 overlap_length(const align::AlignmentRecord& rec) {
+  return std::max(rec.a_end - rec.a_begin, rec.b_end - rec.b_begin);
+}
+
+DovetailEdge make_dovetail_edge(const align::AlignmentRecord& rec,
+                                const EdgeGeometry& geom) {
+  DIBELLA_CHECK(geom.cls == EdgeClass::kDovetail && rec.rid_a != rec.rid_b,
+                "make_dovetail_edge: not a dovetail record");
+  DovetailEdge e{};
+  e.lo = std::min(rec.rid_a, rec.rid_b);
+  e.hi = std::max(rec.rid_a, rec.rid_b);
+  e.overlap_len = overlap_length(rec);
+  e.score = rec.score;
+  e.same_orientation = rec.same_orientation;
+  // GFA orientation: the strand-adjusted frame reverse-complements b, so
+  // whichever endpoint is read b carries '-' on a reverse-complement edge.
+  const u64 from = geom.a_is_source ? rec.rid_a : rec.rid_b;
+  const u64 to = geom.a_is_source ? rec.rid_b : rec.rid_a;
+  e.from_is_lo = from < to ? 1 : 0;
+  e.rc_from = (!rec.same_orientation && from == rec.rid_b) ? 1 : 0;
+  e.rc_to = (!rec.same_orientation && to == rec.rid_b) ? 1 : 0;
+  return e;
+}
+
+EdgeGeometry classify_alignment(const align::AlignmentRecord& rec, u64 len_a,
+                                u64 len_b, u32 fuzz) {
+  DIBELLA_CHECK(rec.a_end <= len_a && rec.b_end <= len_b,
+                "classify_alignment: span exceeds read length");
+  // Strand-adjust b: for reverse-complement overlaps the alignment ran
+  // against revcomp(b), so mirror b's forward-frame span back into that
+  // frame before reasoning about "b's prefix/suffix".
+  u64 b_begin = rec.b_begin, b_end = rec.b_end;
+  if (!rec.same_orientation) {
+    b_begin = len_b - rec.b_end;
+    b_end = len_b - rec.b_begin;
+  }
+  const u64 left_a = rec.a_begin;
+  const u64 right_a = len_a - rec.a_end;
+  const u64 left_b = b_begin;
+  const u64 right_b = len_b - b_end;
+
+  EdgeGeometry g;
+  // Containment first (checked for a before b so ties — both reads fully
+  // covered — resolve deterministically).
+  if (left_a <= fuzz && right_a <= fuzz) {
+    g.cls = EdgeClass::kContainedA;
+  } else if (left_b <= fuzz && right_b <= fuzz) {
+    g.cls = EdgeClass::kContainedB;
+  } else if (right_a <= fuzz && left_b <= fuzz) {
+    g.cls = EdgeClass::kDovetail;  // a's suffix overlaps b's prefix
+    g.a_is_source = true;
+  } else if (left_a <= fuzz && right_b <= fuzz) {
+    g.cls = EdgeClass::kDovetail;  // b's suffix overlaps a's prefix
+    g.a_is_source = false;
+  } else {
+    g.cls = EdgeClass::kInternal;
+  }
+  return g;
+}
+
+}  // namespace dibella::sgraph

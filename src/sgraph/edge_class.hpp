@@ -1,0 +1,89 @@
+#pragma once
+/// \file edge_class.hpp
+/// String-graph edge classification (Myers 2005; Li 2016's miniasm uses the
+/// same taxonomy): an aligned overlap between reads a and b is either
+///
+///  * contained — one read's aligned span reaches both of its own ends
+///    (within `fuzz` bp), i.e. the read is a subsequence of the other and
+///    contributes nothing to the layout;
+///  * dovetail  — the alignment joins a suffix of one read to a prefix of
+///    the other (after strand-adjusting b for reverse-complement overlaps);
+///    these are the string graph's edges;
+///  * internal  — the alignment stops short of the read ends on both sides
+///    (a repeat-induced or spurious local match); discarded.
+///
+/// Classification is a pure per-record function of the alignment spans and
+/// the two read lengths, so every layer (the distributed stage, the
+/// sequential oracle, PAF tagging) shares one implementation.
+
+#include "align/alignment_stage.hpp"
+#include "util/common.hpp"
+
+namespace dibella::sgraph {
+
+/// End tolerance (bp): an alignment is considered to reach a read end when
+/// it stops within this many bases of it. X-drop extension on noisy reads
+/// routinely terminates a few dozen bases early; miniasm's equivalent knob
+/// (max_hang) defaults to 1000 for raw PacBio.
+inline constexpr u32 kDefaultFuzz = 200;
+
+enum class EdgeClass : u8 {
+  kInternal = 0,    ///< reaches neither read's ends: discard
+  kContainedA = 1,  ///< read a contained in b
+  kContainedB = 2,  ///< read b contained in a
+  kDovetail = 3,    ///< proper suffix-prefix overlap: a graph edge
+};
+
+/// One-letter code for PAF `tp:A:` tags: I / C (either containment) / D.
+char edge_class_code(EdgeClass cls);
+
+/// Full classification of one alignment record.
+struct EdgeGeometry {
+  EdgeClass cls = EdgeClass::kInternal;
+  /// kDovetail only: true when a's suffix joins b's prefix (edge a -> b in
+  /// the strand-adjusted frame), false when b's suffix joins a's prefix.
+  bool a_is_source = false;
+};
+
+/// Classify `rec` given the two read lengths. For reverse-complement
+/// overlaps b's span is mirrored into the frame the alignment was computed
+/// in, so "b's prefix" means the prefix of reverse-complemented b.
+EdgeGeometry classify_alignment(const align::AlignmentRecord& rec, u64 len_a,
+                                u64 len_b, u32 fuzz = kDefaultFuzz);
+
+/// The string-graph edge weight: the longer of the two aligned spans (the
+/// same definition graph::OverlapGraph uses, which keeps the distributed
+/// reduction and the sequential oracle comparable bit for bit).
+u32 overlap_length(const align::AlignmentRecord& rec);
+
+/// One dovetail edge of the string graph — the wire unit of the stage-5
+/// exchanges and the element of the surviving edge set. Endpoints are
+/// normalized to lo < hi; the GFA fields remember which read's suffix feeds
+/// the overlap and which sides are reverse-complemented.
+struct DovetailEdge {
+  u64 lo = 0;
+  u64 hi = 0;
+  u32 overlap_len = 0;      ///< max of the two aligned span lengths
+  i32 score = 0;
+  u8 same_orientation = 1;
+  u8 from_is_lo = 1;        ///< the suffix-side (GFA "from") read is lo
+  u8 rc_from = 0;           ///< GFA from-orientation is '-'
+  u8 rc_to = 0;             ///< GFA to-orientation is '-'
+};
+static_assert(std::is_trivially_copyable_v<DovetailEdge>);
+
+/// Build the edge for a record already classified kDovetail.
+DovetailEdge make_dovetail_edge(const align::AlignmentRecord& rec,
+                                const EdgeGeometry& geom);
+
+/// Strict total order on edges used by transitive reduction: longer overlap
+/// wins; ties break on the endpoint pair, so no two distinct edges compare
+/// equal. Returns true when x outranks y.
+inline bool edge_outranks(u32 ov_x, u64 lo_x, u64 hi_x, u32 ov_y, u64 lo_y,
+                          u64 hi_y) {
+  if (ov_x != ov_y) return ov_x > ov_y;
+  if (lo_x != lo_y) return lo_x > lo_y;
+  return hi_x > hi_y;
+}
+
+}  // namespace dibella::sgraph

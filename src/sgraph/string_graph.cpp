@@ -1,0 +1,373 @@
+#include "sgraph/string_graph.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "comm/exchanger.hpp"
+#include "core/kernel_costs.hpp"
+
+namespace dibella::sgraph {
+
+namespace {
+
+/// One adjacency entry shipped in the ghost exchange: enough to rank the
+/// witness edges (the strict total order needs only overlap length and the
+/// endpoint pair, and the endpoints are the frame's vertex + this field).
+struct NbrWire {
+  u64 nbr = 0;
+  u32 ov = 0;
+};
+static_assert(std::is_trivially_copyable_v<NbrWire>);
+
+/// Ghost frame header: the vertex whose adjacency follows.
+struct FrameHeader {
+  u64 gid = 0;
+  u32 deg = 0;
+};
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
+/// Irregular all-to-all of raw byte streams, schedule-selected: overlapped
+/// (bounded batches on comm::Exchanger, consuming while the next batch is
+/// in flight) or one blocking alltoallv_flat straight into the contiguous
+/// result. Returns all received bytes in source-rank order. A byte slice
+/// may split a record across overlapped batches, so each source's stream
+/// is accumulated whole before the single source-order concatenation
+/// (ByteReader checks the framing when consumers parse).
+std::vector<u8> exchange_byte_streams(core::StageContext& ctx,
+                                      const std::vector<std::vector<u8>>& outbound,
+                                      const StringGraphConfig& cfg,
+                                      const char* pack_tag, const char* consume_tag) {
+  auto& comm = ctx.comm;
+  const int P = comm.size();
+  const auto& costs = core::KernelCosts::get();
+  if (!cfg.overlap_comm) {
+    return comm.alltoallv_flat(outbound);
+  }
+  std::vector<std::vector<u8>> per_source(static_cast<std::size_t>(P));
+  comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+  std::vector<std::size_t> cursors(static_cast<std::size_t>(P), 0);
+  comm::run_overlapped_exchange(
+      ex,
+      [&] {
+        u64 before = ex.pending_bytes();
+        bool more = comm::post_slices(ex, outbound, cursors, cfg.batch_bytes);
+        u64 packed = ex.pending_bytes() - before;
+        ctx.trace.add_compute(pack_tag, static_cast<double>(packed) * costs.per_byte_copy,
+                              packed);
+        return more;
+      },
+      [&](const comm::RecvBatch& batch) {
+        for (int s = 0; s < P; ++s) {
+          batch.append_from(s, per_source[static_cast<std::size_t>(s)]);
+        }
+        ctx.trace.add_compute(consume_tag,
+                              static_cast<double>(batch.bytes.size()) * costs.per_byte_copy,
+                              batch.bytes.size());
+      });
+  std::vector<u8> flat;
+  std::size_t total = 0;
+  for (const auto& v : per_source) total += v.size();
+  flat.reserve(total);
+  for (const auto& v : per_source) flat.insert(flat.end(), v.begin(), v.end());
+  return flat;
+}
+
+template <class T>
+void append_bytes(std::vector<u8>& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  std::memcpy(out.data() + at, &v, sizeof(T));
+}
+
+/// Adjacency lookup over owned + ghost vertices: per vertex, the neighbour
+/// list sorted by gid (binary-searchable for the triangle probes).
+class AdjacencyTable {
+ public:
+  void add(u64 gid, std::vector<NbrWire> nbrs) {
+    std::sort(nbrs.begin(), nbrs.end(),
+              [](const NbrWire& x, const NbrWire& y) { return x.nbr < y.nbr; });
+    rows_.emplace_back(gid, std::move(nbrs));
+  }
+  void seal() {
+    std::sort(rows_.begin(), rows_.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (std::size_t i = 1; i < rows_.size(); ++i) {
+      DIBELLA_CHECK(rows_[i - 1].first != rows_[i].first,
+                    "sgraph: duplicate adjacency row");
+    }
+  }
+  const std::vector<NbrWire>& of(u64 gid) const {
+    auto it = std::lower_bound(
+        rows_.begin(), rows_.end(), gid,
+        [](const auto& row, u64 g) { return row.first < g; });
+    DIBELLA_CHECK(it != rows_.end() && it->first == gid,
+                  "sgraph: missing adjacency for vertex");
+    return it->second;
+  }
+  /// Overlap length of edge (gid, nbr), or nullptr when absent.
+  const NbrWire* find(u64 gid, u64 nbr) const {
+    const auto& nbrs = of(gid);
+    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), nbr,
+                               [](const NbrWire& x, u64 g) { return x.nbr < g; });
+    return it != nbrs.end() && it->nbr == nbr ? &*it : nullptr;
+  }
+
+ private:
+  std::vector<std::pair<u64, std::vector<NbrWire>>> rows_;
+};
+
+}  // namespace
+
+StringGraphOutput run_string_graph_stage(
+    core::StageContext& ctx, const io::ReadStore& store,
+    const std::vector<align::AlignmentRecord>& local_records,
+    const StringGraphConfig& cfg, StringGraphStageResult* result) {
+  auto& comm = ctx.comm;
+  comm.set_stage("sgraph");
+  const int P = comm.size();
+  const auto& partition = store.partition();
+  const auto& costs = core::KernelCosts::get();
+  StringGraphStageResult res;
+  StringGraphOutput out;
+
+  // --- (1) global read lengths: each rank contributes its contiguous gid
+  // block, so the rank-order concatenation is gid-indexed.
+  std::vector<u32> lengths;
+  {
+    std::vector<u32> local;
+    local.reserve(store.local_reads().size());
+    for (const auto& r : store.local_reads()) {
+      local.push_back(static_cast<u32>(r.seq.size()));
+    }
+    lengths = comm.allgatherv(local);
+    DIBELLA_CHECK(lengths.size() == partition.total_reads(),
+                  "sgraph: length gather does not cover the read set");
+    ctx.trace.add_compute("sgraph:classify",
+                          static_cast<double>(lengths.size()) * costs.per_byte_copy *
+                              sizeof(u32),
+                          lengths.size() * sizeof(u32));
+  }
+
+  // --- (2) classify this rank's records; collect dovetails and contained
+  // read ids.
+  std::vector<DovetailEdge> dovetails;
+  dovetails.reserve(local_records.size());
+  std::vector<u64> contained_local;
+  for (const auto& rec : local_records) {
+    ++res.records_in;
+    if (rec.rid_a == rec.rid_b) {
+      ++res.self_overlaps;  // a self-overlap is a repeat, not a layout edge
+      continue;
+    }
+    if (rec.score < cfg.min_overlap_score) {
+      ++res.below_min_score;
+      continue;
+    }
+    auto geom = classify_alignment(rec, lengths[static_cast<std::size_t>(rec.rid_a)],
+                                   lengths[static_cast<std::size_t>(rec.rid_b)], cfg.fuzz);
+    switch (geom.cls) {
+      case EdgeClass::kInternal:
+        ++res.internal_records;
+        break;
+      case EdgeClass::kContainedA:
+        ++res.containment_records;
+        contained_local.push_back(rec.rid_a);
+        break;
+      case EdgeClass::kContainedB:
+        ++res.containment_records;
+        contained_local.push_back(rec.rid_b);
+        break;
+      case EdgeClass::kDovetail:
+        ++res.dovetail_records;
+        dovetails.push_back(make_dovetail_edge(rec, geom));
+        break;
+    }
+  }
+  ctx.trace.add_compute("sgraph:classify",
+                        static_cast<double>(res.records_in) * costs.pair_consolidate,
+                        local_records.size() * sizeof(align::AlignmentRecord));
+
+  // --- (3) the contained set must be global before edges are dropped: a
+  // read contained per one record may carry dovetails in others, and those
+  // records can live on any rank.
+  std::vector<u64> contained = comm.allgatherv(contained_local);
+  std::sort(contained.begin(), contained.end());
+  contained.erase(std::unique(contained.begin(), contained.end()), contained.end());
+  auto is_contained = [&](u64 gid) {
+    return std::binary_search(contained.begin(), contained.end(), gid);
+  };
+  for (u64 gid : contained) {
+    if (partition.owner_of(gid) == comm.rank()) ++res.contained_reads;
+  }
+
+  // --- (4) partition dovetail edges to the owners of both endpoints.
+  std::vector<std::vector<u8>> edge_out(static_cast<std::size_t>(P));
+  for (const auto& e : dovetails) {
+    if (is_contained(e.lo) || is_contained(e.hi)) {
+      ++res.edges_dropped_contained;
+      continue;
+    }
+    int d1 = partition.owner_of(e.lo);
+    int d2 = partition.owner_of(e.hi);
+    append_bytes(edge_out[static_cast<std::size_t>(d1)], e);
+    if (d2 != d1) append_bytes(edge_out[static_cast<std::size_t>(d2)], e);
+  }
+  std::vector<DovetailEdge> incident;  // every edge with an owned endpoint
+  {
+    std::vector<u8> flat =
+        exchange_byte_streams(ctx, edge_out, cfg, "sgraph:pack", "sgraph:build");
+    comm::ByteReader reader(flat);
+    incident.reserve(flat.size() / sizeof(DovetailEdge));
+    reader.read_into(incident, flat.size() / sizeof(DovetailEdge));
+    DIBELLA_CHECK(reader.empty(), "sgraph: edge stream not a multiple of the edge size");
+  }
+  // Distinct holders may each contribute a record for the same pair (the
+  // pipeline never does, but the stage contract tolerates it): keep the
+  // best-scoring edge per (lo, hi), ranked by the full payload so both
+  // endpoint owners — which receive the same candidate set — agree.
+  std::sort(incident.begin(), incident.end(),
+            [](const DovetailEdge& x, const DovetailEdge& y) {
+              if (x.lo != y.lo) return x.lo < y.lo;
+              if (x.hi != y.hi) return x.hi < y.hi;
+              if (x.score != y.score) return x.score > y.score;
+              if (x.overlap_len != y.overlap_len) return x.overlap_len > y.overlap_len;
+              if (x.same_orientation != y.same_orientation) {
+                return x.same_orientation > y.same_orientation;
+              }
+              if (x.from_is_lo != y.from_is_lo) return x.from_is_lo > y.from_is_lo;
+              if (x.rc_from != y.rc_from) return x.rc_from > y.rc_from;
+              return x.rc_to > y.rc_to;
+            });
+  incident.erase(std::unique(incident.begin(), incident.end(),
+                             [](const DovetailEdge& x, const DovetailEdge& y) {
+                               return x.lo == y.lo && x.hi == y.hi;
+                             }),
+                 incident.end());
+
+  // --- (5) owned adjacency (complete for every owned vertex: both owners
+  // receive each edge) and the rank's decidable edge list (owner of lo).
+  const u64 first_owned = partition.first_gid(comm.rank());
+  const u64 owned_count = partition.count(comm.rank());
+  std::vector<std::vector<NbrWire>> owned_adj(static_cast<std::size_t>(owned_count));
+  std::vector<DovetailEdge> owned_edges;
+  for (const auto& e : incident) {
+    DIBELLA_CHECK(e.lo < e.hi, "sgraph: edge not normalized");
+    if (partition.owner_of(e.lo) == comm.rank()) {
+      owned_adj[static_cast<std::size_t>(e.lo - first_owned)].push_back(
+          NbrWire{e.hi, e.overlap_len});
+      owned_edges.push_back(e);
+    }
+    if (partition.owner_of(e.hi) == comm.rank()) {
+      owned_adj[static_cast<std::size_t>(e.hi - first_owned)].push_back(
+          NbrWire{e.lo, e.overlap_len});
+    }
+  }
+  res.edges_owned = owned_edges.size();
+  ctx.trace.add_compute("sgraph:build",
+                        static_cast<double>(incident.size()) * costs.pair_consolidate,
+                        incident.size() * sizeof(DovetailEdge));
+
+  // --- (6) ghost exchange: ship each owned vertex's adjacency to every
+  // rank owning one of its neighbours, framed as (gid, deg, [nbr, ov]*).
+  // That gives each rank the full two-hop context around its owned edges,
+  // so cross-rank triangles are decided locally.
+  std::vector<std::vector<u8>> ghost_out(static_cast<std::size_t>(P));
+  {
+    std::vector<int> dests;
+    for (u64 i = 0; i < owned_count; ++i) {
+      const auto& nbrs = owned_adj[static_cast<std::size_t>(i)];
+      if (nbrs.empty()) continue;
+      dests.clear();
+      for (const auto& n : nbrs) {
+        int d = partition.owner_of(n.nbr);
+        if (d != comm.rank()) dests.push_back(d);
+      }
+      std::sort(dests.begin(), dests.end());
+      dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
+      for (int d : dests) {
+        auto& buf = ghost_out[static_cast<std::size_t>(d)];
+        append_bytes(buf, FrameHeader{first_owned + i,
+                                      static_cast<u32>(nbrs.size())});
+        for (const auto& n : nbrs) append_bytes(buf, n);
+      }
+    }
+  }
+  AdjacencyTable adj;
+  {
+    std::vector<u8> flat =
+        exchange_byte_streams(ctx, ghost_out, cfg, "sgraph:pack", "sgraph:build");
+    comm::ByteReader reader(flat);
+    while (!reader.empty()) {
+      auto h = reader.read<FrameHeader>();
+      std::vector<NbrWire> nbrs;
+      nbrs.reserve(h.deg);
+      reader.read_into(nbrs, h.deg);
+      adj.add(h.gid, std::move(nbrs));
+    }
+    for (u64 i = 0; i < owned_count; ++i) {
+      if (!owned_adj[static_cast<std::size_t>(i)].empty()) {
+        adj.add(first_owned + i, std::move(owned_adj[static_cast<std::size_t>(i)]));
+      }
+    }
+    adj.seal();
+  }
+
+  // --- (7) rank-parallel transitive reduction. Every verdict is evaluated
+  // against the original edge set through the strict total order
+  // (edge_outranks), so marks commute: the result is independent of
+  // evaluation order and of which rank decides which edge.
+  std::vector<DovetailEdge> surviving;
+  surviving.reserve(owned_edges.size());
+  for (const auto& e : owned_edges) {
+    const auto& nbrs_a = adj.of(e.lo);
+    bool transitive = false;
+    for (const auto& ab : nbrs_a) {
+      const u64 b = ab.nbr;
+      if (b == e.hi) continue;
+      ++res.triangle_probes;
+      if (!edge_outranks(ab.ov, std::min(e.lo, b), std::max(e.lo, b), e.overlap_len,
+                         e.lo, e.hi)) {
+        continue;
+      }
+      const NbrWire* bc = adj.find(e.hi, b);
+      if (bc != nullptr && edge_outranks(bc->ov, std::min(b, e.hi), std::max(b, e.hi),
+                                         e.overlap_len, e.lo, e.hi)) {
+        transitive = true;
+        break;
+      }
+    }
+    if (transitive) {
+      ++res.edges_removed;
+    } else {
+      surviving.push_back(e);
+    }
+  }
+  res.edges_surviving = surviving.size();
+  ctx.trace.add_compute("sgraph:reduce",
+                        static_cast<double>(res.triangle_probes) * costs.graph_probe,
+                        incident.size() * sizeof(DovetailEdge));
+
+  // --- (8) funnel the surviving set to rank 0, canonicalize, and lay out
+  // unitigs + components (the serial writer rank, as in real assemblers).
+  auto gathered = comm.gather(surviving, /*root=*/0);
+  if (comm.rank() == 0) {
+    for (auto& part : gathered) {
+      out.surviving_edges.insert(out.surviving_edges.end(), part.begin(), part.end());
+    }
+    std::sort(out.surviving_edges.begin(), out.surviving_edges.end(),
+              [](const DovetailEdge& x, const DovetailEdge& y) {
+                return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
+              });
+    out.layout = extract_unitigs(out.surviving_edges);
+    ctx.trace.add_compute(
+        "sgraph:layout",
+        static_cast<double>(out.surviving_edges.size()) * costs.pair_consolidate,
+        out.surviving_edges.size() * sizeof(DovetailEdge));
+  }
+
+  if (result) *result = res;
+  return out;
+}
+
+}  // namespace dibella::sgraph

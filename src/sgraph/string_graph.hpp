@@ -1,0 +1,94 @@
+#pragma once
+/// \file string_graph.hpp
+/// Pipeline stage 5: distributed string-graph construction, rank-parallel
+/// transitive reduction, and unitig/GFA layout — the assembly-prep step the
+/// paper positions diBELLA's output for (§1, §11: the overlap graph "is more
+/// robust to sequencing errors") and that the authors' follow-on work (Guidi
+/// et al., Parallel String Graph Construction and Transitive Reduction)
+/// distributes at scale.
+///
+/// Per rank:
+///  1. read lengths are allgathered (block partition, so the concatenation
+///     is gid-indexed);
+///  2. the rank's stage-4 alignment records are classified into contained /
+///     dovetail / internal edges (sgraph/edge_class.hpp); contained read ids
+///     are allgathered so every rank drops their edges identically;
+///  3. dovetail edges are partitioned to the owner rank of each endpoint
+///     (comm::Exchanger batches overlapped with packing when overlap_comm,
+///     one blocking alltoallv otherwise — identical results either way);
+///  4. each rank ships the adjacency list of every owned vertex to the ranks
+///     owning its neighbours (the ghost exchange), giving it the two-hop
+///     context to test its own edges for cross-rank triangles;
+///  5. transitive reduction marks an edge (a, c) removed when some b
+///     neighbours both a and c through strictly higher-ranked edges (strict
+///     total order: overlap length, then endpoint pair) — evaluated against
+///     the *original* edge set and applied simultaneously, so verdicts are
+///     independent of evaluation order, of the rank count, and of the
+///     communication schedule, and every edge is decided exactly once (by
+///     the owner of its lower endpoint);
+///  6. surviving edges funnel to rank 0 (gather), which sorts them into the
+///     canonical (lo, hi) order and extracts unitigs + per-component
+///     summaries (sgraph/unitig.hpp).
+///
+/// All collectives are tagged stage "sgraph", so the netsim cost model
+/// reports stage-5 compute and exposed/hidden exchange time alongside
+/// stages 1-4.
+
+#include <vector>
+
+#include "core/stage_context.hpp"
+#include "io/read_store.hpp"
+#include "sgraph/edge_class.hpp"
+#include "sgraph/unitig.hpp"
+#include "util/common.hpp"
+
+namespace dibella::sgraph {
+
+struct StringGraphConfig {
+  /// Drop alignment records scoring below this before classification.
+  i32 min_overlap_score = 0;
+  /// End tolerance for contained/dovetail/internal classification.
+  u32 fuzz = kDefaultFuzz;
+  /// Run the edge-partition and ghost exchanges on the nonblocking
+  /// comm::Exchanger, packing/consuming while batches are in flight.
+  /// Off = blocking alltoallvs. Outputs are bitwise-identical either way.
+  bool overlap_comm = true;
+  u64 batch_bytes = 1u << 20;           ///< bytes per destination per exchange batch
+  u64 exchange_chunk_bytes = 1u << 20;  ///< Exchanger chunk granularity
+};
+
+/// Per-rank stage counters. Ownership rules make each global quantity a
+/// plain sum over ranks: records are counted where stage 4 produced them,
+/// contained reads by their owner rank, graph edges by the owner of their
+/// lower endpoint.
+struct StringGraphStageResult {
+  u64 records_in = 0;
+  u64 self_overlaps = 0;          ///< rid_a == rid_b records (dropped)
+  u64 below_min_score = 0;
+  u64 internal_records = 0;
+  u64 containment_records = 0;
+  u64 dovetail_records = 0;
+  u64 contained_reads = 0;        ///< contained gids owned by this rank
+  u64 edges_dropped_contained = 0;  ///< dovetails dropped for a contained endpoint
+  u64 edges_owned = 0;            ///< edges this rank decided (owner of lo)
+  u64 edges_removed = 0;          ///< of edges_owned, marked transitive
+  u64 edges_surviving = 0;
+  u64 triangle_probes = 0;        ///< witness lookups performed
+};
+
+/// Global products, populated on rank 0 only (the layout funnel); empty on
+/// every other rank.
+struct StringGraphOutput {
+  std::vector<DovetailEdge> surviving_edges;  ///< canonical: sorted by (lo, hi)
+  UnitigResult layout;
+};
+
+/// Run stage 5 for this rank over its stage-4 alignment records.
+/// Collective. Deterministic in (records, lengths, config) and independent
+/// of the rank count and communication schedule.
+StringGraphOutput run_string_graph_stage(
+    core::StageContext& ctx, const io::ReadStore& store,
+    const std::vector<align::AlignmentRecord>& local_records,
+    const StringGraphConfig& cfg, StringGraphStageResult* result = nullptr);
+
+}  // namespace dibella::sgraph

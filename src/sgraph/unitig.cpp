@@ -1,0 +1,161 @@
+#include "sgraph/unitig.hpp"
+
+#include <algorithm>
+
+namespace dibella::sgraph {
+
+namespace {
+
+/// Dense-indexed view of the edge list: sorted unique gids + adjacency.
+struct GraphView {
+  std::vector<u64> gids;                                    // dense idx -> gid
+  std::vector<std::vector<std::pair<u32, u32>>> adj;        // (nbr idx, edge idx)
+
+  explicit GraphView(const std::vector<DovetailEdge>& edges) {
+    gids.reserve(edges.size() * 2);
+    for (const auto& e : edges) {
+      DIBELLA_CHECK(e.lo < e.hi, "unitig: edge not normalized to lo < hi");
+      gids.push_back(e.lo);
+      gids.push_back(e.hi);
+    }
+    std::sort(gids.begin(), gids.end());
+    gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+    adj.resize(gids.size());
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (i > 0) {
+        DIBELLA_CHECK(edges[i - 1].lo < edges[i].lo ||
+                          (edges[i - 1].lo == edges[i].lo && edges[i - 1].hi < edges[i].hi),
+                      "unitig: edge list not sorted/unique by (lo, hi)");
+      }
+      u32 lo = index_of(edges[i].lo);
+      u32 hi = index_of(edges[i].hi);
+      adj[lo].emplace_back(hi, static_cast<u32>(i));
+      adj[hi].emplace_back(lo, static_cast<u32>(i));
+    }
+    // Neighbor order determines walk order; make it canonical.
+    for (auto& nbrs : adj) std::sort(nbrs.begin(), nbrs.end());
+  }
+
+  u32 index_of(u64 gid) const {
+    auto it = std::lower_bound(gids.begin(), gids.end(), gid);
+    return static_cast<u32>(it - gids.begin());
+  }
+  std::size_t size() const { return gids.size(); }
+  std::size_t degree(u32 v) const { return adj[v].size(); }
+};
+
+}  // namespace
+
+UnitigResult extract_unitigs(const std::vector<DovetailEdge>& edges) {
+  GraphView g(edges);
+  UnitigResult res;
+  std::vector<u8> edge_used(edges.size(), 0);
+
+  // Walk through `first` and onward while interior vertices keep degree
+  // exactly 2, appending gids to `u`. Returns the final vertex.
+  auto walk = [&](std::pair<u32, u32> first, Unitig& u) -> u32 {
+    auto [next, eidx] = first;
+    while (true) {
+      edge_used[eidx] = 1;
+      u.reads.push_back(g.gids[next]);
+      if (g.degree(next) != 2) return next;
+      // The interior vertex's other edge; stop if already consumed (the
+      // walk has closed a cycle back onto its seed).
+      const auto& nbrs = g.adj[next];
+      auto other = nbrs[0].second == eidx ? nbrs[1] : nbrs[0];
+      if (edge_used[other.second]) return next;
+      next = other.first;
+      eidx = other.second;
+    }
+  };
+
+  // Chains: seed from every non-degree-2 vertex (tips and branches), in
+  // ascending gid order, one unitig per untraversed incident edge.
+  for (u32 v = 0; v < g.size(); ++v) {
+    if (g.degree(v) == 2) continue;
+    for (const auto& nbr : g.adj[v]) {
+      if (edge_used[nbr.second]) continue;
+      Unitig u;
+      u.reads.push_back(g.gids[v]);
+      walk(nbr, u);
+      res.unitigs.push_back(std::move(u));
+    }
+  }
+  // Leftover edges belong to pure cycles (every vertex degree 2): close each
+  // from its smallest gid.
+  for (u32 v = 0; v < g.size(); ++v) {
+    for (const auto& nbr : g.adj[v]) {
+      if (edge_used[nbr.second]) continue;
+      Unitig u;
+      u.circular = true;
+      u.reads.push_back(g.gids[v]);
+      u32 end = walk(nbr, u);
+      DIBELLA_CHECK(end == v && u.reads.size() >= 2, "unitig: broken cycle walk");
+      u.reads.pop_back();  // the walk re-appends the seed on closing
+      res.unitigs.push_back(std::move(u));
+    }
+  }
+
+  // Connected components (dense ids, smallest-gid-first) and per-component
+  // roll-ups.
+  std::vector<u32> comp(g.size(), ~u32{0});
+  u32 next_comp = 0;
+  std::vector<u32> stack;
+  for (u32 s = 0; s < g.size(); ++s) {
+    if (comp[s] != ~u32{0}) continue;
+    u32 id = next_comp++;
+    comp[s] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      u32 v = stack.back();
+      stack.pop_back();
+      for (const auto& nbr : g.adj[v]) {
+        if (comp[nbr.first] == ~u32{0}) {
+          comp[nbr.first] = id;
+          stack.push_back(nbr.first);
+        }
+      }
+    }
+  }
+  res.components.resize(next_comp);
+  for (u32 v = 0; v < g.size(); ++v) ++res.components[comp[v]].reads;
+  for (const auto& e : edges) ++res.components[comp[g.index_of(e.lo)]].edges;
+  for (const auto& u : res.unitigs) {
+    auto& c = res.components[comp[g.index_of(u.reads.front())]];
+    ++c.unitigs;
+    c.longest_unitig_reads = std::max<u64>(c.longest_unitig_reads, u.reads.size());
+  }
+  return res;
+}
+
+void write_gfa(std::ostream& os, const std::vector<DovetailEdge>& edges,
+               const std::vector<io::Read>& reads) {
+  auto name_of = [&](u64 gid) -> const std::string& {
+    DIBELLA_CHECK(gid < reads.size(), "write_gfa: edge references unknown read");
+    return reads[static_cast<std::size_t>(gid)].name;
+  };
+  os << "H\tVN:Z:1.0\n";
+  GraphView g(edges);
+  for (u64 gid : g.gids) {
+    os << "S\t" << name_of(gid) << "\t*\tLN:i:"
+       << reads[static_cast<std::size_t>(gid)].seq.size() << '\n';
+  }
+  for (const auto& e : edges) {
+    const u64 from = e.from_is_lo ? e.lo : e.hi;
+    const u64 to = e.from_is_lo ? e.hi : e.lo;
+    os << "L\t" << name_of(from) << '\t' << (e.rc_from ? '-' : '+') << '\t'
+       << name_of(to) << '\t' << (e.rc_to ? '-' : '+') << '\t' << e.overlap_len
+       << "M\n";
+  }
+}
+
+void write_component_summary(std::ostream& os, const UnitigResult& result) {
+  os << "component\treads\tedges\tunitigs\tlongest_unitig_reads\n";
+  for (std::size_t i = 0; i < result.components.size(); ++i) {
+    const auto& c = result.components[i];
+    os << i << '\t' << c.reads << '\t' << c.edges << '\t' << c.unitigs << '\t'
+       << c.longest_unitig_reads << '\n';
+  }
+}
+
+}  // namespace dibella::sgraph

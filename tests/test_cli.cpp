@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <map>
@@ -97,18 +98,21 @@ TEST_F(CliSmoke, TinySimulatedGenomeEndToEnd) {
   EXPECT_GT(counters.at("kmers_parsed"), 0u);
   EXPECT_EQ(counters.at("ranks"), 2u);
 
-  // The PAF output parses back: 12 tab-separated fields per record, count
-  // matching the reported-alignments counter.
+  // The PAF output parses back: 12 standard fields plus the ol:i: and tp:A:
+  // string-graph tags per record, count matching the reported-alignments
+  // counter.
   auto paf_lines = nonempty_lines(
       dibella::io::load_file((dir_ / dibella::cli::kAlignmentsFile).string()));
   EXPECT_EQ(paf_lines.size(), counters.at("alignments_reported"));
   for (const auto& line : paf_lines) {
     auto fields = split(line, '\t');
-    ASSERT_EQ(fields.size(), 12u) << line;
+    ASSERT_EQ(fields.size(), 14u) << line;
     EXPECT_TRUE(fields[4] == "+" || fields[4] == "-") << line;
     u64 qlen = std::strtoull(fields[1].c_str(), nullptr, 10);
     u64 qend = std::strtoull(fields[3].c_str(), nullptr, 10);
     EXPECT_LE(qend, qlen) << line;
+    EXPECT_EQ(fields[12].rfind("ol:i:", 0), 0u) << line;
+    EXPECT_EQ(fields[13].rfind("tp:A:", 0), 0u) << line;
   }
 
   // The echoed simulated reads parse back as FASTA.
@@ -227,6 +231,89 @@ TEST_F(CliSmoke, OverlapCommSchedulesProduceIdenticalOutputs) {
   ASSERT_FALSE(timings.empty());
   EXPECT_NE(timings[0].find("exchange_exposed_s"), std::string::npos);
   EXPECT_NE(timings[0].find("exchange_hidden_s"), std::string::npos);
+}
+
+TEST_F(CliSmoke, GfaLinksCrossCheckAgainstPaf) {
+  // Every GFA L line must be derivable from alignments.paf: the read pair
+  // appears there as a dovetail (tp:A:D) with the same overlap length
+  // (ol:i:), and the S-line count matches the surviving-edge vertex set.
+  DriverResult r = run_driver(
+      {"--preset=tiny", "--ranks=3", "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+
+  // Index PAF dovetail records by unordered name pair -> overlap length.
+  std::map<std::pair<std::string, std::string>, u64> paf_dovetails;
+  for (const auto& line : nonempty_lines(dibella::io::load_file(
+           (dir_ / dibella::cli::kAlignmentsFile).string()))) {
+    auto f = split(line, '\t');
+    ASSERT_EQ(f.size(), 14u) << line;
+    if (f[13] != "tp:A:D") continue;
+    auto key = std::minmax(f[0], f[5]);
+    paf_dovetails[{key.first, key.second}] =
+        std::strtoull(f[12].c_str() + 5, nullptr, 10);
+  }
+  ASSERT_FALSE(paf_dovetails.empty());
+
+  auto counters = parse_counters(
+      dibella::io::load_file((dir_ / dibella::cli::kCountersFile).string()));
+  std::size_t s_lines = 0, l_lines = 0;
+  for (const auto& line : nonempty_lines(
+           dibella::io::load_file((dir_ / "graph.gfa").string()))) {
+    auto f = split(line, '\t');
+    if (f[0] == "S") {
+      ++s_lines;
+      EXPECT_EQ(f.size(), 4u) << line;
+      continue;
+    }
+    if (f[0] != "L") continue;
+    ++l_lines;
+    ASSERT_EQ(f.size(), 6u) << line;
+    EXPECT_TRUE(f[2] == "+" || f[2] == "-") << line;
+    EXPECT_TRUE(f[4] == "+" || f[4] == "-") << line;
+    auto key = std::minmax(f[1], f[3]);
+    auto it = paf_dovetails.find({key.first, key.second});
+    ASSERT_TRUE(it != paf_dovetails.end()) << "L line without PAF dovetail: " << line;
+    EXPECT_EQ(f[5], std::to_string(it->second) + "M") << line;
+  }
+  EXPECT_EQ(l_lines, counters.at("sg_edges_surviving"));
+  EXPECT_GT(s_lines, 0u);
+  EXPECT_GT(counters.at("sg_unitigs"), 0u);
+  EXPECT_NE(r.out.find("string graph:"), std::string::npos);
+}
+
+TEST_F(CliSmoke, Stage5OffSkipsGraphOutputs) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--stage5=off",
+                               "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_FALSE(fs::exists(dir_ / "graph.gfa"));
+  EXPECT_FALSE(fs::exists(dir_ / dibella::cli::kComponentsFile));
+  auto counters = parse_counters(
+      dibella::io::load_file((dir_ / dibella::cli::kCountersFile).string()));
+  EXPECT_EQ(counters.at("sg_dovetail_edges"), 0u);
+}
+
+TEST_F(CliSmoke, ExplicitGfaPathHonoredWithNoOutput) {
+  fs::create_directories(dir_);
+  fs::path gfa = dir_ / "custom.gfa";
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                               "--gfa=" + gfa.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_TRUE(fs::exists(gfa));
+  EXPECT_FALSE(fs::exists(dir_ / dibella::cli::kCountersFile));
+}
+
+TEST(CliUsage, BadStage5ValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--stage5=maybe"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("stage5"), std::string::npos);
+}
+
+TEST(CliUsage, GfaWithoutStage5IsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--stage5=off", "--gfa=/tmp/x.gfa"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("gfa"), std::string::npos);
 }
 
 TEST(CliUsage, BadOverlapCommValueIsAUsageError) {

@@ -82,6 +82,40 @@ TEST(OverlapGraph, TransitiveReductionRemovesShortcut) {
   EXPECT_EQ(h.count_of(1), 2u);
 }
 
+TEST(OverlapGraph, ReductionIsOrderIndependentOnEqualOverlapTriangles) {
+  // All three edges tie on overlap length: the strict total order
+  // (overlap_len, lo, hi) lets exactly one edge — the lowest-ranked, (0,1)
+  // — be explained by the two higher-ranked ones. Mutual elimination (which
+  // a non-strict rule would allow, disconnecting the triangle) must not
+  // occur, and the verdicts must not depend on traversal order.
+  std::vector<AlignmentRecord> recs = {edge(0, 1, 30, 300), edge(1, 2, 30, 300),
+                                       edge(0, 2, 30, 300)};
+  auto g = dg::OverlapGraph::from_alignments(recs, 3);
+  EXPECT_EQ(g.transitive_reduction(), 1u);
+  auto live = g.live_edges();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].lo, 0u);
+  EXPECT_EQ(live[0].hi, 2u);
+  EXPECT_EQ(live[1].lo, 1u);
+  EXPECT_EQ(live[1].hi, 2u);
+  EXPECT_EQ(g.num_components(), 1u);  // still connected
+}
+
+TEST(OverlapGraph, LiveEdgesCanonicalOrder) {
+  std::vector<AlignmentRecord> recs = {edge(4, 1, 10, 100), edge(2, 0, 20, 200),
+                                       edge(3, 2, 30, 300)};
+  auto g = dg::OverlapGraph::from_alignments(recs, 5);
+  auto live = g.live_edges();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0].lo, 0u);
+  EXPECT_EQ(live[0].hi, 2u);
+  EXPECT_EQ(live[0].overlap_len, 200u);
+  EXPECT_EQ(live[1].lo, 1u);
+  EXPECT_EQ(live[1].hi, 4u);
+  EXPECT_EQ(live[2].lo, 2u);
+  EXPECT_EQ(live[2].hi, 3u);
+}
+
 TEST(OverlapGraph, ReductionKeepsNonTransitiveTriangles) {
   // Triangle where the "shortcut" is the strongest edge: must survive.
   std::vector<AlignmentRecord> recs = {edge(0, 1, 30, 300), edge(1, 2, 30, 300),

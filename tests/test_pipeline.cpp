@@ -220,9 +220,11 @@ TEST(Pipeline, PafOutputWellFormed) {
   std::size_t lines = 0;
   while (std::getline(is, line)) {
     ++lines;
-    // 12 tab-separated fields.
+    // 12 standard fields + the ol:i: / tp:A: string-graph tags.
     std::size_t tabs = static_cast<std::size_t>(std::count(line.begin(), line.end(), '\t'));
-    EXPECT_EQ(tabs, 11u) << line;
+    EXPECT_EQ(tabs, 13u) << line;
+    EXPECT_NE(line.find("\tol:i:"), std::string::npos) << line;
+    EXPECT_NE(line.find("\ttp:A:"), std::string::npos) << line;
     EXPECT_TRUE(line.find('+') != std::string::npos || line.find('-') != std::string::npos);
   }
   EXPECT_EQ(lines, out.alignments.size());

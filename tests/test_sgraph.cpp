@@ -1,0 +1,440 @@
+// Tests for the stage-5 string-graph subsystem (src/sgraph/): edge
+// classification, unitig-extraction edge cases (chains, cycles, branches,
+// tips, contained-only reads, self-overlaps), GFA emission, and the
+// differential pinning the distributed transitive reduction bitwise against
+// the sequential graph::OverlapGraph oracle across rank counts and
+// communication schedules.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "comm/world.hpp"
+#include "core/pipeline.hpp"
+#include "core/stage_context.hpp"
+#include "graph/overlap_graph.hpp"
+#include "sgraph/edge_class.hpp"
+#include "sgraph/string_graph.hpp"
+#include "sgraph/unitig.hpp"
+#include "simgen/presets.hpp"
+
+namespace dsg = dibella::sgraph;
+using dibella::u32;
+using dibella::u64;
+using dibella::align::AlignmentRecord;
+
+namespace {
+
+AlignmentRecord record(u64 a, u64 b, u32 a_begin, u32 a_end, u32 b_begin, u32 b_end,
+                       int score = 100, bool same_orientation = true) {
+  AlignmentRecord r;
+  r.rid_a = a;
+  r.rid_b = b;
+  r.a_begin = a_begin;
+  r.a_end = a_end;
+  r.b_begin = b_begin;
+  r.b_end = b_end;
+  r.score = score;
+  r.same_orientation = same_orientation ? 1 : 0;
+  return r;
+}
+
+dsg::DovetailEdge edge(u64 lo, u64 hi, u32 ov = 100) {
+  dsg::DovetailEdge e{};
+  e.lo = lo;
+  e.hi = hi;
+  e.overlap_len = ov;
+  e.from_is_lo = 1;
+  return e;
+}
+
+/// Gid-indexed dummy reads of the given lengths (sequence content never
+/// consulted by stage 5).
+std::vector<dibella::io::Read> reads_of_lengths(const std::vector<u64>& lens) {
+  std::vector<dibella::io::Read> reads(lens.size());
+  for (std::size_t i = 0; i < lens.size(); ++i) {
+    reads[i].gid = i;
+    // std::string("r").append(...) sidesteps GCC 12's -Wrestrict false
+    // positive (PR105329) on `const char* + std::string&&` at -O3.
+    reads[i].name = std::string("r").append(std::to_string(i));
+    reads[i].seq.assign(lens[i], 'A');
+  }
+  return reads;
+}
+
+/// Run the stage standalone over a World: every record handed to rank 0
+/// (stage 5 accepts records wherever stage 4 left them).
+dsg::StringGraphOutput run_stage(const std::vector<u64>& lens,
+                                 const std::vector<AlignmentRecord>& records,
+                                 int ranks, const dsg::StringGraphConfig& cfg,
+                                 std::vector<dsg::StringGraphStageResult>* results =
+                                     nullptr) {
+  auto reads = reads_of_lengths(lens);
+  std::vector<u64> sizes;
+  for (const auto& r : reads) sizes.push_back(r.seq.size());
+  dibella::io::ReadPartition partition(sizes, ranks);
+  std::vector<dibella::netsim::RankTrace> traces(static_cast<std::size_t>(ranks));
+  std::vector<dsg::StringGraphOutput> outs(static_cast<std::size_t>(ranks));
+  if (results) results->resize(static_cast<std::size_t>(ranks));
+  dibella::comm::World world(ranks);
+  world.run([&](dibella::comm::Communicator& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    dibella::core::StageContext ctx{comm, traces[rank]};
+    ctx.attach();
+    dibella::io::ReadStore store(reads, partition, comm.rank());
+    std::vector<AlignmentRecord> local = comm.rank() == 0 ? records
+                                                          : std::vector<AlignmentRecord>{};
+    outs[rank] = dsg::run_string_graph_stage(ctx, store, local, cfg,
+                                             results ? &(*results)[rank] : nullptr);
+  });
+  return outs[0];
+}
+
+}  // namespace
+
+// --- classification ----------------------------------------------------------
+
+TEST(EdgeClass, DovetailSuffixPrefix) {
+  // a[500,990) joins b[10,500): a's suffix onto b's prefix.
+  auto g = dsg::classify_alignment(record(0, 1, 500, 990, 10, 500), 1000, 1000, 50);
+  EXPECT_EQ(g.cls, dsg::EdgeClass::kDovetail);
+  EXPECT_TRUE(g.a_is_source);
+  // Mirrored: b's suffix onto a's prefix.
+  auto h = dsg::classify_alignment(record(0, 1, 10, 500, 500, 990), 1000, 1000, 50);
+  EXPECT_EQ(h.cls, dsg::EdgeClass::kDovetail);
+  EXPECT_FALSE(h.a_is_source);
+}
+
+TEST(EdgeClass, Containment) {
+  // b is covered end to end; a has slack on both sides.
+  auto g = dsg::classify_alignment(record(0, 1, 200, 1205, 5, 995), 2000, 1000, 50);
+  EXPECT_EQ(g.cls, dsg::EdgeClass::kContainedB);
+  auto h = dsg::classify_alignment(record(0, 1, 5, 995, 200, 1205), 1000, 2000, 50);
+  EXPECT_EQ(h.cls, dsg::EdgeClass::kContainedA);
+  // Both covered (equal-length twins): a wins the tie deterministically.
+  auto t = dsg::classify_alignment(record(0, 1, 0, 1000, 0, 1000), 1000, 1000, 50);
+  EXPECT_EQ(t.cls, dsg::EdgeClass::kContainedA);
+}
+
+TEST(EdgeClass, InternalMatch) {
+  // A repeat-style match in the middle of both reads.
+  auto g = dsg::classify_alignment(record(0, 1, 400, 700, 300, 600), 2000, 2000, 50);
+  EXPECT_EQ(g.cls, dsg::EdgeClass::kInternal);
+  EXPECT_EQ(dsg::edge_class_code(g.cls), 'I');
+}
+
+TEST(EdgeClass, ReverseComplementStrandAdjustment) {
+  // Forward-frame b span [0, 490) with rc: in the aligned frame that is
+  // b's *suffix*, so a-suffix onto b-prefix requires b's span mirrored.
+  auto g = dsg::classify_alignment(record(0, 1, 500, 990, 510, 1000, 100, false),
+                                   1000, 1000, 50);
+  EXPECT_EQ(g.cls, dsg::EdgeClass::kDovetail);
+  EXPECT_TRUE(g.a_is_source);
+  auto e = dsg::make_dovetail_edge(record(0, 1, 500, 990, 510, 1000, 100, false), g);
+  EXPECT_EQ(e.lo, 0u);
+  EXPECT_EQ(e.hi, 1u);
+  EXPECT_TRUE(e.from_is_lo);
+  EXPECT_FALSE(e.rc_from);  // a keeps '+'
+  EXPECT_TRUE(e.rc_to);     // b was reverse-complemented
+}
+
+// --- unitig extraction edge cases -------------------------------------------
+
+TEST(Unitig, SimpleChain) {
+  auto res = dsg::extract_unitigs({edge(0, 1), edge(1, 2), edge(2, 3)});
+  ASSERT_EQ(res.unitigs.size(), 1u);
+  EXPECT_EQ(res.unitigs[0].reads, (std::vector<u64>{0, 1, 2, 3}));
+  EXPECT_FALSE(res.unitigs[0].circular);
+  ASSERT_EQ(res.components.size(), 1u);
+  EXPECT_EQ(res.components[0].reads, 4u);
+  EXPECT_EQ(res.components[0].edges, 3u);
+  EXPECT_EQ(res.components[0].unitigs, 1u);
+  EXPECT_EQ(res.components[0].longest_unitig_reads, 4u);
+}
+
+TEST(Unitig, CircularComponent) {
+  auto res = dsg::extract_unitigs({edge(0, 1), edge(0, 2), edge(1, 2)});
+  ASSERT_EQ(res.unitigs.size(), 1u);
+  EXPECT_TRUE(res.unitigs[0].circular);
+  EXPECT_EQ(res.unitigs[0].reads.size(), 3u);
+  EXPECT_EQ(res.unitigs[0].reads[0], 0u);  // seeded from the smallest gid
+}
+
+TEST(Unitig, BranchTerminatesChains) {
+  // Y: 0-1-2 with extra arms 2-3 and 2-4; vertex 2 has degree 3.
+  auto res = dsg::extract_unitigs({edge(0, 1), edge(1, 2), edge(2, 3), edge(2, 4)});
+  ASSERT_EQ(res.unitigs.size(), 3u);
+  // Every unitig terminates at the branch; none walk through it.
+  for (const auto& u : res.unitigs) {
+    for (std::size_t i = 1; i + 1 < u.reads.size(); ++i) {
+      EXPECT_NE(u.reads[i], 2u) << "branch vertex used as unitig interior";
+    }
+  }
+  EXPECT_EQ(res.unitigs[0].reads, (std::vector<u64>{0, 1, 2}));
+}
+
+TEST(Unitig, TipAndMultipleComponents) {
+  // Component {0,1,2,3} with a tip 4 on vertex 1, plus a separate pair {5,6}.
+  auto res = dsg::extract_unitigs(
+      {edge(0, 1), edge(1, 2), edge(1, 4), edge(2, 3), edge(5, 6)});
+  ASSERT_EQ(res.components.size(), 2u);
+  EXPECT_EQ(res.components[0].reads, 5u);
+  EXPECT_EQ(res.components[0].unitigs, 3u);  // [0,1], [1,2,3], [1,4]
+  EXPECT_EQ(res.components[1].reads, 2u);
+  EXPECT_EQ(res.components[1].unitigs, 1u);
+  EXPECT_EQ(res.components[1].longest_unitig_reads, 2u);
+}
+
+TEST(Unitig, GfaSerialization) {
+  auto reads = reads_of_lengths({1000, 1100, 1200});
+  std::ostringstream os;
+  dsg::write_gfa(os, {edge(0, 1, 400), edge(1, 2, 500)}, reads);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t s_lines = 0, l_lines = 0;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "H\tVN:Z:1.0");
+  while (std::getline(is, line)) {
+    if (line.rfind("S\t", 0) == 0) ++s_lines;
+    if (line.rfind("L\t", 0) == 0) ++l_lines;
+  }
+  EXPECT_EQ(s_lines, 3u);
+  EXPECT_EQ(l_lines, 2u);
+  EXPECT_NE(os.str().find("S\tr0\t*\tLN:i:1000"), std::string::npos);
+  EXPECT_NE(os.str().find("L\tr0\t+\tr1\t+\t400M"), std::string::npos);
+}
+
+// --- the stage over hand-built records --------------------------------------
+
+TEST(StringGraphStage, SelfOverlapsAndContainedOnlyReadsDrop) {
+  // Reads 0-1-2 chain; read 3 appears only as contained (in 1); read 4 only
+  // in a self-overlap record.
+  std::vector<u64> lens{1000, 1000, 1000, 400, 1000};
+  std::vector<AlignmentRecord> recs{
+      record(0, 1, 600, 1000, 0, 400),    // dovetail 0->1
+      record(1, 2, 600, 1000, 0, 400),    // dovetail 1->2
+      record(1, 3, 300, 700, 0, 400),     // 3 contained in 1
+      record(4, 4, 0, 500, 500, 1000),    // self-overlap (a repeat)
+  };
+  dsg::StringGraphConfig cfg;
+  cfg.fuzz = 50;
+  std::vector<dsg::StringGraphStageResult> results;
+  auto out = run_stage(lens, recs, 2, cfg, &results);
+
+  u64 self_overlaps = 0, contained = 0, dovetails = 0;
+  for (const auto& r : results) {
+    self_overlaps += r.self_overlaps;
+    contained += r.contained_reads;
+    dovetails += r.edges_owned;
+  }
+  EXPECT_EQ(self_overlaps, 1u);
+  EXPECT_EQ(contained, 1u);
+  EXPECT_EQ(dovetails, 2u);
+  ASSERT_EQ(out.surviving_edges.size(), 2u);
+  for (const auto& e : out.surviving_edges) {
+    EXPECT_NE(e.lo, 3u);  // the contained read is out of the graph
+    EXPECT_NE(e.hi, 3u);
+    EXPECT_NE(e.lo, 4u);  // so is the self-overlapping one
+    EXPECT_NE(e.hi, 4u);
+  }
+  ASSERT_EQ(out.layout.unitigs.size(), 1u);
+  EXPECT_EQ(out.layout.unitigs[0].reads, (std::vector<u64>{0, 1, 2}));
+}
+
+TEST(StringGraphStage, ContainedReadDropsItsDovetailsEverywhere) {
+  // Read 1 is contained per one record but also has a dovetail per another:
+  // the containment verdict must erase the dovetail too (and it must do so
+  // even when the two records live on different ranks, which the ascending
+  // record split across ranks exercises implicitly via rank 0 holding all).
+  std::vector<u64> lens{1000, 800, 1000};
+  std::vector<AlignmentRecord> recs{
+      record(0, 1, 100, 905, 5, 800),   // 1 contained in 0
+      record(1, 2, 400, 800, 0, 400),   // dovetail 1->2 (must be dropped)
+  };
+  dsg::StringGraphConfig cfg;
+  cfg.fuzz = 50;
+  auto out = run_stage(lens, recs, 3, cfg);
+  EXPECT_TRUE(out.surviving_edges.empty());
+  EXPECT_TRUE(out.layout.unitigs.empty());
+}
+
+TEST(StringGraphStage, DuplicatePairRecordsKeepBestScore) {
+  // Two records for the same pair (the pipeline never emits this, but the
+  // stage contract tolerates it): the best-scoring edge survives, matching
+  // graph::OverlapGraph::from_alignments' dedup.
+  std::vector<u64> lens{1000, 1000, 1000};
+  std::vector<AlignmentRecord> recs{
+      record(0, 1, 700, 1000, 0, 300, 30),
+      record(1, 0, 600, 1000, 0, 400, 90),  // same pair, flipped, stronger
+      record(1, 2, 600, 1000, 0, 400, 50),
+  };
+  dsg::StringGraphConfig cfg;
+  cfg.fuzz = 50;
+  auto out = run_stage(lens, recs, 2, cfg);
+  ASSERT_EQ(out.surviving_edges.size(), 2u);
+  EXPECT_EQ(out.surviving_edges[0].lo, 0u);
+  EXPECT_EQ(out.surviving_edges[0].hi, 1u);
+  EXPECT_EQ(out.surviving_edges[0].score, 90);
+  EXPECT_EQ(out.surviving_edges[0].overlap_len, 400u);
+  ASSERT_EQ(out.layout.unitigs.size(), 1u);
+  EXPECT_EQ(out.layout.unitigs[0].reads.size(), 3u);
+}
+
+TEST(StringGraphStage, MinOverlapScoreFilters) {
+  std::vector<u64> lens{1000, 1000, 1000};
+  std::vector<AlignmentRecord> recs{
+      record(0, 1, 600, 1000, 0, 400, 80),
+      record(1, 2, 600, 1000, 0, 400, 20),
+  };
+  dsg::StringGraphConfig cfg;
+  cfg.fuzz = 50;
+  cfg.min_overlap_score = 50;
+  auto out = run_stage(lens, recs, 2, cfg);
+  ASSERT_EQ(out.surviving_edges.size(), 1u);
+  EXPECT_EQ(out.surviving_edges[0].lo, 0u);
+  EXPECT_EQ(out.surviving_edges[0].hi, 1u);
+}
+
+TEST(StringGraphStage, ReducesTransitiveShortcut) {
+  // Chain 0-1-2 plus the weaker transitive shortcut 0-2 (cross-rank
+  // triangle under 3 ranks: each vertex owned by a different rank).
+  std::vector<u64> lens{1000, 1000, 1000};
+  std::vector<AlignmentRecord> recs{
+      record(0, 1, 100, 1000, 0, 900),   // ov 900
+      record(1, 2, 200, 1000, 0, 800),   // ov 800
+      record(0, 2, 700, 1000, 0, 300),   // ov 300: explained by 0-1-2
+  };
+  dsg::StringGraphConfig cfg;
+  cfg.fuzz = 50;
+  std::vector<dsg::StringGraphStageResult> results;
+  auto out = run_stage(lens, recs, 3, cfg, &results);
+  u64 removed = 0;
+  for (const auto& r : results) removed += r.edges_removed;
+  EXPECT_EQ(removed, 1u);
+  ASSERT_EQ(out.surviving_edges.size(), 2u);
+  EXPECT_EQ(out.surviving_edges[0].hi, 1u);
+  EXPECT_EQ(out.surviving_edges[1].lo, 1u);
+}
+
+// --- differential: distributed reduction == sequential oracle ----------------
+
+namespace {
+
+/// The sequential oracle: classify + drop contained exactly as the stage
+/// specifies, then build graph::OverlapGraph and run its (independent)
+/// transitive reduction.
+std::vector<dibella::graph::LiveEdge> oracle_surviving(
+    const std::vector<AlignmentRecord>& records, const std::vector<u64>& lens,
+    const dsg::StringGraphConfig& cfg) {
+  std::set<u64> contained;
+  std::vector<std::pair<AlignmentRecord, dsg::EdgeGeometry>> dovetails;
+  for (const auto& rec : records) {
+    if (rec.rid_a == rec.rid_b || rec.score < cfg.min_overlap_score) continue;
+    auto geom = dsg::classify_alignment(rec, lens[static_cast<std::size_t>(rec.rid_a)],
+                                        lens[static_cast<std::size_t>(rec.rid_b)],
+                                        cfg.fuzz);
+    if (geom.cls == dsg::EdgeClass::kContainedA) contained.insert(rec.rid_a);
+    if (geom.cls == dsg::EdgeClass::kContainedB) contained.insert(rec.rid_b);
+    if (geom.cls == dsg::EdgeClass::kDovetail) dovetails.push_back({rec, geom});
+  }
+  std::vector<AlignmentRecord> kept;
+  for (const auto& [rec, geom] : dovetails) {
+    if (contained.count(rec.rid_a) || contained.count(rec.rid_b)) continue;
+    kept.push_back(rec);
+  }
+  auto g = dibella::graph::OverlapGraph::from_alignments(kept, lens.size());
+  g.transitive_reduction();
+  return g.live_edges();
+}
+
+}  // namespace
+
+TEST(StringGraphDifferential, DistributedMatchesOracleAcrossRanksAndSchedules) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test());
+  dibella::core::PipelineConfig cfg;
+  cfg.k = 17;
+  cfg.assumed_error_rate = 0.12;
+  cfg.assumed_coverage = 20.0;
+  cfg.stage5 = true;
+
+  std::vector<u64> lens;
+  for (const auto& r : sim.reads) lens.push_back(r.seq.size());
+  dsg::StringGraphConfig scfg;
+  scfg.min_overlap_score = cfg.min_overlap_score;
+  scfg.fuzz = cfg.sgraph_fuzz;
+
+  std::string first_gfa;
+  std::vector<dibella::graph::LiveEdge> expected;
+  bool have_expected = false;
+  for (int ranks : {1, 2, 3, 5}) {
+    for (bool overlap : {true, false}) {
+      cfg.overlap_comm = overlap;
+      dibella::comm::World world(ranks);
+      auto out = run_pipeline(world, sim.reads, cfg);
+      if (!have_expected) {
+        // The alignment set is rank-count independent (pinned elsewhere), so
+        // one oracle evaluation covers every configuration.
+        expected = oracle_surviving(out.alignments, lens, scfg);
+        have_expected = true;
+        ASSERT_GT(expected.size(), 0u);
+      }
+      const auto& got = out.string_graph.surviving_edges;
+      ASSERT_EQ(got.size(), expected.size())
+          << "ranks=" << ranks << " overlap=" << overlap;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].lo, expected[i].lo);
+        EXPECT_EQ(got[i].hi, expected[i].hi);
+        EXPECT_EQ(got[i].overlap_len, expected[i].overlap_len);
+        EXPECT_EQ(got[i].score, expected[i].score);
+        EXPECT_EQ(got[i].same_orientation, expected[i].same_orientation);
+      }
+      // GFA bytes and unitig count are pinned across every configuration.
+      std::ostringstream gfa;
+      dsg::write_gfa(gfa, got, sim.reads);
+      if (first_gfa.empty()) {
+        first_gfa = gfa.str();
+        EXPECT_GT(out.counters.sg_unitigs, 0u);
+      } else {
+        EXPECT_EQ(gfa.str(), first_gfa) << "ranks=" << ranks << " overlap=" << overlap;
+      }
+    }
+  }
+}
+
+TEST(StringGraphStage, CostModelReportsSgraphStage) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test());
+  dibella::core::PipelineConfig cfg;
+  cfg.k = 17;
+  cfg.assumed_error_rate = 0.12;
+  cfg.assumed_coverage = 20.0;
+  cfg.stage5 = true;
+  dibella::comm::World world(3);
+  auto out = run_pipeline(world, sim.reads, cfg);
+  auto report = out.evaluate(dibella::netsim::cori(),
+                             dibella::netsim::Topology{1, 3});
+  ASSERT_TRUE(report.has_stage("sgraph"));
+  const auto& s = report.stage("sgraph");
+  EXPECT_GT(s.exchange_calls, 0u);
+  EXPECT_GT(s.compute_virtual, 0.0);
+  // The overlapped schedule hides part of the stage's exchange behind the
+  // packing/consuming compute recorded in flight.
+  EXPECT_LE(s.exchange_exposed_virtual, s.exchange_virtual);
+}
+
+TEST(StringGraphStage, Stage5OffLeavesOutputEmpty) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test());
+  dibella::core::PipelineConfig cfg;
+  cfg.k = 17;
+  cfg.assumed_error_rate = 0.12;
+  cfg.assumed_coverage = 20.0;
+  cfg.stage5 = false;
+  dibella::comm::World world(2);
+  auto out = run_pipeline(world, sim.reads, cfg);
+  EXPECT_TRUE(out.string_graph.surviving_edges.empty());
+  EXPECT_EQ(out.counters.sg_unitigs, 0u);
+  auto report = out.evaluate(dibella::netsim::local_host(),
+                             dibella::netsim::Topology{1, 2});
+  EXPECT_FALSE(report.has_stage("sgraph"));
+}
