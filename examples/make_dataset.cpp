@@ -8,12 +8,13 @@
 ///   make_dataset [--preset=30x|100x|tiny] [--scale=0.01] [--out=dataset]
 ///                [--coverage=30] [--error-rate=0.15] [--seed=7]
 ///
-/// Writes <out>.fq, <out>.truth.tsv (gid, start, end, strand), <out>.ref.fa.
+/// Writes <out>.fq, <out>.truth.tsv (the io::TruthTable sidecar format that
+/// `dibella --input=<out>.fq --eval=on` loads back), and <out>.ref.fa.
 
-#include <fstream>
 #include <iostream>
 
 #include "io/fastx.hpp"
+#include "io/truth.hpp"
 #include "simgen/presets.hpp"
 #include "util/args.hpp"
 
@@ -42,15 +43,9 @@ int main(int argc, char** argv) {
   auto sim = simgen::simulate_reads(genome, preset.reads);
 
   io::save_file(out + ".fq", io::to_fastq(sim.reads));
-  {
-    std::ofstream truth(out + ".truth.tsv");
-    truth << "gid\tstart\tend\tstrand\n";
-    for (std::size_t i = 0; i < sim.truth.size(); ++i) {
-      const auto& t = sim.truth[i];
-      truth << i << '\t' << t.start << '\t' << t.end << '\t' << (t.rc ? '-' : '+')
-            << '\n';
-    }
-  }
+  // Machine-readable provenance: the shared sidecar writer, so the driver's
+  // loader (and any external scorer) can round-trip it.
+  simgen::truth_table(sim).save_tsv(out + ".truth.tsv");
   {
     io::Read ref;
     ref.gid = 0;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <sstream>
@@ -13,7 +14,9 @@
 #include "comm/world.hpp"
 #include "core/output.hpp"
 #include "core/pipeline.hpp"
+#include "eval/report.hpp"
 #include "io/fastx.hpp"
+#include "io/truth.hpp"
 #include "netsim/cost_model.hpp"
 #include "netsim/platform.hpp"
 #include "sgraph/unitig.hpp"
@@ -63,12 +66,28 @@ string graph (stage 5):
   --stage5=MODE         on (default) = build the string graph from the
                         alignments: classify contained/dovetail/internal
                         edges, run the distributed transitive reduction,
-                        extract unitigs, and write GFA1 + components.tsv.
+                        extract unitigs, and write GFA1 + components.tsv
+                        + unitigs.tsv.
                         off = stop after alignment (stages 1-4 only).
   --gfa=PATH            GFA1 output path (default <out-dir>/graph.gfa);
                         an explicit path is honored even with --no-output
   --min-overlap-score=N drop alignments scoring below N before the graph
                         (default 0)
+
+evaluation (ground truth):
+  --eval=MODE           on = score the run against ground truth — overlap
+                        recall/precision/F1 with per-length recall bins,
+                        plus stage-5 unitig fidelity — and write eval.tsv.
+                        off = skip. Default: on for simulated presets
+                        (truth is free), off for --input (truth must come
+                        from a sidecar; --truth implies on).
+  --truth=PATH          ground-truth TSV for --input reads (the format
+                        reads.truth.tsv / make_dataset's *.truth.tsv use).
+                        Default: <input>.truth.tsv, then the input file's
+                        extension replaced by .truth.tsv.
+  --eval-min-overlap=N  genomic bases two reads must share to count as a
+                        true overlap (default: the preset's oracle
+                        threshold, or 2000 for --input)
 
 cost model:
   --platform=NAME       local | cori | edison | titan | aws (default local)
@@ -92,7 +111,8 @@ const std::set<std::string>& known_options() {
       "error-rate", "seed-policy",   "spacing",        "xdrop",
       "min-score",  "bloom-fpr",     "overlap-comm",   "platform",
       "ranks-per-node", "out-dir",   "no-output",      "help",
-      "stage5",     "gfa",           "min-overlap-score"};
+      "stage5",     "gfa",           "min-overlap-score",
+      "eval",       "truth",         "eval-min-overlap"};
   return opts;
 }
 
@@ -238,6 +258,37 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
   out << t.to_text("diBELLA pipeline on " + std::to_string(ranks) + " ranks");
 }
 
+void print_eval(std::ostream& out, const eval::EvalReport& r) {
+  util::Table t({"quality metric", "value"});
+  auto row_u = [&](const char* name, u64 v) {
+    t.start_row();
+    t.cell(name);
+    t.cell(v);
+  };
+  auto row_d = [&](const char* name, double v) {
+    t.start_row();
+    t.cell(name);
+    t.cell(v, 6);
+  };
+  row_u("true overlap pairs", r.overlap.true_pairs);
+  row_u("reported pairs", r.overlap.reported_pairs);
+  row_u("true positives", r.overlap.true_positives);
+  row_u("false positives", r.overlap.false_positives);
+  row_d("recall", r.overlap.recall());
+  row_d("precision", r.overlap.precision());
+  row_d("F1", r.overlap.f1());
+  if (r.has_unitigs) {
+    row_u("unitig misjoins", r.unitigs.misjoined_unitigs);
+    row_u("unitig breakpoints", r.unitigs.breakpoints);
+    row_u("unitig N50 (genome bp)", r.unitigs.unitig_n50);
+    row_u("truth contig N50 (bp)", r.unitigs.truth_n50);
+    row_u("truth-contained reads", r.unitigs.truth_contained_reads);
+  }
+  out << "\n"
+      << t.to_text("ground-truth evaluation (true overlap >= " +
+                   std::to_string(r.config.min_true_overlap) + " bp)");
+}
+
 void print_timings(std::ostream& out, const netsim::TimingReport& report,
                    const netsim::Platform& platform, const netsim::Topology& topo) {
   util::Table t({"stage", "compute (s)", "exchange (s)", "exposed (s)", "hidden (s)",
@@ -298,6 +349,8 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   double coverage = parse_double(args, "coverage", 30.0);
   double error_rate = parse_double(args, "error-rate", 0.15);
   bool simulated = false;
+  std::shared_ptr<const io::TruthTable> truth;
+  u64 default_eval_min_overlap = 2000;
   if (args.has("input")) {
     if (args.has("preset")) throw UsageError("--input and --preset are exclusive");
     reads = load_reads(args.get("input", ""), out);
@@ -322,6 +375,8 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
     coverage = parse_double(args, "coverage", preset.reads.coverage);
     error_rate = parse_double(args, "error-rate", preset.reads.error_rate);
     auto sim = simgen::make_dataset(preset);
+    truth = std::make_shared<const io::TruthTable>(simgen::truth_table(sim));
+    default_eval_min_overlap = preset.min_true_overlap;
     reads = std::move(sim.reads);
     simulated = true;
     out << "simulated " << reads.size() << " reads (" << preset.name
@@ -373,6 +428,61 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   if (args.has("gfa") && !cfg.stage5) {
     throw UsageError("--gfa requires --stage5=on");
   }
+
+  // --- ground-truth evaluation: on by default when truth is free (simulated
+  // presets) or explicitly supplied (--truth); off for bare file input.
+  if (args.has("truth") && simulated) {
+    throw UsageError("--truth only applies to --input (presets carry their own truth)");
+  }
+  bool eval_on = simulated || args.has("truth");
+  if (args.has("eval")) {
+    const std::string eval_mode = args.get("eval", "");
+    if (eval_mode == "on") {
+      eval_on = true;
+    } else if (eval_mode == "off") {
+      eval_on = false;
+    } else {
+      throw UsageError("unknown --eval=" + eval_mode + " (expected on|off)");
+    }
+  }
+  if (eval_on && !truth) {
+    // File-based input: the provenance must come from a sidecar TSV.
+    std::string truth_path;
+    if (args.has("truth")) {
+      truth_path = args.get("truth", "");
+    } else {
+      const std::filesystem::path input = args.get("input", "");
+      const std::filesystem::path appended = input.string() + ".truth.tsv";
+      const std::filesystem::path replaced =
+          std::filesystem::path(input).replace_extension(".truth.tsv");
+      if (std::filesystem::exists(appended)) {
+        truth_path = appended.string();
+      } else if (std::filesystem::exists(replaced)) {
+        truth_path = replaced.string();
+      } else {
+        throw UsageError(
+            "--eval=on needs ground truth for --input: pass --truth=PATH or "
+            "provide a sidecar (" + appended.string() + " or " +
+            replaced.string() + "); make_dataset and simulated dibella runs "
+            "write one");
+      }
+    }
+    io::TruthTable loaded = io::TruthTable::load_tsv(truth_path);
+    if (loaded.size() != reads.size()) {
+      throw Error("truth table " + truth_path + " covers " +
+                  std::to_string(loaded.size()) + " reads but the input has " +
+                  std::to_string(reads.size()));
+    }
+    truth = std::make_shared<const io::TruthTable>(std::move(loaded));
+    out << "loaded ground truth for " << truth->size() << " reads from "
+        << truth_path << "\n";
+  }
+  cfg.eval = eval_on;
+  const i64 eval_min_overlap = parse_i64(args, "eval-min-overlap",
+                                         static_cast<i64>(default_eval_min_overlap));
+  if (eval_min_overlap < 1) throw UsageError("--eval-min-overlap must be >= 1");
+  cfg.eval_min_overlap = static_cast<u64>(eval_min_overlap);
+
   const netsim::Platform platform = platform_by_name(args.get("platform", "local"));
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
@@ -381,9 +491,10 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
 
   // --- run.
   comm::World world(ranks);
-  core::PipelineOutput result = core::run_pipeline(world, reads, cfg);
+  core::PipelineOutput result = core::run_pipeline(world, reads, cfg, truth);
 
   print_counters(out, result.counters, ranks, cfg.stage5);
+  if (result.eval_ran) print_eval(out, result.eval);
 
   const netsim::Topology topo{ranks / ranks_per_node, ranks_per_node};
   const netsim::TimingReport report = result.evaluate(platform, topo);
@@ -397,22 +508,43 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
     std::filesystem::create_directories(dir, ec);
     if (ec) throw Error("cannot create --out-dir " + dir.string() + ": " + ec.message());
 
+    std::vector<std::string> extras = {kCountersFile, kTimingsFile};
     std::ostringstream paf;
     core::write_paf(paf, result.alignments, reads, cfg.sgraph_fuzz);
     write_file(dir / kAlignmentsFile, paf.str());
     write_file(dir / kCountersFile, counters_tsv(result.counters, ranks));
     write_file(dir / kTimingsFile, timings_tsv(report));
-    if (simulated) write_file(dir / kReadsFile, io::to_fasta(reads));
+    if (simulated) {
+      // Echo the reads and their truth sidecar, so a later --input run on
+      // this dataset can opt back into evaluation.
+      write_file(dir / kReadsFile, io::to_fasta(reads));
+      write_file(dir / kTruthFile, truth->to_tsv());
+      extras.push_back(kReadsFile);
+      extras.push_back(kTruthFile);
+    }
     if (cfg.stage5) {
       std::ostringstream comp;
       sgraph::write_component_summary(comp, result.string_graph.layout);
       write_file(dir / kComponentsFile, comp.str());
+      std::ostringstream unis;
+      sgraph::write_unitig_table(unis, result.string_graph.layout);
+      write_file(dir / kUnitigsFile, unis.str());
+      extras.push_back(kComponentsFile);
+      extras.push_back(kUnitigsFile);
+    }
+    if (result.eval_ran) {
+      std::ostringstream ev;
+      eval::write_eval_tsv(ev, result.eval);
+      write_file(dir / kEvalFile, ev.str());
+      extras.push_back(kEvalFile);
     }
 
     out << "\nwrote " << result.alignments.size() << " alignments to "
-        << (dir / kAlignmentsFile).string() << " (+ " << kCountersFile << ", "
-        << kTimingsFile << (cfg.stage5 ? std::string(", ") + kComponentsFile : "")
-        << (simulated ? std::string(", ") + kReadsFile : "") << ")\n";
+        << (dir / kAlignmentsFile).string() << " (+";
+    for (std::size_t i = 0; i < extras.size(); ++i) {
+      out << (i ? ", " : " ") << extras[i];
+    }
+    out << ")\n";
   }
   // The GFA rides --out-dir by default but an explicit --gfa path is
   // honored even under --no-output (the quickstart's one-file ask).

@@ -22,8 +22,11 @@ inline constexpr const char* kAlignmentsFile = "alignments.paf";
 inline constexpr const char* kCountersFile = "counters.tsv";
 inline constexpr const char* kTimingsFile = "timings.tsv";
 inline constexpr const char* kReadsFile = "reads.fasta";  ///< simulated runs only
+inline constexpr const char* kTruthFile = "reads.truth.tsv";  ///< simulated runs only
 inline constexpr const char* kGfaFile = "graph.gfa";      ///< stage 5 (default --gfa path)
 inline constexpr const char* kComponentsFile = "components.tsv";  ///< stage 5
+inline constexpr const char* kUnitigsFile = "unitigs.tsv";        ///< stage 5
+inline constexpr const char* kEvalFile = "eval.tsv";      ///< --eval=on only
 
 /// Run the driver with the given argv. Progress and results go to `out`,
 /// diagnostics to `err`. Never throws; failures map to the exit codes above.

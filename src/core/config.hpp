@@ -47,6 +47,13 @@ struct PipelineConfig {
   u32 sgraph_fuzz = sgraph::kDefaultFuzz;  ///< end tolerance (bp) for classification
   u64 batch_graph_bytes = 1u << 20;  ///< stage-5 bytes per destination per batch
 
+  // --- ground-truth evaluation (src/eval/; needs a TruthTable at run time)
+  /// Score the run against ground truth: overlap recall/precision/F1 plus
+  /// stage-5 unitig fidelity. run_pipeline must be handed the truth table.
+  bool eval = false;
+  u64 eval_min_overlap = 2000;  ///< genomic bases that make a pair a true overlap
+  u32 eval_len_bin = 500;       ///< recall-histogram bin width (bases)
+
   /// Resolved high-frequency ceiling (max_kmer_count, or the BELLA model
   /// value when max_kmer_count == 0).
   u32 resolved_max_kmer_count() const;

@@ -19,9 +19,14 @@ netsim::TimingReport PipelineOutput::evaluate(const netsim::Platform& platform,
 }
 
 PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
-                            const PipelineConfig& config) {
+                            const PipelineConfig& config,
+                            std::shared_ptr<const io::TruthTable> truth) {
   const int P = world.size();
   const u32 max_count = config.resolved_max_kmer_count();
+  DIBELLA_CHECK(!config.eval || truth != nullptr,
+                "config.eval requires a ground-truth table (see io/truth.hpp)");
+  DIBELLA_CHECK(truth == nullptr || truth->size() == reads.size(),
+                "truth table and read set disagree on read count");
 
   std::vector<u64> lens;
   lens.reserve(reads.size());
@@ -46,6 +51,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     ctx.attach();
 
     io::ReadStore store(reads, partition, comm.rank());
+    if (truth) store.attach_truth(truth);
 
     // Stage 1: distributed Bloom filter; initializes candidate keys.
     dht::LocalKmerTable table(1024, max_count + 1);
@@ -153,6 +159,18 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
     c.sg_unitigs = out.string_graph.layout.unitigs.size();
     c.sg_components = out.string_graph.layout.components.size();
+  }
+
+  // Ground-truth evaluation over the merged (rank-independent) outputs, so
+  // the report is as schedule- and rank-count-invariant as the PAF itself.
+  if (config.eval) {
+    eval::EvalConfig ecfg;
+    ecfg.min_true_overlap = config.eval_min_overlap;
+    ecfg.len_bin = config.eval_len_bin;
+    out.eval = eval::evaluate(*truth, out.alignments,
+                              config.stage5 ? &out.string_graph.layout : nullptr,
+                              ecfg);
+    out.eval_ran = true;
   }
   return out;
 }

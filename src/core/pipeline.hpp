@@ -11,6 +11,7 @@
 /// netsim cost model replays to obtain platform-scaled timings for the
 /// paper's figures.
 
+#include <memory>
 #include <vector>
 
 #include "align/alignment_stage.hpp"
@@ -19,7 +20,9 @@
 #include "comm/world.hpp"
 #include "core/config.hpp"
 #include "dht/distributed_table.hpp"
+#include "eval/report.hpp"
 #include "io/read_store.hpp"
+#include "io/truth.hpp"
 #include "netsim/cost_model.hpp"
 #include "overlap/overlapper.hpp"
 #include "sgraph/string_graph.hpp"
@@ -72,6 +75,12 @@ struct PipelineOutput {
   /// balance is near perfect even when the time balance is not (Fig 8).
   std::vector<u64> per_rank_pairs_aligned;
 
+  /// Ground-truth evaluation (config.eval): overlap recall/precision/F1 and
+  /// stage-5 unitig fidelity. Valid only when eval_ran; deterministic in
+  /// (reads, truth, config) like the alignments it is computed from.
+  bool eval_ran = false;
+  eval::EvalReport eval;
+
   /// Per-rank alignment-stage virtual seconds under a cost model — the Fig 8
   /// load-imbalance input.
   netsim::TimingReport evaluate(const netsim::Platform& platform,
@@ -81,7 +90,13 @@ struct PipelineOutput {
 /// Run the full pipeline on `reads` (gid-ordered) over `world`.
 /// Deterministic in (reads, config) and independent of world.size() in its
 /// alignment output (the property the integration tests pin down).
+///
+/// `truth` (optional) is the read set's ground-truth provenance; it is
+/// attached to every rank's ReadStore and — when config.eval — scored
+/// against the merged alignments and stage-5 layout into `eval`.
+/// config.eval without a truth table is an error.
 PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
-                            const PipelineConfig& config);
+                            const PipelineConfig& config,
+                            std::shared_ptr<const io::TruthTable> truth = nullptr);
 
 }  // namespace dibella::core

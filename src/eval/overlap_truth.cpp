@@ -1,0 +1,126 @@
+#include "eval/overlap_truth.hpp"
+
+#include <algorithm>
+
+namespace dibella::eval {
+
+OverlapTruth::OverlapTruth(const io::TruthTable& truth, u64 min_overlap)
+    : entries_(truth.entries()), min_overlap_(min_overlap) {
+  DIBELLA_CHECK(min_overlap_ > 0, "OverlapTruth: min_overlap must be positive");
+}
+
+u64 OverlapTruth::overlap_length(u64 gid_a, u64 gid_b) const {
+  DIBELLA_CHECK(gid_a < read_count() && gid_b < read_count(),
+                "OverlapTruth: gid out of range");
+  const auto& a = entries_[static_cast<std::size_t>(gid_a)];
+  const auto& b = entries_[static_cast<std::size_t>(gid_b)];
+  if (a.genome_id != b.genome_id) return 0;
+  u64 lo = std::max(a.lo, b.lo);
+  u64 hi = std::min(a.hi, b.hi);
+  return hi > lo ? hi - lo : 0;
+}
+
+std::vector<std::pair<u64, u64>> OverlapTruth::all_true_pairs() const {
+  // Sweep per genome over interval starts: sorted by lo, a candidate b can
+  // only reach min_overlap against a while b.lo + min_overlap <= a.hi.
+  std::vector<u64> order(entries_.size());
+  for (u64 i = 0; i < order.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](u64 x, u64 y) {
+    const auto& ex = entries_[static_cast<std::size_t>(x)];
+    const auto& ey = entries_[static_cast<std::size_t>(y)];
+    if (ex.genome_id != ey.genome_id) return ex.genome_id < ey.genome_id;
+    return ex.lo < ey.lo;
+  });
+  std::vector<std::pair<u64, u64>> pairs;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& a = entries_[static_cast<std::size_t>(order[i])];
+    for (std::size_t j = i + 1; j < order.size(); ++j) {
+      const auto& b = entries_[static_cast<std::size_t>(order[j])];
+      if (b.genome_id != a.genome_id) break;        // grouped by genome
+      if (b.lo + min_overlap_ > a.hi) break;        // sorted by lo: no more hits
+      if (truly_overlaps(order[i], order[j])) {
+        u64 x = order[i], y = order[j];
+        pairs.emplace_back(std::min(x, y), std::max(x, y));
+      }
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+std::vector<u64> OverlapTruth::contained_reads() const {
+  // Sorted by (genome, lo asc, hi desc, gid): every earlier same-genome
+  // entry has lo <= current lo, so a running max of hi decides containment.
+  // The hi-desc/gid tie-break makes the smallest gid of an identical
+  // interval the container rather than mutually contained.
+  std::vector<u64> order(entries_.size());
+  for (u64 i = 0; i < order.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](u64 x, u64 y) {
+    const auto& ex = entries_[static_cast<std::size_t>(x)];
+    const auto& ey = entries_[static_cast<std::size_t>(y)];
+    if (ex.genome_id != ey.genome_id) return ex.genome_id < ey.genome_id;
+    if (ex.lo != ey.lo) return ex.lo < ey.lo;
+    if (ex.hi != ey.hi) return ex.hi > ey.hi;
+    return x < y;
+  });
+  std::vector<u64> contained;
+  u32 cur_genome = 0;
+  u64 max_hi = 0;
+  bool genome_open = false;
+  for (u64 gid : order) {
+    const auto& e = entries_[static_cast<std::size_t>(gid)];
+    if (!genome_open || e.genome_id != cur_genome) {
+      cur_genome = e.genome_id;
+      max_hi = e.hi;
+      genome_open = true;
+      continue;
+    }
+    if (e.hi <= max_hi) {
+      contained.push_back(gid);
+    } else {
+      max_hi = e.hi;
+    }
+  }
+  std::sort(contained.begin(), contained.end());
+  return contained;
+}
+
+OverlapScore OverlapTruth::score_alignments(
+    const std::vector<align::AlignmentRecord>& alignments, u32 len_bin) const {
+  DIBELLA_CHECK(len_bin > 0, "score_alignments: len_bin must be positive");
+  std::vector<std::pair<u64, u64>> reported;
+  reported.reserve(alignments.size());
+  for (const auto& rec : alignments) {
+    if (rec.rid_a == rec.rid_b) continue;  // self-overlaps carry no pair signal
+    reported.emplace_back(std::min(rec.rid_a, rec.rid_b),
+                          std::max(rec.rid_a, rec.rid_b));
+  }
+  std::sort(reported.begin(), reported.end());
+  reported.erase(std::unique(reported.begin(), reported.end()), reported.end());
+
+  auto truth = all_true_pairs();
+
+  OverlapScore score;
+  score.len_bin = len_bin;
+  score.true_pairs = static_cast<u64>(truth.size());
+  score.reported_pairs = static_cast<u64>(reported.size());
+  // Both sides sorted: march them together.
+  std::size_t t = 0;
+  for (const auto& pair : reported) {
+    while (t < truth.size() && truth[t] < pair) ++t;
+    if (t < truth.size() && truth[t] == pair) ++score.true_positives;
+  }
+  score.false_positives = score.reported_pairs - score.true_positives;
+
+  std::size_t r = 0;
+  for (const auto& pair : truth) {
+    u64 len = overlap_length(pair.first, pair.second);
+    u64 bin = len / len_bin * len_bin;
+    score.truth_by_len.add(bin);
+    while (r < reported.size() && reported[r] < pair) ++r;
+    if (r < reported.size() && reported[r] == pair) score.found_by_len.add(bin);
+  }
+  return score;
+}
+
+}  // namespace dibella::eval

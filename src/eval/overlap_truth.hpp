@@ -1,0 +1,94 @@
+#pragma once
+/// \file overlap_truth.hpp
+/// Ground-truth overlap oracle and alignment scoring — the BELLA-style
+/// evaluation (Ellis et al., ICPP 2019) the paper quotes recall/precision
+/// from: two reads *truly overlap* when their true genome intervals share at
+/// least `min_overlap` bases on the same genome (strand plays no role in the
+/// pair predicate — the aligner handles orientation — but is carried for the
+/// unitig coordinate mapping).
+///
+/// The oracle enumerates all true pairs with an interval sweep
+/// (O(n log n + pairs)), and scores a pipeline's alignment records against
+/// them: recall = found true pairs / all true pairs, precision = found true
+/// pairs / reported pairs, plus per-overlap-length recall histograms that
+/// show *which* overlaps are missed (short ones, typically — they carry the
+/// fewest shared seeds).
+
+#include <utility>
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+#include "io/truth.hpp"
+#include "util/histogram.hpp"
+
+namespace dibella::eval {
+
+/// Alignment quality against the truth set. Counts are exact integers; the
+/// ratios derive from them, so equal counts mean bitwise-equal reports.
+struct OverlapScore {
+  u64 true_pairs = 0;       ///< pairs the oracle says overlap
+  u64 reported_pairs = 0;   ///< distinct non-self pairs in the alignments
+  u64 true_positives = 0;   ///< reported and true
+  u64 false_positives = 0;  ///< reported but not true
+
+  u64 false_negatives() const { return true_pairs - true_positives; }
+  double recall() const {
+    return true_pairs ? static_cast<double>(true_positives) /
+                            static_cast<double>(true_pairs)
+                      : 0.0;
+  }
+  double precision() const {
+    return reported_pairs ? static_cast<double>(true_positives) /
+                                static_cast<double>(reported_pairs)
+                          : 0.0;
+  }
+  double f1() const {
+    double p = precision(), r = recall();
+    return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+
+  /// True-pair counts binned by genomic overlap length (bin lower bounds,
+  /// width `len_bin`), and the recovered subset — per-length recall.
+  util::Histogram truth_by_len;
+  util::Histogram found_by_len;
+  u32 len_bin = 500;
+};
+
+/// The truth-set oracle over an io::TruthTable.
+class OverlapTruth {
+ public:
+  /// Entries are copied out of `truth` (24 B/read), so the oracle does not
+  /// dangle when the table goes away.
+  OverlapTruth(const io::TruthTable& truth, u64 min_overlap);
+
+  u64 min_overlap() const { return min_overlap_; }
+  u64 read_count() const { return static_cast<u64>(entries_.size()); }
+
+  /// Genomic overlap of reads a and b: bases their true intervals share, 0
+  /// when disjoint or sampled from different genomes.
+  u64 overlap_length(u64 gid_a, u64 gid_b) const;
+
+  bool truly_overlaps(u64 gid_a, u64 gid_b) const {
+    return overlap_length(gid_a, gid_b) >= min_overlap_;
+  }
+
+  /// All true pairs (a < b), sorted, via a per-genome interval sweep.
+  std::vector<std::pair<u64, u64>> all_true_pairs() const;
+
+  /// Reads whose true interval lies inside another read's (same genome) —
+  /// the reads a correct string graph drops as contained. Ties (identical
+  /// intervals) keep the smallest gid as the container. Sorted.
+  std::vector<u64> contained_reads() const;
+
+  /// Score alignment records against the truth set. Pairs are normalized
+  /// (a < b) and deduplicated; self-alignments are ignored. `len_bin` is
+  /// the recall-histogram bin width in bases.
+  OverlapScore score_alignments(const std::vector<align::AlignmentRecord>& alignments,
+                                u32 len_bin = 500) const;
+
+ private:
+  std::vector<io::TruthEntry> entries_;
+  u64 min_overlap_ = 0;
+};
+
+}  // namespace dibella::eval

@@ -1,0 +1,81 @@
+#include "eval/unitig_fidelity.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace dibella::eval {
+
+namespace {
+
+/// An adjacency holds when the two reads' true intervals touch at all (same
+/// genome, shared bases > 0). The oracle's min_overlap is deliberately NOT
+/// applied here: a correct layout may chain reads through overlaps shorter
+/// than the recall threshold; only *disjoint* neighbours prove a misjoin.
+bool linked(const OverlapTruth& oracle, u64 a, u64 b) {
+  return oracle.overlap_length(a, b) > 0;
+}
+
+}  // namespace
+
+UnitigScore score_unitigs(const std::vector<sgraph::Unitig>& unitigs,
+                          const io::TruthTable& truth, const OverlapTruth& oracle) {
+  DIBELLA_CHECK(oracle.read_count() == truth.size(),
+                "score_unitigs: oracle and truth table disagree on read count");
+  UnitigScore score;
+  score.unitigs = static_cast<u64>(unitigs.size());
+  score.truth_n50 = util::n50(truth.genome_lengths());
+  score.truth_contained_reads = static_cast<u64>(oracle.contained_reads().size());
+
+  std::vector<u64> spans;  // per-unitig mapped genome span (sum of segments)
+  std::vector<u64> placed;
+  for (const auto& unitig : unitigs) {
+    if (unitig.circular) ++score.circular_unitigs;
+    const auto& chain = unitig.reads;
+    if (chain.empty()) continue;
+    for (u64 gid : chain) {
+      DIBELLA_CHECK(gid < truth.size(), "score_unitigs: unitig gid outside truth");
+      placed.push_back(gid);
+    }
+
+    u64 unitig_breaks = 0;
+    u64 span = 0;
+    // Walk the chain, growing the current segment's union extent; a
+    // breakpoint closes the segment and starts a new one.
+    u64 seg_lo = truth.entry(chain[0]).lo;
+    u64 seg_hi = truth.entry(chain[0]).hi;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      ++score.adjacencies;
+      const auto& e = truth.entry(chain[i]);
+      if (linked(oracle, chain[i - 1], chain[i])) {
+        seg_lo = std::min(seg_lo, e.lo);
+        seg_hi = std::max(seg_hi, e.hi);
+      } else {
+        ++unitig_breaks;
+        span += seg_hi - seg_lo;
+        seg_lo = e.lo;
+        seg_hi = e.hi;
+      }
+    }
+    // A circular unitig also closes back on its first read; a walk off a
+    // linear genome that fails to close there is just as misjoined.
+    if (unitig.circular && chain.size() > 1) {
+      ++score.adjacencies;
+      if (!linked(oracle, chain.back(), chain.front())) ++unitig_breaks;
+    }
+    span += seg_hi - seg_lo;
+    spans.push_back(span);
+    score.breakpoints += unitig_breaks;
+    if (unitig_breaks > 0) ++score.misjoined_unitigs;
+  }
+
+  std::sort(placed.begin(), placed.end());
+  placed.erase(std::unique(placed.begin(), placed.end()), placed.end());
+  score.reads_in_unitigs = static_cast<u64>(placed.size());
+  score.reads_unplaced = truth.size() - score.reads_in_unitigs;
+  score.unitig_n50 = util::n50(spans);
+  score.longest_unitig_span = util::vec_max(spans);
+  return score;
+}
+
+}  // namespace dibella::eval

@@ -1,0 +1,51 @@
+#pragma once
+/// \file unitig_fidelity.hpp
+/// Stage-5 layout quality against ground truth, the way Guidi et al.
+/// ("Parallel String Graph Construction and Transitive Reduction", 2020)
+/// score unitigs against the reference genome: map each unitig chain back to
+/// genome coordinates through the truth table and count where the walk
+/// breaks.
+///
+/// Two reads adjacent in a unitig must have been sampled from overlapping
+/// regions of the same genome; an adjacency whose true intervals are
+/// disjoint (or from different genomes) is a *breakpoint*, and a unitig with
+/// any breakpoint is *misjoined*. Between breakpoints the chain covers a
+/// contiguous genome segment (the union extent of its reads' intervals);
+/// contiguity is the N50 of per-unitig mapped spans versus the N50 of the
+/// truth contigs (the genomes themselves). Contained-read accounting rounds
+/// out the picture: reads the truth says are contained cannot appear in a
+/// correct layout, so `reads_unplaced` is expected to be at least
+/// `truth_contained_reads`.
+
+#include <vector>
+
+#include "eval/overlap_truth.hpp"
+#include "io/truth.hpp"
+#include "sgraph/unitig.hpp"
+
+namespace dibella::eval {
+
+/// Unitig-fidelity metrics. All integers — bitwise-comparable across rank
+/// counts and communication schedules, like the GFA they derive from.
+struct UnitigScore {
+  u64 unitigs = 0;
+  u64 circular_unitigs = 0;
+  u64 misjoined_unitigs = 0;    ///< unitigs with >= 1 breakpoint
+  u64 breakpoints = 0;          ///< adjacencies with disjoint true intervals
+  u64 adjacencies = 0;          ///< read adjacencies checked (incl. cycle closures)
+  u64 unitig_n50 = 0;           ///< N50 of per-unitig mapped genome spans (bases)
+  u64 longest_unitig_span = 0;  ///< largest mapped span (bases)
+  u64 truth_n50 = 0;            ///< N50 of the truth contigs (genome lengths)
+  u64 reads_in_unitigs = 0;     ///< distinct reads placed in some unitig
+  u64 reads_unplaced = 0;       ///< reads in no unitig (contained, isolated, ...)
+  u64 truth_contained_reads = 0;  ///< reads the truth says are contained
+
+  bool operator==(const UnitigScore&) const = default;
+};
+
+/// Score a unitig layout against the truth. `oracle` must be built over
+/// `truth` (it supplies interval intersection and containment).
+UnitigScore score_unitigs(const std::vector<sgraph::Unitig>& unitigs,
+                          const io::TruthTable& truth, const OverlapTruth& oracle);
+
+}  // namespace dibella::eval

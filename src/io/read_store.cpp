@@ -89,6 +89,13 @@ void ReadStore::rebuild_remote_index() {
             [&](std::size_t a, std::size_t b) { return remote_[a].gid < remote_[b].gid; });
 }
 
+void ReadStore::attach_truth(std::shared_ptr<const TruthTable> truth) {
+  DIBELLA_CHECK(truth != nullptr, "attach_truth: null truth table");
+  DIBELLA_CHECK(truth->size() == partition_.total_reads(),
+                "attach_truth: truth table must cover every gid");
+  truth_ = std::move(truth);
+}
+
 const Read& ReadStore::get(u64 gid) const {
   if (is_local(gid)) return local_read(gid);
   auto it = std::lower_bound(remote_index_.begin(), remote_index_.end(), gid,

@@ -8,9 +8,11 @@
 /// identically on every rank from the global read-count/size information, so
 /// gid -> owner lookups need no communication.
 
+#include <memory>
 #include <vector>
 
 #include "io/read.hpp"
+#include "io/truth.hpp"
 
 namespace dibella::io {
 
@@ -85,12 +87,24 @@ class ReadStore {
     remote_index_.clear();
   }
 
+  /// Attach the read set's ground-truth provenance (simulated datasets, or a
+  /// loaded `reads.truth.tsv` sidecar). Shared, not copied: every rank's
+  /// store points at the same table. The table must cover the whole gid
+  /// space, not just this rank's block.
+  void attach_truth(std::shared_ptr<const TruthTable> truth);
+
+  /// The attached truth table, or nullptr when provenance is unknown
+  /// (file-based input without a sidecar).
+  const TruthTable* truth() const { return truth_.get(); }
+  std::shared_ptr<const TruthTable> truth_ptr() const { return truth_; }
+
  private:
   int rank_ = 0;
   ReadPartition partition_;
   std::vector<Read> local_;
   std::vector<Read> remote_;                 // cached remote reads
   std::vector<std::size_t> remote_index_;    // sorted by gid -> index into remote_
+  std::shared_ptr<const TruthTable> truth_;  // optional provenance (whole gid space)
   void rebuild_remote_index();
 };
 

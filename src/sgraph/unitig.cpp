@@ -149,6 +149,19 @@ void write_gfa(std::ostream& os, const std::vector<DovetailEdge>& edges,
   }
 }
 
+void write_unitig_table(std::ostream& os, const UnitigResult& result) {
+  os << "unitig\tcircular\treads\tgids\n";
+  for (std::size_t i = 0; i < result.unitigs.size(); ++i) {
+    const auto& u = result.unitigs[i];
+    os << i << '\t' << (u.circular ? 1 : 0) << '\t' << u.reads.size() << '\t';
+    for (std::size_t j = 0; j < u.reads.size(); ++j) {
+      if (j) os << ',';
+      os << u.reads[j];
+    }
+    os << '\n';
+  }
+}
+
 void write_component_summary(std::ostream& os, const UnitigResult& result) {
   os << "component\treads\tedges\tunitigs\tlongest_unitig_reads\n";
   for (std::size_t i = 0; i < result.components.size(); ++i) {

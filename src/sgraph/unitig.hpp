@@ -62,4 +62,11 @@ void write_gfa(std::ostream& os, const std::vector<DovetailEdge>& edges,
 /// longest_unitig_reads) with a header row.
 void write_component_summary(std::ostream& os, const UnitigResult& result);
 
+/// Per-unitig chain export as TSV (unitig, circular, reads, gids with gids
+/// comma-separated in walk order). This is the layout's coordinate hook:
+/// joining each gid against a truth table (io::TruthTable / reads.truth.tsv)
+/// maps every unitig back to genome intervals, which is exactly how
+/// eval::score_unitigs measures breakpoints and contiguity.
+void write_unitig_table(std::ostream& os, const UnitigResult& result);
+
 }  // namespace dibella::sgraph

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eval/overlap_truth.hpp"
 #include "kmer/dna.hpp"
 #include "util/random.hpp"
 
@@ -74,41 +75,46 @@ SimulatedReads simulate_reads(const std::string& genome, const ReadSimSpec& spec
   return out;
 }
 
+io::TruthTable truth_table(const SimulatedReads& sim) {
+  io::TruthTable table;
+  table.reserve(sim.truth.size());
+  table.set_genome_length(0, sim.genome_length);
+  for (const auto& t : sim.truth) {
+    table.add(io::TruthEntry{0, t.start, t.end, t.rc});
+  }
+  return table;
+}
+
+namespace {
+
+io::TruthTable table_of(const std::vector<TrueInterval>& truth) {
+  io::TruthTable table;
+  table.reserve(truth.size());
+  for (const auto& t : truth) table.add(io::TruthEntry{0, t.start, t.end, t.rc});
+  return table;
+}
+
+}  // namespace
+
 TruthOracle::TruthOracle(std::vector<TrueInterval> truth, u64 min_overlap)
-    : truth_(std::move(truth)), min_overlap_(min_overlap) {}
+    : oracle_(std::make_unique<eval::OverlapTruth>(table_of(truth), min_overlap)) {}
+
+TruthOracle::~TruthOracle() = default;
+TruthOracle::TruthOracle(TruthOracle&&) noexcept = default;
+TruthOracle& TruthOracle::operator=(TruthOracle&&) noexcept = default;
+
+u64 TruthOracle::min_overlap() const { return oracle_->min_overlap(); }
 
 u64 TruthOracle::overlap_length(u64 gid_a, u64 gid_b) const {
-  DIBELLA_CHECK(gid_a < truth_.size() && gid_b < truth_.size(),
-                "TruthOracle: gid out of range");
-  const auto& a = truth_[static_cast<std::size_t>(gid_a)];
-  const auto& b = truth_[static_cast<std::size_t>(gid_b)];
-  u64 lo = std::max(a.start, b.start);
-  u64 hi = std::min(a.end, b.end);
-  return hi > lo ? hi - lo : 0;
+  return oracle_->overlap_length(gid_a, gid_b);
+}
+
+bool TruthOracle::truly_overlaps(u64 gid_a, u64 gid_b) const {
+  return oracle_->truly_overlaps(gid_a, gid_b);
 }
 
 std::vector<std::pair<u64, u64>> TruthOracle::all_true_pairs() const {
-  // Sweep over interval starts: sort gids by start; for each read, scan
-  // forward while candidate.start + min_overlap <= current.end.
-  std::vector<u64> order(truth_.size());
-  for (u64 i = 0; i < truth_.size(); ++i) order[static_cast<std::size_t>(i)] = i;
-  std::sort(order.begin(), order.end(), [&](u64 x, u64 y) {
-    return truth_[static_cast<std::size_t>(x)].start < truth_[static_cast<std::size_t>(y)].start;
-  });
-  std::vector<std::pair<u64, u64>> pairs;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const auto& a = truth_[static_cast<std::size_t>(order[i])];
-    for (std::size_t j = i + 1; j < order.size(); ++j) {
-      const auto& b = truth_[static_cast<std::size_t>(order[j])];
-      if (b.start + min_overlap_ > a.end) break;  // sorted by start: no more hits
-      if (truly_overlaps(order[i], order[j])) {
-        u64 x = order[i], y = order[j];
-        pairs.emplace_back(std::min(x, y), std::max(x, y));
-      }
-    }
-  }
-  std::sort(pairs.begin(), pairs.end());
-  return pairs;
+  return oracle_->all_true_pairs();
 }
 
 }  // namespace dibella::simgen

@@ -10,11 +10,18 @@
 /// carries its true genome interval, enabling recall/precision evaluation
 /// that the paper could only do via BELLA's offline analysis.
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/read.hpp"
+#include "io/truth.hpp"
 #include "util/common.hpp"
+
+namespace dibella::eval {
+class OverlapTruth;  // the shared sweep implementation (eval/overlap_truth.hpp)
+}  // namespace dibella::eval
 
 namespace dibella::simgen {
 
@@ -50,28 +57,38 @@ struct SimulatedReads {
 /// coverage * |genome|. Deterministic in (genome, spec).
 SimulatedReads simulate_reads(const std::string& genome, const ReadSimSpec& spec);
 
+/// Package a simulation's per-read provenance as an io::TruthTable (genome 0
+/// = the simulated genome), the form that rides io::ReadStore, serializes as
+/// the `reads.truth.tsv` sidecar, and feeds src/eval/'s scoring — instead of
+/// being discarded after read generation.
+io::TruthTable truth_table(const SimulatedReads& sim);
+
 /// Ground-truth oracle over simulated reads: two reads "truly overlap" when
-/// their genome intervals share at least `min_overlap` bases.
+/// their genome intervals share at least `min_overlap` bases. A thin
+/// single-genome wrapper over eval::OverlapTruth — one sweep implementation
+/// serves the simulator's tests and the evaluation subsystem alike. The
+/// oracle is held behind a pointer so this header stays free of eval/'s
+/// include tree (simgen remains a leaf module). Move-only.
 class TruthOracle {
  public:
   TruthOracle(std::vector<TrueInterval> truth, u64 min_overlap);
+  ~TruthOracle();
+  TruthOracle(TruthOracle&&) noexcept;
+  TruthOracle& operator=(TruthOracle&&) noexcept;
 
-  u64 min_overlap() const { return min_overlap_; }
+  u64 min_overlap() const;
 
   /// Genomic overlap length of reads a and b (0 when disjoint).
   u64 overlap_length(u64 gid_a, u64 gid_b) const;
 
-  bool truly_overlaps(u64 gid_a, u64 gid_b) const {
-    return overlap_length(gid_a, gid_b) >= min_overlap_;
-  }
+  bool truly_overlaps(u64 gid_a, u64 gid_b) const;
 
   /// All true-overlap pairs (a < b), found by an interval sweep in
   /// O(n log n + pairs).
   std::vector<std::pair<u64, u64>> all_true_pairs() const;
 
  private:
-  std::vector<TrueInterval> truth_;
-  u64 min_overlap_ = 0;
+  std::unique_ptr<eval::OverlapTruth> oracle_;
 };
 
 }  // namespace dibella::simgen

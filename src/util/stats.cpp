@@ -1,5 +1,7 @@
 #include "util/stats.hpp"
 
+#include <functional>
+
 namespace dibella::util {
 
 double load_imbalance(const std::vector<double>& per_rank) {
@@ -13,6 +15,18 @@ double load_imbalance(const std::vector<double>& per_rank) {
 double vec_mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   return vec_sum(v) / static_cast<double>(v.size());
+}
+
+u64 n50(std::vector<u64> lengths) {
+  u64 total = vec_sum(lengths);
+  if (total == 0) return 0;
+  std::sort(lengths.begin(), lengths.end(), std::greater<>());
+  u64 acc = 0;
+  for (u64 len : lengths) {
+    acc += len;
+    if (2 * acc >= total) return len;
+  }
+  return lengths.back();  // unreachable: the loop covers total
 }
 
 }  // namespace dibella::util

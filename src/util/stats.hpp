@@ -59,4 +59,9 @@ T vec_max(const std::vector<T>& v) {
 /// Arithmetic mean of a vector (0 for empty).
 double vec_mean(const std::vector<double>& v);
 
+/// N50 of a set of lengths: the largest L such that pieces of length >= L
+/// cover at least half the total (the assembly-contiguity standard). 0 for
+/// empty or all-zero input.
+u64 n50(std::vector<u64> lengths);
+
 }  // namespace dibella::util

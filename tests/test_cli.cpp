@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "cli/driver.hpp"
 #include "io/fastx.hpp"
+#include "io/truth.hpp"
 
 namespace fs = std::filesystem;
 using dibella::u64;
@@ -321,4 +323,104 @@ TEST(CliUsage, BadOverlapCommValueIsAUsageError) {
                                "--overlap-comm=maybe"});
   EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
   EXPECT_NE(r.err.find("overlap-comm"), std::string::npos);
+}
+
+// --- ground-truth evaluation --------------------------------------------------
+
+TEST_F(CliSmoke, EvalTsvWrittenAndWellFormed) {
+  // Simulated presets default to --eval=on: eval.tsv appears next to the
+  // PAF with the 3-column schema and sane ratio values.
+  DriverResult r = run_driver(
+      {"--preset=tiny", "--ranks=2", "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_NE(r.out.find("ground-truth evaluation"), std::string::npos);
+
+  auto lines = nonempty_lines(
+      dibella::io::load_file((dir_ / dibella::cli::kEvalFile).string()));
+  ASSERT_GT(lines.size(), 10u);
+  EXPECT_EQ(lines[0], "section\tmetric\tvalue");
+  std::map<std::string, std::string> overlap_rows;
+  bool saw_unitig_rows = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    auto f = split(lines[i], '\t');
+    ASSERT_EQ(f.size(), 3u) << lines[i];
+    if (f[0] == "overlap") overlap_rows[f[1]] = f[2];
+    if (f[0] == "unitig") saw_unitig_rows = true;
+  }
+  for (const char* metric : {"recall", "precision", "f1"}) {
+    ASSERT_TRUE(overlap_rows.count(metric)) << metric;
+    double v = std::strtod(overlap_rows.at(metric).c_str(), nullptr);
+    EXPECT_GT(v, 0.0) << metric;
+    EXPECT_LE(v, 1.0) << metric;
+  }
+  EXPECT_GT(std::strtoull(overlap_rows.at("true_positives").c_str(), nullptr, 10), 0u);
+  EXPECT_TRUE(saw_unitig_rows);  // stage 5 defaults on
+
+  // The truth sidecar rides along for simulated runs, loadable as-is.
+  auto truth = dibella::io::TruthTable::load_tsv(
+      (dir_ / dibella::cli::kTruthFile).string());
+  auto reads = dibella::io::parse_fasta(
+      dibella::io::load_file((dir_ / dibella::cli::kReadsFile).string()));
+  EXPECT_EQ(truth.size(), reads.size());
+
+  // stage 5 also exports the unitig chain table (the coordinate hook).
+  auto unitig_lines = nonempty_lines(
+      dibella::io::load_file((dir_ / dibella::cli::kUnitigsFile).string()));
+  ASSERT_FALSE(unitig_lines.empty());
+  EXPECT_EQ(unitig_lines[0], "unitig\tcircular\treads\tgids");
+}
+
+TEST_F(CliSmoke, EvalOffWritesNoEvalTsv) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--eval=off",
+                               "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_FALSE(fs::exists(dir_ / dibella::cli::kEvalFile));
+  EXPECT_EQ(r.out.find("ground-truth evaluation"), std::string::npos);
+  // The sidecar still rides along: later --input runs can opt back in.
+  EXPECT_TRUE(fs::exists(dir_ / dibella::cli::kTruthFile));
+}
+
+TEST_F(CliSmoke, EvalOnFileInputWithoutTruthFailsCleanly) {
+  fs::create_directories(dir_);
+  fs::path fasta = dir_ / "bare.fa";
+  std::ofstream(fasta) << ">r0\nACGTACGTACGTACGTACGTACGT\n>r1\nTTTTACGTACGTACGTACGT\n";
+  DriverResult r = run_driver({"--input=" + fasta.string(), "--eval=on",
+                               "--ranks=1", "--no-output"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("truth"), std::string::npos) << r.err;
+}
+
+TEST_F(CliSmoke, EvalRoundTripsThroughTruthSidecar) {
+  // A simulated run writes reads.fasta + reads.truth.tsv; feeding those back
+  // via --input must reproduce eval.tsv byte for byte (different rank count
+  // and schedule included — the quality pin).
+  DriverResult sim = run_driver(
+      {"--preset=tiny", "--ranks=2", "--out-dir=" + dir_.string()});
+  ASSERT_EQ(sim.exit_code, dibella::cli::kExitOk) << sim.err;
+  std::string eval_sim =
+      dibella::io::load_file((dir_ / dibella::cli::kEvalFile).string());
+
+  fs::path dir2 = dir_ / "from_fasta";
+  DriverResult loaded = run_driver(
+      {"--input=" + (dir_ / dibella::cli::kReadsFile).string(), "--eval=on",
+       "--ranks=5", "--overlap-comm=off", "--coverage=20", "--error-rate=0.12",
+       "--eval-min-overlap=500", "--out-dir=" + dir2.string()});
+  ASSERT_EQ(loaded.exit_code, dibella::cli::kExitOk) << loaded.err;
+  EXPECT_NE(loaded.out.find("loaded ground truth"), std::string::npos);
+  EXPECT_EQ(dibella::io::load_file((dir2 / dibella::cli::kEvalFile).string()),
+            eval_sim);
+}
+
+TEST(CliUsage, BadEvalValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--eval=maybe"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("eval"), std::string::npos);
+}
+
+TEST(CliUsage, TruthWithPresetIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--truth=/tmp/nope.tsv",
+                               "--no-output"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("truth"), std::string::npos);
 }

@@ -7,7 +7,11 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
 
 #include "align/smith_waterman.hpp"
 #include "align/xdrop.hpp"
@@ -16,10 +20,12 @@
 #include "comm/communicator.hpp"
 #include "comm/world.hpp"
 #include "core/pipeline.hpp"
+#include "eval/report.hpp"
 #include "kmer/dna.hpp"
 #include "kmer/parser.hpp"
 #include "overlap/seed_filter.hpp"
 #include "simgen/presets.hpp"
+#include "simgen/read_sim.hpp"
 #include "util/random.hpp"
 
 using dibella::i64;
@@ -121,6 +127,75 @@ TEST_P(PipelineRankSweep, AlignmentsIdenticalToSingleRank) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, PipelineRankSweep,
                          ::testing::Values(2, 3, 5, 7, 12));
+
+// --- eval sweep: quality is schedule-independent ----------------------------
+//
+// Across a preset x rank-count x overlap-comm grid, recall/precision (and
+// the whole eval report, histograms included) must be identical on every
+// configuration — quality mirrors the PAF's bitwise pins: the evaluation is
+// a pure function of the merged alignments and the truth, and those are
+// schedule-invariant.
+
+class EvalGridSweep
+    : public ::testing::TestWithParam<std::tuple<u64 /*preset seed*/, int /*ranks*/,
+                                                 bool /*overlap_comm*/>> {
+ protected:
+  struct Dataset {
+    dibella::simgen::SimulatedReads sim;
+    std::shared_ptr<const dibella::io::TruthTable> truth;
+    std::string reference_tsv;  // from 1 rank, overlap-comm on
+  };
+
+  static dibella::core::PipelineConfig eval_config() {
+    dibella::core::PipelineConfig cfg;
+    cfg.assumed_error_rate = 0.12;
+    cfg.assumed_coverage = 20.0;
+    cfg.stage5 = true;
+    cfg.eval = true;
+    cfg.eval_min_overlap = 500;
+    return cfg;
+  }
+
+  static std::string eval_tsv(const dibella::core::PipelineOutput& out) {
+    std::ostringstream os;
+    dibella::eval::write_eval_tsv(os, out.eval);
+    return os.str();
+  }
+
+  static const Dataset& dataset(u64 seed) {
+    static std::map<u64, Dataset> cache;
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      Dataset d;
+      d.sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(seed));
+      d.truth = std::make_shared<const dibella::io::TruthTable>(
+          dibella::simgen::truth_table(d.sim));
+      dibella::comm::World world(1);
+      auto ref = run_pipeline(world, d.sim.reads, eval_config(), d.truth);
+      d.reference_tsv = eval_tsv(ref);
+      it = cache.emplace(seed, std::move(d)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(EvalGridSweep, RecallPrecisionIdenticalOnEveryConfiguration) {
+  const auto [seed, ranks, overlap_comm] = GetParam();
+  const Dataset& d = dataset(seed);
+  auto cfg = eval_config();
+  cfg.overlap_comm = overlap_comm;
+  dibella::comm::World world(ranks);
+  auto out = run_pipeline(world, d.sim.reads, cfg, d.truth);
+  ASSERT_TRUE(out.eval_ran);
+  EXPECT_GT(out.eval.overlap.true_positives, 0u);
+  EXPECT_EQ(eval_tsv(out), d.reference_tsv)
+      << "seed=" << seed << " ranks=" << ranks << " overlap_comm=" << overlap_comm;
+}
+
+INSTANTIATE_TEST_SUITE_P(PresetRanksSchedule, EvalGridSweep,
+                         ::testing::Combine(::testing::Values(u64{42}, u64{7}),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Bool()));
 
 // --- error-rate sweep: seed detection meets BELLA's model -------------------
 
