@@ -11,6 +11,9 @@
 //                   (ns/cell, pairs/s)
 //   * consolidate:  overlap-stage wire-task consolidation, sort-then-group vs
 //                   the node-based std::map (tasks/s)
+//   * radix_consolidate: the consolidation's sort itself — chained stable LSD
+//                   radix passes (util::radix_sort_u64, the in-tree kernel)
+//                   vs the former 5-tuple comparison std::sort (tasks/s)
 //   * exchange_overlap: whole-pipeline exposed exchange seconds (modeled
 //                   Cori), bulk-synchronous loops (baseline) vs the
 //                   nonblocking batched Exchanger (optimized) — virtual
@@ -48,6 +51,7 @@
 #include "kmer/dna.hpp"
 #include "overlap/overlapper.hpp"
 #include "util/args.hpp"
+#include "util/radix_sort.hpp"
 #include "util/random.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -275,6 +279,76 @@ BenchRow bench_consolidate(std::size_t n_tasks, std::size_t n_reads, int reps,
   return row;
 }
 
+BenchRow bench_radix_consolidate(std::size_t n_tasks, std::size_t n_reads, int reps,
+                                 util::Xoshiro256& rng) {
+  // The sort inside consolidate_tasks, isolated: canonicalized wire tasks
+  // ordered by the 5-tuple (rid_a, rid_b, pos_a, pos_b, same_orientation).
+  // baseline = the former comparison std::sort; optimized = the chained
+  // stable LSD radix passes the overlap stage now runs (least-significant
+  // component first, pos_b and the orientation bit packed into one key).
+  std::vector<overlap::OverlapTaskWire> wire;
+  wire.reserve(n_tasks);
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    overlap::OverlapTaskWire t;
+    t.rid_a = rng.uniform_below(n_reads);
+    t.rid_b = rng.uniform_below(n_reads);
+    if (t.rid_a == t.rid_b) t.rid_b = (t.rid_a + 1) % n_reads;
+    t.pos_a = static_cast<u32>(rng.uniform_below(20'000));
+    t.pos_b = static_cast<u32>(rng.uniform_below(20'000));
+    t.same_orientation = rng.bernoulli(0.7) ? 1 : 0;
+    if (t.rid_a > t.rid_b) {
+      std::swap(t.rid_a, t.rid_b);
+      std::swap(t.pos_a, t.pos_b);
+    }
+    wire.push_back(t);
+  }
+  auto order_hash = [](const std::vector<overlap::OverlapTaskWire>& v) {
+    u64 h = 0;
+    for (const auto& t : v) {
+      h = h * 1099511628211ull + t.rid_a;
+      h = h * 1099511628211ull + t.rid_b;
+      h = h * 1099511628211ull + t.pos_a;
+      h = h * 1099511628211ull + t.pos_b;
+      h = h * 1099511628211ull + t.same_orientation;
+    }
+    return h;
+  };
+
+  BenchRow row;
+  row.name = "radix_consolidate";
+  row.unit = "tasks/s";
+  row.items = wire.size();
+  u64 hash_ref = 0, hash_opt = 0;
+  row.baseline_s = best_of(reps, [&] {
+    auto v = wire;
+    std::sort(v.begin(), v.end(),
+              [](const overlap::OverlapTaskWire& x, const overlap::OverlapTaskWire& y) {
+                if (x.rid_a != y.rid_a) return x.rid_a < y.rid_a;
+                if (x.rid_b != y.rid_b) return x.rid_b < y.rid_b;
+                if (x.pos_a != y.pos_a) return x.pos_a < y.pos_a;
+                if (x.pos_b != y.pos_b) return x.pos_b < y.pos_b;
+                return x.same_orientation < y.same_orientation;
+              });
+    hash_ref = order_hash(v);
+  });
+  row.optimized_s = best_of(reps, [&] {
+    auto v = wire;
+    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) {
+      return (static_cast<u64>(t.pos_b) << 1) | t.same_orientation;
+    });
+    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) {
+      return static_cast<u64>(t.pos_a);
+    });
+    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) { return t.rid_b; });
+    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) { return t.rid_a; });
+    hash_opt = order_hash(v);
+  });
+  DIBELLA_CHECK(hash_ref == hash_opt,
+                "radix consolidation order diverged from the comparison sort");
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
 BenchRow bench_exchange_overlap(bool smoke) {
   // Exposed-exchange seconds are deterministic virtual time; best-of-reps
   // doesn't apply. baseline = bulk-synchronous, optimized = overlapped.
@@ -369,10 +443,12 @@ int main(int argc, char** argv) {
     rows.push_back(bench_xdrop(60, 1200, reps, rng));
     rows.push_back(bench_sw(120, 160, reps, rng));
     rows.push_back(bench_consolidate(60'000, 4'000, reps, rng));
+    rows.push_back(bench_radix_consolidate(60'000, 4'000, reps, rng));
   } else {
     rows.push_back(bench_xdrop(400, 4000, reps, rng));
     rows.push_back(bench_sw(600, 300, reps, rng));
     rows.push_back(bench_consolidate(2'000'000, 60'000, reps, rng));
+    rows.push_back(bench_radix_consolidate(2'000'000, 60'000, reps, rng));
   }
   rows.push_back(bench_exchange_overlap(smoke));
   rows.push_back(bench_sgraph(smoke, reps));

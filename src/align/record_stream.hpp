@@ -1,0 +1,40 @@
+#pragma once
+/// \file record_stream.hpp
+/// Pull-based streams of alignment records. Stage 5, the eval oracle, and
+/// the PAF writer consume records through this interface so they work the
+/// same whether the records sit in PipelineOutput's in-memory vector
+/// (--blocks=1) or stream out of the external-sort spill files (k-way
+/// merge, --blocks>1) without ever being resident at once.
+
+#include <vector>
+
+#include "align/alignment_stage.hpp"
+
+namespace dibella::align {
+
+/// A forward-only stream of AlignmentRecords in (rid_a, rid_b) order.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+  /// Fill `out` with the next record; false when the stream is exhausted.
+  virtual bool next(AlignmentRecord& out) = 0;
+};
+
+/// Stream over a resident vector (the in-memory path and the test seam).
+class VectorRecordSource final : public RecordSource {
+ public:
+  explicit VectorRecordSource(const std::vector<AlignmentRecord>& records)
+      : records_(&records) {}
+
+  bool next(AlignmentRecord& out) override {
+    if (index_ >= records_->size()) return false;
+    out = (*records_)[index_++];
+    return true;
+  }
+
+ private:
+  const std::vector<AlignmentRecord>* records_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace dibella::align

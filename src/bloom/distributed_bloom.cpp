@@ -33,8 +33,9 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
     est_distinct = static_cast<u64>(card.estimate * 1.1) + 64;  // 10% headroom
   } else {
     u64 local_windows = 0;
-    for (const auto& r : reads.local_reads()) {
-      local_windows += kmer::window_count(r.seq.size(), cfg.k);
+    const u64 first = reads.first_local_gid();
+    for (u64 g = first; g < first + reads.local_count(); ++g) {
+      local_windows += kmer::window_count(reads.local_length(g), cfg.k);
     }
     u64 total_windows = comm.allreduce_sum(local_windows);
     est_distinct = estimate_distinct_kmers(total_windows, cfg.assumed_error_rate, cfg.k);
@@ -49,7 +50,7 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
   // Both schedules consume each batch in source-rank order over the same
   // batch boundaries, so insertions happen in the same global order and the
   // resulting filter/table are bitwise-identical.
-  kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
+  kmer::OccurrenceStream stream(reads, cfg.k);
   auto insert_batch = [&](const kmer::Kmer* data, std::size_t n) {
     u64 hits = 0;
     for (std::size_t i = 0; i < n; ++i) {

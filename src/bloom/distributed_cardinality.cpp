@@ -14,8 +14,11 @@ CardinalityResult estimate_cardinality_hll(core::StageContext& ctx,
   CardinalityResult result;
 
   HyperLogLog sketch(precision_bits);
-  for (const auto& r : reads.local_reads()) {
-    kmer::for_each_canonical_kmer(r.seq, k, [&](const kmer::Occurrence& occ) {
+  const u64 first = reads.first_local_gid();
+  const u64 count = reads.local_count();
+  for (u64 g = first; g < first + count; ++g) {
+    kmer::for_each_canonical_kmer(reads.local_read(g).seq, k,
+                                  [&](const kmer::Occurrence& occ) {
       sketch.add(occ.kmer.hash(0xCA4D1417));
       ++result.local_instances;
     });

@@ -62,6 +62,22 @@ pipeline:
                         Alignments and counters are identical either way;
                         timings.tsv shows the exposed/hidden exchange split.
 
+out-of-core (scaling beyond RAM):
+  --blocks=N            split each rank's read partition into N 2-bit packed
+                        blocks, loaded/evicted lazily; stage 4 runs one
+                        read-exchange + alignment round per block and spills
+                        each round's sorted records to disk, producing the
+                        PAF by k-way merge. 1 = fully in-memory (default).
+                        alignments.paf, graph.gfa, and eval.tsv are
+                        byte-identical for any N.
+  --memory-budget=SIZE  cap on unpacked resident sequence bytes per rank
+                        (local blocks + remote-read cache); accepts K/M/G
+                        suffixes (e.g. 64M). 0 = load lazily, never evict.
+                        Requires --blocks >= 2.
+  --spill-dir=PATH      parent directory for the per-run spill directory
+                        dibella-spill-<pid>-<seq> (default: system temp).
+                        Removed when the run finishes. Requires --blocks >= 2.
+
 string graph (stage 5):
   --stage5=MODE         on (default) = build the string graph from the
                         alignments: classify contained/dovetail/internal
@@ -112,7 +128,8 @@ const std::set<std::string>& known_options() {
       "min-score",  "bloom-fpr",     "overlap-comm",   "platform",
       "ranks-per-node", "out-dir",   "no-output",      "help",
       "stage5",     "gfa",           "min-overlap-score",
-      "eval",       "truth",         "eval-min-overlap"};
+      "eval",       "truth",         "eval-min-overlap",
+      "blocks",     "memory-budget", "spill-dir"};
   return opts;
 }
 
@@ -142,6 +159,28 @@ double parse_double(const util::Args& args, const std::string& key, double fallb
     throw UsageError("--" + key + "=" + v + " is not a number");
   }
   return parsed;
+}
+
+/// Byte sizes with optional K/M/G binary suffix: "64M" -> 64 * 2^20.
+u64 parse_size(const util::Args& args, const std::string& key, u64 fallback) {
+  if (!args.has(key)) return fallback;
+  const std::string v = args.get(key, "");
+  char* end = nullptr;
+  const u64 parsed = static_cast<u64>(std::strtoull(v.c_str(), &end, 10));
+  if (end == v.c_str()) throw UsageError("--" + key + "=" + v + " is not a byte size");
+  u64 scale = 1;
+  if (end != v.c_str() + v.size() && end == v.c_str() + v.size() - 1) {
+    switch (*end) {
+      case 'K': case 'k': scale = u64{1} << 10; ++end; break;
+      case 'M': case 'm': scale = u64{1} << 20; ++end; break;
+      case 'G': case 'g': scale = u64{1} << 30; ++end; break;
+      default: break;
+    }
+  }
+  if (v.empty() || end != v.c_str() + v.size()) {
+    throw UsageError("--" + key + "=" + v + " is not a byte size (try 64M)");
+  }
+  return parsed * scale;
 }
 
 netsim::Platform platform_by_name(const std::string& name) {
@@ -198,6 +237,12 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("sg_edges_surviving", c.sg_edges_surviving);
   row("sg_unitigs", c.sg_unitigs);
   row("sg_components", c.sg_components);
+  row("peak_resident_read_bytes", c.peak_resident_read_bytes);
+  row("packed_read_bytes", c.packed_read_bytes);
+  row("block_loads", c.block_loads);
+  row("block_evictions", c.block_evictions);
+  row("spill_bytes", c.spill_bytes);
+  row("spill_runs", c.spill_runs);
   row("max_kmer_count", c.max_kmer_count);
   return os.str();
 }
@@ -254,6 +299,14 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
     row("5. edges surviving", c.sg_edges_surviving);
     row("5. unitigs", c.sg_unitigs);
     row("5. components", c.sg_components);
+  }
+  row("mem. peak resident read bytes", c.peak_resident_read_bytes);
+  if (c.packed_read_bytes > 0) {  // out-of-core rows only mean something in block mode
+    row("mem. packed block bytes", c.packed_read_bytes);
+    row("mem. block loads", c.block_loads);
+    row("mem. block evictions", c.block_evictions);
+    row("mem. spill bytes", c.spill_bytes);
+    row("mem. spill runs", c.spill_runs);
   }
   out << t.to_text("diBELLA pipeline on " + std::to_string(ranks) + " ranks");
 }
@@ -428,6 +481,17 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   if (args.has("gfa") && !cfg.stage5) {
     throw UsageError("--gfa requires --stage5=on");
   }
+  const i64 blocks = parse_i64(args, "blocks", 1);
+  if (blocks < 1) throw UsageError("--blocks must be >= 1");
+  cfg.blocks = static_cast<u32>(blocks);
+  cfg.memory_budget_bytes = parse_size(args, "memory-budget", 0);
+  if (cfg.memory_budget_bytes > 0 && cfg.blocks < 2) {
+    throw UsageError("--memory-budget requires --blocks >= 2 (nothing to evict)");
+  }
+  cfg.spill_dir = args.get("spill-dir", "");
+  if (!cfg.spill_dir.empty() && cfg.blocks < 2) {
+    throw UsageError("--spill-dir requires --blocks >= 2 (nothing spills in-memory)");
+  }
 
   // --- ground-truth evaluation: on by default when truth is free (simulated
   // presets) or explicitly supplied (--truth); off for bare file input.
@@ -487,7 +551,7 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
       << "  seed policy=" << policy << "  ranks=" << ranks
-      << "  overlap-comm=" << overlap_mode << "\n\n";
+      << "  overlap-comm=" << overlap_mode << "  blocks=" << cfg.blocks << "\n\n";
 
   // --- run.
   comm::World world(ranks);
@@ -510,7 +574,12 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
 
     std::vector<std::string> extras = {kCountersFile, kTimingsFile};
     std::ostringstream paf;
-    core::write_paf(paf, result.alignments, reads, cfg.sgraph_fuzz);
+    {
+      // Stream the merged records (in-memory vector or spill k-way merge —
+      // byte-identical either way) instead of requiring a resident vector.
+      auto source = result.alignment_source();
+      core::write_paf(paf, *source, reads, cfg.sgraph_fuzz);
+    }
     write_file(dir / kAlignmentsFile, paf.str());
     write_file(dir / kCountersFile, counters_tsv(result.counters, ranks));
     write_file(dir / kTimingsFile, timings_tsv(report));
@@ -539,7 +608,7 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
       extras.push_back(kEvalFile);
     }
 
-    out << "\nwrote " << result.alignments.size() << " alignments to "
+    out << "\nwrote " << result.counters.alignments_reported << " alignments to "
         << (dir / kAlignmentsFile).string() << " (+";
     for (std::size_t i = 0; i < extras.size(); ++i) {
       out << (i ? ", " : " ") << extras[i];

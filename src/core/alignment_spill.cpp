@@ -1,0 +1,148 @@
+#include "core/alignment_spill.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <system_error>
+
+#include "util/common.hpp"
+
+namespace dibella::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Unique run-directory name within this machine: pid disambiguates
+/// processes, the sequence number disambiguates pipeline runs in-process.
+std::string next_spill_dir_name() {
+  static std::atomic<u64> seq{0};
+  return "dibella-spill-" + std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1));
+}
+
+}  // namespace
+
+AlignmentSpillSet::AlignmentSpillSet(const std::string& dir_hint) {
+  fs::path base = dir_hint.empty() ? fs::temp_directory_path() : fs::path(dir_hint);
+  fs::path dir = base / next_spill_dir_name();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  DIBELLA_CHECK(!ec, "AlignmentSpillSet: cannot create spill directory " + dir.string());
+  dir_ = dir.string();
+}
+
+AlignmentSpillSet::~AlignmentSpillSet() {
+  std::error_code ec;
+  fs::remove_all(dir_, ec);  // best effort; nothing to do about failure here
+}
+
+void AlignmentSpillSet::add_run(int rank,
+                                const std::vector<align::AlignmentRecord>& sorted) {
+  if (sorted.empty()) return;
+  const u64 bytes = static_cast<u64>(sorted.size()) * sizeof(align::AlignmentRecord);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (next_run_index_.size() <= static_cast<std::size_t>(rank)) {
+    next_run_index_.resize(static_cast<std::size_t>(rank) + 1, 0);
+  }
+  const u32 index = next_run_index_[static_cast<std::size_t>(rank)]++;
+  fs::path path = fs::path(dir_) / ("align.r" + std::to_string(rank) + "." +
+                                    std::to_string(index) + ".bin");
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DIBELLA_CHECK(out.good(), "AlignmentSpillSet: cannot open " + path.string());
+  out.write(reinterpret_cast<const char*>(sorted.data()),
+            static_cast<std::streamsize>(bytes));
+  DIBELLA_CHECK(out.good(), "AlignmentSpillSet: short write to " + path.string());
+  out.close();
+  runs_.push_back({rank, path.string()});
+  bytes_ += bytes;
+}
+
+std::vector<std::string> AlignmentSpillSet::rank_runs(int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  for (const RunInfo& r : runs_) {
+    if (r.rank == rank) paths.push_back(r.path);
+  }
+  return paths;
+}
+
+std::vector<std::string> AlignmentSpillSet::all_runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(runs_.size());
+  // (rank, spill order): runs_ holds append order across rank threads, so
+  // group by rank for a deterministic merge-input order.
+  int max_rank = -1;
+  for (const RunInfo& r : runs_) max_rank = r.rank > max_rank ? r.rank : max_rank;
+  for (int rank = 0; rank <= max_rank; ++rank) {
+    for (const RunInfo& r : runs_) {
+      if (r.rank == rank) paths.push_back(r.path);
+    }
+  }
+  return paths;
+}
+
+u64 AlignmentSpillSet::spill_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+u64 AlignmentSpillSet::run_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<u64>(runs_.size());
+}
+
+bool SpillMergeSource::Run::refill(std::size_t buffer_records) {
+  if (eof) return false;
+  buffer.resize(buffer_records);
+  in.read(reinterpret_cast<char*>(buffer.data()),
+          static_cast<std::streamsize>(buffer_records * sizeof(align::AlignmentRecord)));
+  const auto got_bytes = static_cast<std::size_t>(in.gcount());
+  DIBELLA_CHECK(got_bytes % sizeof(align::AlignmentRecord) == 0,
+                "SpillMergeSource: truncated record in spill run");
+  buffer.resize(got_bytes / sizeof(align::AlignmentRecord));
+  pos = 0;
+  if (buffer.empty()) {
+    eof = true;
+    return false;
+  }
+  return true;
+}
+
+SpillMergeSource::SpillMergeSource(const std::vector<std::string>& run_paths,
+                                   std::size_t buffer_records)
+    : buffer_records_(buffer_records ? buffer_records : 1) {
+  runs_.reserve(run_paths.size());
+  for (const std::string& path : run_paths) {
+    auto run = std::make_unique<Run>();
+    run->in.open(path, std::ios::binary);
+    DIBELLA_CHECK(run->in.good(), "SpillMergeSource: cannot open " + path);
+    if (run->refill(buffer_records_)) runs_.push_back(std::move(run));
+  }
+}
+
+bool SpillMergeSource::next(align::AlignmentRecord& out) {
+  // Linear scan over the run heads: the fan-in is ranks * blocks (tens),
+  // far below where a heap would matter against the per-record copy cost.
+  std::size_t best = runs_.size();
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    if (best == runs_.size()) {
+      best = i;
+      continue;
+    }
+    const align::AlignmentRecord& a = runs_[i]->head();
+    const align::AlignmentRecord& b = runs_[best]->head();
+    if (a.rid_a != b.rid_a ? a.rid_a < b.rid_a : a.rid_b < b.rid_b) best = i;
+  }
+  if (best == runs_.size()) return false;
+  Run& r = *runs_[best];
+  out = r.buffer[r.pos++];
+  if (r.pos >= r.buffer.size() && !r.refill(buffer_records_)) {
+    runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(best));
+  }
+  return true;
+}
+
+}  // namespace dibella::core

@@ -1,0 +1,88 @@
+#pragma once
+/// \file alignment_spill.hpp
+/// External sort/merge of alignment records — the LAsort/LAmerge analog of
+/// the out-of-core pipeline. Each block round radix-sorts its records by
+/// (rid_a, rid_b) and spills them as one raw binary run file; the final PAF,
+/// stage-5 classification, and eval oracle then consume a k-way merge of the
+/// runs instead of a resident vector.
+///
+/// File lifecycle: one directory per pipeline run (`dibella-spill-<pid>-<seq>`
+/// under the configured spill dir or the system temp dir), deterministic run
+/// names `align.r<rank>.<run>.bin` inside it, everything removed when the
+/// spill set is destroyed. Records are trivially-copyable structs written
+/// and read by the same process, so raw memcpy framing is safe.
+///
+/// Merge totality: every (rid_a, rid_b) pair is produced by exactly one rank
+/// in exactly one block round (the pair's task owner and the remote read's
+/// block fix both), so the runs' key sets are disjoint and the merged order
+/// is the same total (rid_a, rid_b) order as the in-memory sort.
+
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "align/record_stream.hpp"
+
+namespace dibella::core {
+
+/// Owns a run directory of sorted alignment-record spill files.
+/// add_run is thread-safe (ranks are threads); everything else is intended
+/// for the single-threaded merge phase after World::run returns.
+class AlignmentSpillSet {
+ public:
+  /// Create the run directory under `dir_hint` (empty = system temp dir).
+  explicit AlignmentSpillSet(const std::string& dir_hint = "");
+  ~AlignmentSpillSet();
+
+  AlignmentSpillSet(const AlignmentSpillSet&) = delete;
+  AlignmentSpillSet& operator=(const AlignmentSpillSet&) = delete;
+
+  /// Spill one run of records already sorted by (rid_a, rid_b). Empty runs
+  /// are dropped (no file). Thread-safe.
+  void add_run(int rank, const std::vector<align::AlignmentRecord>& sorted);
+
+  /// Paths of rank `rank`'s runs, in spill order (stage-5 input).
+  std::vector<std::string> rank_runs(int rank) const;
+
+  /// Paths of every run (global merge input), in (rank, spill order).
+  std::vector<std::string> all_runs() const;
+
+  const std::string& dir() const { return dir_; }
+  u64 spill_bytes() const;
+  u64 run_count() const;
+
+ private:
+  struct RunInfo {
+    int rank;
+    std::string path;
+  };
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::vector<RunInfo> runs_;
+  std::vector<u32> next_run_index_;  // per rank, for deterministic names
+  u64 bytes_ = 0;
+};
+
+/// K-way merge of sorted run files by (rid_a, rid_b), buffered reads.
+class SpillMergeSource final : public align::RecordSource {
+ public:
+  explicit SpillMergeSource(const std::vector<std::string>& run_paths,
+                            std::size_t buffer_records = 4096);
+  bool next(align::AlignmentRecord& out) override;
+
+ private:
+  struct Run {
+    std::ifstream in;
+    std::vector<align::AlignmentRecord> buffer;
+    std::size_t pos = 0;
+    bool eof = false;
+    bool refill(std::size_t buffer_records);
+    const align::AlignmentRecord& head() const { return buffer[pos]; }
+  };
+  std::vector<std::unique_ptr<Run>> runs_;
+  std::size_t buffer_records_;
+};
+
+}  // namespace dibella::core

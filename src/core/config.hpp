@@ -5,6 +5,8 @@
 /// BELLA's model (auto), one seed per pair (the low-intensity workload of
 /// most paper figures).
 
+#include <string>
+
 #include "align/scoring.hpp"
 #include "overlap/seed_filter.hpp"
 #include "sgraph/edge_class.hpp"
@@ -23,6 +25,18 @@ struct PipelineConfig {
   // --- streaming / memory bounds
   u64 batch_kmers = 1u << 20;  ///< per-rank occurrences per exchange batch
   double bloom_fpr = 0.05;
+
+  // --- out-of-core block pipeline
+  /// Split each rank's read partition into this many 2-bit packed blocks;
+  /// stage 4 runs one read-exchange + alignment round per block and spills
+  /// each round's records to an external sort/merge. 1 = the fully
+  /// in-memory path. PAF/GFA/eval output is bitwise-identical either way.
+  u32 blocks = 1;
+  /// Cap on unpacked resident sequence bytes per rank (local blocks +
+  /// remote-read cache); 0 = no cap. Only meaningful with blocks > 1.
+  u64 memory_budget_bytes = 0;
+  /// Directory for alignment spill runs (empty = system temp dir).
+  std::string spill_dir;
 
   // --- communication schedule
   /// Run every stage's exchanges on the nonblocking comm::Exchanger,

@@ -29,7 +29,14 @@ std::string paf_line(const align::AlignmentRecord& rec, const io::Read& a,
 
 void write_paf(std::ostream& os, const std::vector<align::AlignmentRecord>& alignments,
                const std::vector<io::Read>& reads, u32 fuzz) {
-  for (const auto& rec : alignments) {
+  align::VectorRecordSource source(alignments);
+  write_paf(os, source, reads, fuzz);
+}
+
+void write_paf(std::ostream& os, align::RecordSource& alignments,
+               const std::vector<io::Read>& reads, u32 fuzz) {
+  align::AlignmentRecord rec;
+  while (alignments.next(rec)) {
     DIBELLA_CHECK(rec.rid_a < reads.size() && rec.rid_b < reads.size(),
                   "write_paf: record references unknown read");
     os << paf_line(rec, reads[static_cast<std::size_t>(rec.rid_a)],

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "align/alignment_stage.hpp"
+#include "align/record_stream.hpp"
 #include "io/read.hpp"
 #include "sgraph/edge_class.hpp"
 
@@ -22,6 +23,12 @@ namespace dibella::core {
 /// lines can be verified against the PAF they were derived from. `reads`
 /// must be gid-indexed (reads[gid].gid == gid).
 void write_paf(std::ostream& os, const std::vector<align::AlignmentRecord>& alignments,
+               const std::vector<io::Read>& reads, u32 fuzz = sgraph::kDefaultFuzz);
+
+/// Streaming variant: drain a record source (the spill k-way merge in block
+/// mode) line by line, never holding the records resident. Byte-identical
+/// to the vector overload over the same record sequence.
+void write_paf(std::ostream& os, align::RecordSource& alignments,
                const std::vector<io::Read>& reads, u32 fuzz = sgraph::kDefaultFuzz);
 
 /// One PAF line (for tests / spot checks).

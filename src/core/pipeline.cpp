@@ -4,6 +4,8 @@
 
 #include "bella/model.hpp"
 #include "core/stage_context.hpp"
+#include "io/read_block.hpp"
+#include "util/radix_sort.hpp"
 
 namespace dibella::core {
 
@@ -18,11 +20,42 @@ netsim::TimingReport PipelineOutput::evaluate(const netsim::Platform& platform,
   return model.evaluate(traces, exchange_log);
 }
 
+std::unique_ptr<align::RecordSource> PipelineOutput::alignment_source() const {
+  if (spill) return std::make_unique<SpillMergeSource>(spill->all_runs());
+  return std::make_unique<align::VectorRecordSource>(alignments);
+}
+
+std::vector<align::AlignmentRecord> PipelineOutput::merged_alignments() const {
+  if (!spill) return alignments;
+  std::vector<align::AlignmentRecord> merged;
+  auto source = alignment_source();
+  align::AlignmentRecord rec;
+  while (source->next(rec)) merged.push_back(rec);
+  return merged;
+}
+
+namespace {
+
+/// Sort records into the global output order. Keys are the (rid_a, rid_b)
+/// pair, unique across the whole run (each pair has one task owner), so the
+/// chained radix passes produce the exact sequence the former comparison
+/// sort did.
+void sort_records(std::vector<align::AlignmentRecord>& records) {
+  util::radix_sort_u64(records,
+                       [](const align::AlignmentRecord& r) { return r.rid_b; });
+  util::radix_sort_u64(records,
+                       [](const align::AlignmentRecord& r) { return r.rid_a; });
+}
+
+}  // namespace
+
 PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
                             const PipelineConfig& config,
                             std::shared_ptr<const io::TruthTable> truth) {
   const int P = world.size();
   const u32 max_count = config.resolved_max_kmer_count();
+  const u32 B = config.blocks;
+  DIBELLA_CHECK(B >= 1, "config.blocks must be >= 1");
   DIBELLA_CHECK(!config.eval || truth != nullptr,
                 "config.eval requires a ground-truth table (see io/truth.hpp)");
   DIBELLA_CHECK(truth == nullptr || truth->size() == reads.size(),
@@ -43,6 +76,12 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   std::vector<std::vector<align::AlignmentRecord>> records(static_cast<std::size_t>(P));
   std::vector<sgraph::StringGraphStageResult> sg_res(static_cast<std::size_t>(P));
   std::vector<sgraph::StringGraphOutput> sg_out(static_cast<std::size_t>(P));
+  std::vector<io::ReadStoreMemoryStats> mem_res(static_cast<std::size_t>(P));
+
+  // Block mode spills each round's sorted records instead of keeping them
+  // resident; ranks (threads) append runs concurrently.
+  std::shared_ptr<AlignmentSpillSet> spill;
+  if (B > 1) spill = std::make_shared<AlignmentSpillSet>(config.spill_dir);
 
   world.clear_exchange_records();
   world.run([&](comm::Communicator& comm) {
@@ -50,7 +89,10 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     StageContext ctx{comm, traces[rank]};
     ctx.attach();
 
-    io::ReadStore store(reads, partition, comm.rank());
+    io::BlockConfig block_cfg;
+    block_cfg.blocks = B;
+    block_cfg.memory_budget_bytes = config.memory_budget_bytes;
+    io::ReadStore store(reads, partition, comm.rank(), block_cfg);
     if (truth) store.attach_truth(truth);
 
     // Stage 1: distributed Bloom filter; initializes candidate keys.
@@ -82,22 +124,59 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     ocfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
     auto tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
 
-    // Stage 4a: replicate remote reads to match the task distribution.
+    // Stage 4a+4b: read exchange then embarrassingly parallel x-drop
+    // alignment. In-memory mode runs them once over all tasks; block mode
+    // runs one round per block, and every task joins the round of its
+    // *remote* read's block (both-local tasks follow rid_b's block). All
+    // tasks needing a given remote gid therefore land in one round, so each
+    // remote read is still fetched exactly once, and every rank's server
+    // side only unpacks its own round block — the exchange totals match the
+    // in-memory path exactly. Every rank runs exactly B rounds (the
+    // exchange is collective), and B == 1 degenerates to one round over the
+    // consolidated task order, i.e. today's behavior.
     align::ReadExchangeConfig rcfg;
     rcfg.overlap_comm = config.overlap_comm;
     rcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-    rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
-
-    // Stage 4b: embarrassingly parallel x-drop alignment.
     align::AlignmentStageConfig acfg;
     acfg.scoring = config.scoring;
     acfg.xdrop = config.xdrop;
     acfg.k = config.k;
     acfg.min_score = config.min_report_score;
-    records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
+    if (B == 1) {
+      rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
+      records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
+    } else {
+      std::vector<std::vector<overlap::AlignmentTask>> rounds(B);
+      for (auto& t : tasks) {
+        const u64 round_gid = !store.is_local(t.rid_a) ? t.rid_a : t.rid_b;
+        rounds[io::block_of(partition, B, round_gid)].push_back(std::move(t));
+      }
+      tasks.clear();
+      tasks.shrink_to_fit();
+      for (u32 r = 0; r < B; ++r) {
+        const auto rx = align::run_read_exchange(ctx, store, rounds[r], rcfg);
+        rx_res[rank].reads_requested += rx.reads_requested;
+        rx_res[rank].reads_served += rx.reads_served;
+        rx_res[rank].bytes_received += rx.bytes_received;
+        align::AlignmentStageResult al;
+        auto round_records = align::run_alignment_stage(ctx, store, rounds[r], acfg, &al);
+        al_res[rank].pairs_aligned += al.pairs_aligned;
+        al_res[rank].alignments_computed += al.alignments_computed;
+        al_res[rank].dp_cells += al.dp_cells;
+        al_res[rank].records_kept += al.records_kept;
+        al_res[rank].sw_band_fallbacks += al.sw_band_fallbacks;
+        sort_records(round_records);
+        spill->add_run(comm.rank(), round_records);
+        store.clear_remote_cache();
+        rounds[r].clear();
+        rounds[r].shrink_to_fit();
+      }
+    }
 
     // Stage 5 (optional): distributed string graph — classification, edge
-    // partition, ghost-edge transitive reduction, unitig/GFA layout.
+    // partition, ghost-edge transitive reduction, unitig/GFA layout. Block
+    // mode replays this rank's spilled runs as a merged stream; the graph
+    // is invariant to the record regrouping (see run_string_graph_stage).
     if (config.stage5) {
       sgraph::StringGraphConfig scfg;
       scfg.min_overlap_score = config.min_overlap_score;
@@ -105,27 +184,36 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       scfg.overlap_comm = config.overlap_comm;
       scfg.batch_bytes = config.batch_graph_bytes;
       scfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-      sg_out[rank] =
-          sgraph::run_string_graph_stage(ctx, store, records[rank], scfg, &sg_res[rank]);
+      if (B == 1) {
+        sg_out[rank] = sgraph::run_string_graph_stage(ctx, store, records[rank], scfg,
+                                                      &sg_res[rank]);
+      } else {
+        SpillMergeSource local_stream(spill->rank_runs(comm.rank()));
+        sg_out[rank] = sgraph::run_string_graph_stage(ctx, store, local_stream, scfg,
+                                                      &sg_res[rank]);
+      }
     }
+    mem_res[rank] = store.memory_stats();
   });
 
-  // --- merge per-rank outputs.
+  // --- merge per-rank outputs. In-memory mode concatenates and sorts the
+  // resident vectors; block mode's merge is the spill k-way merge, streamed
+  // on demand via alignment_source().
   PipelineOutput out;
   out.partition = partition;
   out.traces = std::move(traces);
   out.exchange_log = world.exchange_records();
+  out.spill = spill;
 
-  std::size_t total_records = 0;
-  for (const auto& v : records) total_records += v.size();
-  out.alignments.reserve(total_records);
-  for (auto& v : records) {
-    out.alignments.insert(out.alignments.end(), v.begin(), v.end());
+  if (B == 1) {
+    std::size_t total_records = 0;
+    for (const auto& v : records) total_records += v.size();
+    out.alignments.reserve(total_records);
+    for (auto& v : records) {
+      out.alignments.insert(out.alignments.end(), v.begin(), v.end());
+    }
+    sort_records(out.alignments);
   }
-  std::sort(out.alignments.begin(), out.alignments.end(),
-            [](const align::AlignmentRecord& x, const align::AlignmentRecord& y) {
-              return x.rid_a != y.rid_a ? x.rid_a < y.rid_a : x.rid_b < y.rid_b;
-            });
 
   auto& c = out.counters;
   c.max_kmer_count = max_count;
@@ -154,6 +242,17 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     c.sg_dovetail_edges += sg_res[rank].edges_owned;
     c.sg_edges_removed += sg_res[rank].edges_removed;
     c.sg_edges_surviving += sg_res[rank].edges_surviving;
+    // Memory telemetry: peak residency is a per-rank high-water (max), the
+    // packed footprint and load/evict activity are capacity sums.
+    c.peak_resident_read_bytes =
+        std::max(c.peak_resident_read_bytes, mem_res[rank].peak_resident_bytes);
+    c.packed_read_bytes += mem_res[rank].packed_bytes;
+    c.block_loads += mem_res[rank].block_loads;
+    c.block_evictions += mem_res[rank].block_evictions;
+  }
+  if (spill) {
+    c.spill_bytes = spill->spill_bytes();
+    c.spill_runs = spill->run_count();
   }
   if (config.stage5) {
     out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
@@ -167,7 +266,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     eval::EvalConfig ecfg;
     ecfg.min_true_overlap = config.eval_min_overlap;
     ecfg.len_bin = config.eval_len_bin;
-    out.eval = eval::evaluate(*truth, out.alignments,
+    auto source = out.alignment_source();
+    out.eval = eval::evaluate(*truth, *source,
                               config.stage5 ? &out.string_graph.layout : nullptr,
                               ecfg);
     out.eval_ran = true;

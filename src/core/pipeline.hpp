@@ -16,8 +16,10 @@
 
 #include "align/alignment_stage.hpp"
 #include "align/read_exchange.hpp"
+#include "align/record_stream.hpp"
 #include "bloom/distributed_bloom.hpp"
 #include "comm/world.hpp"
+#include "core/alignment_spill.hpp"
 #include "core/config.hpp"
 #include "dht/distributed_table.hpp"
 #include "eval/report.hpp"
@@ -57,13 +59,27 @@ struct PipelineCounters {
   u64 sg_edges_surviving = 0;
   u64 sg_unitigs = 0;
   u64 sg_components = 0;
+  // memory / out-of-core telemetry (io::ReadStoreMemoryStats + spill)
+  u64 peak_resident_read_bytes = 0;  ///< max over ranks of peak unpacked residency
+  u64 packed_read_bytes = 0;     ///< always-resident 2-bit footprint (sum; 0 when blocks==1)
+  u64 block_loads = 0;           ///< lazy block unpacks (sum over ranks)
+  u64 block_evictions = 0;       ///< budget-driven evictions (sum over ranks)
+  u64 spill_bytes = 0;           ///< alignment-record bytes spilled to disk
+  u64 spill_runs = 0;            ///< sorted runs feeding the k-way merge
   // resolved parameters
   u32 max_kmer_count = 0;        ///< the m actually used
 };
 
 /// Everything a pipeline run yields.
 struct PipelineOutput {
-  std::vector<align::AlignmentRecord> alignments;  ///< merged, sorted by (rid_a, rid_b)
+  /// Merged records sorted by (rid_a, rid_b) — populated on the in-memory
+  /// path (config.blocks == 1) only. In block mode the records live in
+  /// `spill` and stream through alignment_source(); the sequence either
+  /// source yields is identical.
+  std::vector<align::AlignmentRecord> alignments;
+  /// External-sort runs of the block rounds; non-null iff config.blocks > 1.
+  /// Owns the spill directory (removed when the last reference drops).
+  std::shared_ptr<AlignmentSpillSet> spill;
   PipelineCounters counters;
   /// Stage-5 string graph products (surviving edges, unitigs, components);
   /// empty unless config.stage5.
@@ -85,6 +101,15 @@ struct PipelineOutput {
   /// load-imbalance input.
   netsim::TimingReport evaluate(const netsim::Platform& platform,
                                 const netsim::Topology& topology) const;
+
+  /// The merged (rid_a, rid_b)-ordered record stream, whichever side it
+  /// lives on: a VectorRecordSource over `alignments`, or the spill k-way
+  /// merge. The PipelineOutput must outlive the returned source.
+  std::unique_ptr<align::RecordSource> alignment_source() const;
+
+  /// Materialize the merged stream (test/diagnostic convenience; defeats
+  /// the out-of-core point for large runs).
+  std::vector<align::AlignmentRecord> merged_alignments() const;
 };
 
 /// Run the full pipeline on `reads` (gid-ordered) over `world`.

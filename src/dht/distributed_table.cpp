@@ -21,7 +21,7 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
   // As in stage 1, both schedules consume each batch in source-rank order
   // over the same batch boundaries — identical insertion order, identical
   // table contents.
-  kmer::OccurrenceStream stream(reads.local_reads(), cfg.k);
+  kmer::OccurrenceStream stream(reads, cfg.k);
   auto insert_batch = [&](const KmerInstance* data, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       const KmerInstance& inst = data[i];

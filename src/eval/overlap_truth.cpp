@@ -87,10 +87,16 @@ std::vector<u64> OverlapTruth::contained_reads() const {
 
 OverlapScore OverlapTruth::score_alignments(
     const std::vector<align::AlignmentRecord>& alignments, u32 len_bin) const {
+  align::VectorRecordSource source(alignments);
+  return score_alignments(source, len_bin);
+}
+
+OverlapScore OverlapTruth::score_alignments(align::RecordSource& alignments,
+                                            u32 len_bin) const {
   DIBELLA_CHECK(len_bin > 0, "score_alignments: len_bin must be positive");
   std::vector<std::pair<u64, u64>> reported;
-  reported.reserve(alignments.size());
-  for (const auto& rec : alignments) {
+  align::AlignmentRecord rec;
+  while (alignments.next(rec)) {
     if (rec.rid_a == rec.rid_b) continue;  // self-overlaps carry no pair signal
     reported.emplace_back(std::min(rec.rid_a, rec.rid_b),
                           std::max(rec.rid_a, rec.rid_b));

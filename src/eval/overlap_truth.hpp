@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "align/alignment_stage.hpp"
+#include "align/record_stream.hpp"
 #include "io/truth.hpp"
 #include "util/histogram.hpp"
 
@@ -84,6 +85,11 @@ class OverlapTruth {
   /// (a < b) and deduplicated; self-alignments are ignored. `len_bin` is
   /// the recall-histogram bin width in bases.
   OverlapScore score_alignments(const std::vector<align::AlignmentRecord>& alignments,
+                                u32 len_bin = 500) const;
+
+  /// Streaming variant: a single forward pass collects the normalized
+  /// pairs, so spill merges score without materializing the records.
+  OverlapScore score_alignments(align::RecordSource& alignments,
                                 u32 len_bin = 500) const;
 
  private:

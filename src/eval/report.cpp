@@ -8,6 +8,12 @@ namespace dibella::eval {
 EvalReport evaluate(const io::TruthTable& truth,
                     const std::vector<align::AlignmentRecord>& alignments,
                     const sgraph::UnitigResult* layout, const EvalConfig& cfg) {
+  align::VectorRecordSource source(alignments);
+  return evaluate(truth, source, layout, cfg);
+}
+
+EvalReport evaluate(const io::TruthTable& truth, align::RecordSource& alignments,
+                    const sgraph::UnitigResult* layout, const EvalConfig& cfg) {
   OverlapTruth oracle(truth, cfg.min_true_overlap);
   EvalReport report;
   report.config = cfg;

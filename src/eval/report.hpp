@@ -45,6 +45,10 @@ EvalReport evaluate(const io::TruthTable& truth,
                     const std::vector<align::AlignmentRecord>& alignments,
                     const sgraph::UnitigResult* layout, const EvalConfig& cfg);
 
+/// Streaming variant over a record source (spill merges, block mode).
+EvalReport evaluate(const io::TruthTable& truth, align::RecordSource& alignments,
+                    const sgraph::UnitigResult* layout, const EvalConfig& cfg);
+
 /// Serialize as eval.tsv (see file comment).
 void write_eval_tsv(std::ostream& os, const EvalReport& report);
 

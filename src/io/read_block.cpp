@@ -1,0 +1,134 @@
+#include "io/read_block.hpp"
+
+#include <algorithm>
+
+#include "io/read_store.hpp"
+#include "util/common.hpp"
+
+namespace dibella::io {
+
+namespace {
+
+/// 2-bit code for an uppercase ACGT base, or -1 for anything else. Stricter
+/// than kmer::encode_base on purpose: lowercase soft-masked bases would
+/// decode to uppercase, so they must go through the exception list to keep
+/// the unpacked string byte-identical.
+inline int pack_code(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'C': return 1;
+    case 'G': return 2;
+    case 'T': return 3;
+    default: return -1;
+  }
+}
+
+constexpr char kPackBases[4] = {'A', 'C', 'G', 'T'};
+
+}  // namespace
+
+PackedReadBlock PackedReadBlock::pack(const Read* reads, std::size_t count) {
+  PackedReadBlock b;
+  b.first_gid_ = count ? reads[0].gid : 0;
+  b.seq_offsets_.reserve(count + 1);
+  b.name_offsets_.reserve(count + 1);
+  b.qual_offsets_.reserve(count + 1);
+  b.seq_offsets_.push_back(0);
+  b.name_offsets_.push_back(0);
+  b.qual_offsets_.push_back(0);
+
+  u64 total_bases = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    DIBELLA_CHECK(reads[i].gid == b.first_gid_ + i,
+                  "PackedReadBlock: reads must be a contiguous gid range");
+    total_bases += reads[i].seq.size();
+  }
+  b.packed_.assign(static_cast<std::size_t>((total_bases + 3) / 4), 0);
+
+  u64 base = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Read& r = reads[i];
+    for (char c : r.seq) {
+      int code = pack_code(c);
+      if (code < 0) {
+        b.exceptions_.push_back({base, c});
+        code = 0;  // placeholder; overwritten by the exception on unpack
+      }
+      b.packed_[static_cast<std::size_t>(base >> 2)] |=
+          static_cast<u8>(code << ((base & 3u) * 2));
+      ++base;
+    }
+    b.seq_offsets_.push_back(base);
+    b.names_.append(r.name);
+    b.name_offsets_.push_back(static_cast<u32>(b.names_.size()));
+    b.quals_.append(r.qual);
+    b.qual_offsets_.push_back(static_cast<u64>(b.quals_.size()));
+  }
+  b.packed_.shrink_to_fit();
+  b.exceptions_.shrink_to_fit();
+  return b;
+}
+
+Read PackedReadBlock::unpack_one(std::size_t index) const {
+  DIBELLA_CHECK(index < size(), "PackedReadBlock::unpack_one: index out of range");
+  Read r;
+  r.gid = first_gid_ + index;
+  const u64 lo = seq_offsets_[index];
+  const u64 hi = seq_offsets_[index + 1];
+  r.seq.resize(static_cast<std::size_t>(hi - lo));
+  for (u64 base = lo; base < hi; ++base) {
+    const u8 byte = packed_[static_cast<std::size_t>(base >> 2)];
+    r.seq[static_cast<std::size_t>(base - lo)] =
+        kPackBases[(byte >> ((base & 3u) * 2)) & 3u];
+  }
+  // Exceptions are sorted by base offset; splice this read's range back in.
+  auto first = std::lower_bound(
+      exceptions_.begin(), exceptions_.end(), lo,
+      [](const PackedException& e, u64 off) { return e.base_offset < off; });
+  for (auto it = first; it != exceptions_.end() && it->base_offset < hi; ++it) {
+    r.seq[static_cast<std::size_t>(it->base_offset - lo)] = it->original;
+  }
+  r.name.assign(names_, name_offsets_[index],
+                name_offsets_[index + 1] - name_offsets_[index]);
+  r.qual.assign(quals_, static_cast<std::size_t>(qual_offsets_[index]),
+                static_cast<std::size_t>(qual_offsets_[index + 1] - qual_offsets_[index]));
+  return r;
+}
+
+std::vector<Read> PackedReadBlock::unpack() const {
+  std::vector<Read> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(unpack_one(i));
+  return out;
+}
+
+u64 PackedReadBlock::packed_bytes() const {
+  return static_cast<u64>(packed_.size()) +
+         static_cast<u64>(seq_offsets_.size()) * sizeof(u64) +
+         static_cast<u64>(exceptions_.size()) * sizeof(PackedException) +
+         static_cast<u64>(names_.size()) +
+         static_cast<u64>(name_offsets_.size()) * sizeof(u32) +
+         static_cast<u64>(quals_.size()) +
+         static_cast<u64>(qual_offsets_.size()) * sizeof(u64);
+}
+
+u32 block_of(const ReadPartition& partition, u32 blocks, u64 gid) {
+  DIBELLA_CHECK(blocks >= 1, "block_of: need >= 1 block");
+  const int owner = partition.owner_of(gid);
+  const u64 count = partition.count(owner);
+  const u64 offset = gid - partition.first_gid(owner);
+  // Invert block_lower: find the largest b with lower(b) <= offset.
+  u32 lo = 0;
+  u32 hi = blocks;  // exclusive
+  while (hi - lo > 1) {
+    const u32 mid = lo + (hi - lo) / 2;
+    if (block_lower(count, blocks, mid) <= offset) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace dibella::io

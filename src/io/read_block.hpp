@@ -1,0 +1,88 @@
+#pragma once
+/// \file read_block.hpp
+/// 2-bit packed storage of a contiguous gid range of reads — the DALIGNER-
+/// style read database block behind the out-of-core pipeline. Sequences are
+/// stored four bases per byte with an exception list for characters outside
+/// uppercase ACGT (N's, lowercase soft-masking), so unpacking reproduces the
+/// original strings byte-for-byte. Names and quality strings travel raw:
+/// the pipeline's memory pressure is the sequence data.
+///
+/// A rank's local reads split into `blocks` contiguous sub-blocks
+/// (read-count balanced); `block_of` maps any gid to its owner-local block
+/// index from the global partition alone, so block-vs-block stage schedules
+/// need no communication to agree on round assignments.
+
+#include <string>
+#include <vector>
+
+#include "io/read.hpp"
+
+namespace dibella::io {
+
+class ReadPartition;
+
+/// One character that did not 2-bit-encode: its base offset within the
+/// block's concatenated sequence space and the original character.
+struct PackedException {
+  u64 base_offset = 0;
+  char original = 'N';
+};
+
+/// A contiguous gid range of reads, sequences packed 2 bits per base.
+class PackedReadBlock {
+ public:
+  PackedReadBlock() = default;
+
+  /// Pack `count` reads starting at `reads` (gids must be contiguous and
+  /// ascending; `reads[i].gid == reads[0].gid + i`).
+  static PackedReadBlock pack(const Read* reads, std::size_t count);
+
+  u64 first_gid() const { return first_gid_; }
+  std::size_t size() const { return seq_offsets_.empty() ? 0 : seq_offsets_.size() - 1; }
+  bool empty() const { return size() == 0; }
+
+  /// Reconstruct every read, byte-identical to the packed input.
+  std::vector<Read> unpack() const;
+
+  /// Reconstruct a single read by position within the block.
+  Read unpack_one(std::size_t index) const;
+
+  /// Sequence length of the read at `index` (no unpacking).
+  u64 seq_length(std::size_t index) const {
+    return seq_offsets_[index + 1] - seq_offsets_[index];
+  }
+
+  /// Total bases across the block.
+  u64 total_bases() const { return seq_offsets_.empty() ? 0 : seq_offsets_.back(); }
+
+  /// Resident footprint of the packed representation (the bytes that stay
+  /// when the unpacked form is evicted).
+  u64 packed_bytes() const;
+
+  /// Bytes the unpacked std::string sequences occupy (eviction accounting).
+  u64 unpacked_seq_bytes() const { return total_bases(); }
+
+ private:
+  u64 first_gid_ = 0;
+  std::vector<u8> packed_;          ///< 2-bit codes, 4 bases/byte, block-concatenated
+  std::vector<u64> seq_offsets_;    ///< size()+1 base offsets into the concatenation
+  std::vector<PackedException> exceptions_;  ///< sorted by base_offset
+  std::string names_;               ///< concatenated names
+  std::vector<u32> name_offsets_;   ///< size()+1 offsets into names_
+  std::string quals_;               ///< concatenated quality strings (often empty)
+  std::vector<u64> qual_offsets_;   ///< size()+1 offsets into quals_
+};
+
+/// Owner-local block index of `gid` when every rank splits its partition
+/// into `blocks` read-count-balanced contiguous sub-blocks. Identical on
+/// every rank (pure function of the partition), which is what lets the
+/// stage-4 block rounds agree globally without communication.
+u32 block_of(const ReadPartition& partition, u32 blocks, u64 gid);
+
+/// First owned-read index (offset within the rank's local range) of block
+/// `b` for a rank owning `count` reads: blocks are [lower(b), lower(b+1)).
+inline u64 block_lower(u64 count, u32 blocks, u32 b) {
+  return count * static_cast<u64>(b) / static_cast<u64>(blocks);
+}
+
+}  // namespace dibella::io

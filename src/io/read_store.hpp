@@ -12,9 +12,31 @@
 #include <vector>
 
 #include "io/read.hpp"
+#include "io/read_block.hpp"
 #include "io/truth.hpp"
 
 namespace dibella::io {
+
+/// Out-of-core configuration for a ReadStore. `blocks == 1` is the in-memory
+/// path (reads held as plain strings, no packing); `blocks > 1` packs the
+/// local partition into that many 2-bit blocks and unpacks lazily.
+/// `memory_budget_bytes` caps the unpacked residency (local blocks + remote
+/// cache); 0 means no cap — blocks still load lazily but are never evicted.
+/// At least two blocks always stay resident so callers may hold references
+/// to two reads at once (the alignment inner loop's a/b pair).
+struct BlockConfig {
+  u32 blocks = 1;
+  u64 memory_budget_bytes = 0;
+};
+
+/// Residency telemetry, surfaced per stage through PipelineCounters.
+struct ReadStoreMemoryStats {
+  u64 packed_bytes = 0;         ///< always-resident 2-bit footprint (0 when blocks==1)
+  u64 resident_bytes = 0;       ///< unpacked sequence bytes currently resident
+  u64 peak_resident_bytes = 0;  ///< high-water mark of resident_bytes
+  u64 block_loads = 0;          ///< lazy unpack events
+  u64 block_evictions = 0;      ///< budget-driven evictions
+};
 
 /// Contiguous-block partition of gids [0, N) over P ranks, weighted by
 /// per-read sequence bytes.
@@ -56,6 +78,12 @@ class ReadStore {
   /// copied out of the owned block only). `all` must be gid-ordered.
   ReadStore(const std::vector<Read>& all, const ReadPartition& partition, int rank);
 
+  /// Out-of-core variant: pack the owned block into `cfg.blocks` 2-bit
+  /// packed sub-blocks; unpacked reads materialize lazily per block under
+  /// the memory budget. With cfg.blocks == 1 this is the plain constructor.
+  ReadStore(const std::vector<Read>& all, const ReadPartition& partition, int rank,
+            const BlockConfig& cfg);
+
   /// Construct from already-local reads (e.g. parsed from this rank's file
   /// byte range). `local` must be this rank's contiguous gid block.
   static ReadStore from_local_block(std::vector<Read> local,
@@ -63,12 +91,27 @@ class ReadStore {
 
   int rank() const { return rank_; }
   const ReadPartition& partition() const { return partition_; }
-  const std::vector<Read>& local_reads() const { return local_; }
+
+  /// The resident local read vector. Only valid on the in-memory path
+  /// (blocks() == 1); block-mode callers must iterate via local_read().
+  const std::vector<Read>& local_reads() const;
+
+  /// Number of out-of-core blocks (1 = in-memory path).
+  u32 blocks() const { return block_cfg_.blocks; }
+
+  u64 first_local_gid() const { return partition_.first_gid(rank_); }
+  u64 local_count() const { return partition_.count(rank_); }
 
   bool is_local(u64 gid) const;
 
-  /// Sequence of a locally-owned read.
+  /// Sequence of a locally-owned read. In block mode this lazily unpacks
+  /// the containing block; the reference stays valid until two further
+  /// block loads occur (at least two blocks are always resident).
   const Read& local_read(u64 gid) const;
+
+  /// Sequence length of a locally-owned read without materializing it
+  /// (always resident, even in block mode).
+  u64 local_length(u64 gid) const;
 
   /// Add a remote read fetched in the alignment read-exchange.
   void cache_remote(Read r);
@@ -82,10 +125,11 @@ class ReadStore {
 
   /// Number of remote reads currently cached (replication metric).
   std::size_t remote_cache_size() const { return remote_.size(); }
-  void clear_remote_cache() {
-    remote_.clear();
-    remote_index_.clear();
-  }
+  void clear_remote_cache();
+
+  /// Residency telemetry (meaningful in both modes; packed_bytes and the
+  /// block counters are zero on the in-memory path).
+  ReadStoreMemoryStats memory_stats() const;
 
   /// Attach the read set's ground-truth provenance (simulated datasets, or a
   /// loaded `reads.truth.tsv` sidecar). Shared, not copied: every rank's
@@ -101,10 +145,30 @@ class ReadStore {
  private:
   int rank_ = 0;
   ReadPartition partition_;
-  std::vector<Read> local_;
+  BlockConfig block_cfg_;
+  std::vector<Read> local_;                  // in-memory path only (blocks == 1)
   std::vector<Read> remote_;                 // cached remote reads
   std::vector<std::size_t> remote_index_;    // sorted by gid -> index into remote_
   std::shared_ptr<const TruthTable> truth_;  // optional provenance (whole gid space)
+
+  // Block mode. Packed blocks are always resident; `unpacked_` entries are
+  // the lazily-materialized (and budget-evictable) residency units. Mutable
+  // because lookups are logically const: ranks are threads but each owns its
+  // store exclusively, so no locking is needed.
+  std::vector<PackedReadBlock> packed_blocks_;
+  std::vector<u64> block_first_offset_;  // blocks+1 local offsets (block manifest)
+  std::vector<u32> local_lengths_;       // per-read seq lengths, always resident
+  mutable std::vector<std::unique_ptr<std::vector<Read>>> unpacked_;
+  mutable std::vector<u64> lru_stamp_;   // per block; 0 = never touched
+  mutable u64 lru_clock_ = 0;
+  mutable u64 resident_local_bytes_ = 0;  // unpacked local seq bytes
+  mutable u64 peak_resident_bytes_ = 0;
+  mutable u64 block_loads_ = 0;
+  mutable u64 block_evictions_ = 0;
+  u64 remote_bytes_ = 0;  // unpacked remote-cache seq bytes
+
+  const std::vector<Read>& loaded_block(u32 b) const;
+  void note_peak() const;
   void rebuild_remote_index();
 };
 

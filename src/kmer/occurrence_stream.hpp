@@ -9,10 +9,18 @@
 /// granularity (a single long read may overshoot the budget by its own
 /// k-mer count, which is the same granularity the paper's implementation
 /// batches at).
+///
+/// Two iteration sources share identical fill() semantics: a resident read
+/// vector, or a ReadStore walked lazily in gid order (the out-of-core path —
+/// gid-order iteration loads each packed block exactly once, and the pause
+/// points depend only on the budget and per-read k-mer counts, so the
+/// emission sequence and batch boundaries are bitwise-independent of the
+/// block count).
 
 #include <vector>
 
 #include "io/read.hpp"
+#include "io/read_store.hpp"
 #include "kmer/parser.hpp"
 
 namespace dibella::kmer {
@@ -20,7 +28,14 @@ namespace dibella::kmer {
 class OccurrenceStream {
  public:
   OccurrenceStream(const std::vector<io::Read>& reads, int k)
-      : reads_(&reads), k_(k) {}
+      : reads_(&reads), count_(reads.size()), k_(k) {}
+
+  /// Iterate a rank's owned reads through the store (block-mode safe).
+  OccurrenceStream(const io::ReadStore& store, int k)
+      : store_(&store),
+        first_gid_(store.first_local_gid()),
+        count_(static_cast<std::size_t>(store.local_count())),
+        k_(k) {}
 
   /// Emit occurrences of whole reads until at least `budget` occurrences
   /// have been produced in this call (or input is exhausted).
@@ -28,23 +43,27 @@ class OccurrenceStream {
   template <class Fn>
   bool fill(u64 budget, Fn&& fn) {
     u64 produced = 0;
-    while (next_read_ < reads_->size() && produced < budget) {
-      const io::Read& r = (*reads_)[next_read_];
+    while (next_read_ < count_ && produced < budget) {
+      const io::Read& r = store_ ? store_->local_read(first_gid_ + next_read_)
+                                 : (*reads_)[next_read_];
       for_each_canonical_kmer(r.seq, k_, [&](const Occurrence& occ) {
         fn(r.gid, occ);
         ++produced;
       });
       ++next_read_;
     }
-    return next_read_ < reads_->size();
+    return next_read_ < count_;
   }
 
-  bool exhausted() const { return next_read_ >= reads_->size(); }
+  bool exhausted() const { return next_read_ >= count_; }
 
   void reset() { next_read_ = 0; }
 
  private:
-  const std::vector<io::Read>* reads_;
+  const std::vector<io::Read>* reads_ = nullptr;
+  const io::ReadStore* store_ = nullptr;
+  u64 first_gid_ = 0;
+  std::size_t count_ = 0;
   int k_;
   std::size_t next_read_ = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
+#include "util/radix_sort.hpp"
 
 namespace dibella::overlap {
 
@@ -24,24 +25,27 @@ std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incomi
 
   // Normalize to rid_a < rid_b, then sort the flat vector and group equal
   // runs — the former node-per-pair std::map made every insertion an
-  // allocation plus a pointer chase; sort-then-group touches memory
-  // sequentially. The full-tuple key keeps the order (and thus the output)
-  // deterministic regardless of arrival order; filter_seeds re-sorts and
-  // deduplicates per pair anyway.
+  // allocation plus a pointer chase. The sort itself is a stable LSD radix
+  // chain (least-significant component first), so the cost is a few linear
+  // counting passes instead of O(n log n) comparisons on the 5-field tuple.
+  // The full-tuple key keeps the order (and thus the output) deterministic
+  // regardless of arrival order; filter_seeds re-sorts and deduplicates per
+  // pair anyway.
   for (auto& t : incoming) {
     if (t.rid_a > t.rid_b) {
       std::swap(t.rid_a, t.rid_b);
       std::swap(t.pos_a, t.pos_b);
     }
   }
-  std::sort(incoming.begin(), incoming.end(),
-            [](const OverlapTaskWire& x, const OverlapTaskWire& y) {
-              if (x.rid_a != y.rid_a) return x.rid_a < y.rid_a;
-              if (x.rid_b != y.rid_b) return x.rid_b < y.rid_b;
-              if (x.pos_a != y.pos_a) return x.pos_a < y.pos_a;
-              if (x.pos_b != y.pos_b) return x.pos_b < y.pos_b;
-              return x.same_orientation < y.same_orientation;
-            });
+  // Tuple order (rid_a, rid_b, pos_a, pos_b, same_orientation): the two low
+  // components fit one u64 key (33 bits), then pos_a, rid_b, rid_a.
+  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) {
+    return (static_cast<u64>(t.pos_b) << 1) | static_cast<u64>(t.same_orientation);
+  });
+  util::radix_sort_u64(incoming,
+                       [](const OverlapTaskWire& t) { return static_cast<u64>(t.pos_a); });
+  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) { return t.rid_b; });
+  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) { return t.rid_a; });
 
   std::vector<AlignmentTask> tasks;
   std::size_t run = 0;

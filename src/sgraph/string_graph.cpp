@@ -121,8 +121,8 @@ class AdjacencyTable {
 
 StringGraphOutput run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
-    const std::vector<align::AlignmentRecord>& local_records,
-    const StringGraphConfig& cfg, StringGraphStageResult* result) {
+    align::RecordSource& local_records, const StringGraphConfig& cfg,
+    StringGraphStageResult* result) {
   auto& comm = ctx.comm;
   comm.set_stage("sgraph");
   const int P = comm.size();
@@ -136,9 +136,10 @@ StringGraphOutput run_string_graph_stage(
   std::vector<u32> lengths;
   {
     std::vector<u32> local;
-    local.reserve(store.local_reads().size());
-    for (const auto& r : store.local_reads()) {
-      local.push_back(static_cast<u32>(r.seq.size()));
+    local.reserve(static_cast<std::size_t>(store.local_count()));
+    const u64 first = store.first_local_gid();
+    for (u64 g = first; g < first + store.local_count(); ++g) {
+      local.push_back(static_cast<u32>(store.local_length(g)));
     }
     lengths = comm.allgatherv(local);
     DIBELLA_CHECK(lengths.size() == partition.total_reads(),
@@ -152,9 +153,9 @@ StringGraphOutput run_string_graph_stage(
   // --- (2) classify this rank's records; collect dovetails and contained
   // read ids.
   std::vector<DovetailEdge> dovetails;
-  dovetails.reserve(local_records.size());
   std::vector<u64> contained_local;
-  for (const auto& rec : local_records) {
+  align::AlignmentRecord rec;
+  while (local_records.next(rec)) {
     ++res.records_in;
     if (rec.rid_a == rec.rid_b) {
       ++res.self_overlaps;  // a self-overlap is a repeat, not a layout edge
@@ -186,7 +187,7 @@ StringGraphOutput run_string_graph_stage(
   }
   ctx.trace.add_compute("sgraph:classify",
                         static_cast<double>(res.records_in) * costs.pair_consolidate,
-                        local_records.size() * sizeof(align::AlignmentRecord));
+                        res.records_in * sizeof(align::AlignmentRecord));
 
   // --- (3) the contained set must be global before edges are dropped: a
   // read contained per one record may carry dovetails in others, and those
@@ -368,6 +369,14 @@ StringGraphOutput run_string_graph_stage(
 
   if (result) *result = res;
   return out;
+}
+
+StringGraphOutput run_string_graph_stage(
+    core::StageContext& ctx, const io::ReadStore& store,
+    const std::vector<align::AlignmentRecord>& local_records,
+    const StringGraphConfig& cfg, StringGraphStageResult* result) {
+  align::VectorRecordSource source(local_records);
+  return run_string_graph_stage(ctx, store, source, cfg, result);
 }
 
 }  // namespace dibella::sgraph

@@ -36,6 +36,7 @@
 
 #include <vector>
 
+#include "align/record_stream.hpp"
 #include "core/stage_context.hpp"
 #include "io/read_store.hpp"
 #include "sgraph/edge_class.hpp"
@@ -83,9 +84,19 @@ struct StringGraphOutput {
   UnitigResult layout;
 };
 
-/// Run stage 5 for this rank over its stage-4 alignment records.
-/// Collective. Deterministic in (records, lengths, config) and independent
-/// of the rank count and communication schedule.
+/// Run stage 5 for this rank over its stage-4 alignment records, consumed
+/// as a forward stream (classification is a single pass, so block-mode
+/// spill merges feed it without materializing the records). Collective.
+/// Deterministic in (records, lengths, config) and independent of the rank
+/// count, the communication schedule, and the record *grouping* (per-rank
+/// record order does not affect the graph: incident edges are re-sorted and
+/// deduplicated, and reduction verdicts are order-independent).
+StringGraphOutput run_string_graph_stage(
+    core::StageContext& ctx, const io::ReadStore& store,
+    align::RecordSource& local_records, const StringGraphConfig& cfg,
+    StringGraphStageResult* result = nullptr);
+
+/// Vector convenience overload (the in-memory path and the test seam).
 StringGraphOutput run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     const std::vector<align::AlignmentRecord>& local_records,

@@ -424,3 +424,99 @@ TEST(CliUsage, TruthWithPresetIsAUsageError) {
   EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
   EXPECT_NE(r.err.find("truth"), std::string::npos);
 }
+
+TEST_F(CliSmoke, BlocksModeOutputsByteIdenticalToInMemory) {
+  // The out-of-core contract at the driver level: --blocks=4 with a memory
+  // budget writes the very same alignments.paf, graph.gfa, and eval.tsv as
+  // the default in-memory run (this mirrors the CI blocks-mode smoke job).
+  std::vector<std::string> common = {"--preset=tiny", "--ranks=3",
+                                     "--stage5=on", "--eval=on"};
+
+  auto in_mem = common;
+  in_mem.push_back("--out-dir=" + (dir_ / "in_mem").string());
+  DriverResult a = run_driver(in_mem);
+  ASSERT_EQ(a.exit_code, dibella::cli::kExitOk) << a.err;
+
+  auto blocked = common;
+  blocked.push_back("--blocks=4");
+  blocked.push_back("--memory-budget=64M");
+  blocked.push_back("--out-dir=" + (dir_ / "blocked").string());
+  DriverResult b = run_driver(blocked);
+  ASSERT_EQ(b.exit_code, dibella::cli::kExitOk) << b.err;
+  EXPECT_NE(b.out.find("blocks=4"), std::string::npos);
+
+  for (const char* file : {dibella::cli::kAlignmentsFile, dibella::cli::kGfaFile,
+                           dibella::cli::kEvalFile}) {
+    EXPECT_EQ(dibella::io::load_file((dir_ / "in_mem" / file).string()),
+              dibella::io::load_file((dir_ / "blocked" / file).string()))
+        << file;
+  }
+
+  // Block mode surfaces the out-of-core telemetry rows; both modes report
+  // peak residency, and packing lowers it.
+  auto cm = parse_counters(
+      dibella::io::load_file((dir_ / "in_mem" / dibella::cli::kCountersFile).string()));
+  auto cb = parse_counters(
+      dibella::io::load_file((dir_ / "blocked" / dibella::cli::kCountersFile).string()));
+  EXPECT_EQ(cm.at("packed_read_bytes"), 0u);
+  EXPECT_EQ(cm.at("spill_bytes"), 0u);
+  EXPECT_GT(cb.at("packed_read_bytes"), 0u);
+  EXPECT_GT(cb.at("spill_bytes"), 0u);
+  EXPECT_GT(cb.at("spill_runs"), 0u);
+  EXPECT_GT(cb.at("block_loads"), 0u);
+  EXPECT_GT(cm.at("peak_resident_read_bytes"), 0u);
+  EXPECT_LT(cb.at("peak_resident_read_bytes"), cm.at("peak_resident_read_bytes"));
+}
+
+TEST(CliUsage, BlocksAndBudgetSizesParse) {
+  // Bare numbers and K/M/G suffixes both work (smoke: accepted and echoed).
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--blocks=2", "--memory-budget=65536"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  EXPECT_NE(r.out.find("blocks=2"), std::string::npos);
+}
+
+TEST(CliUsage, BadBlocksValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--blocks=0"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("blocks"), std::string::npos);
+}
+
+TEST(CliUsage, MemoryBudgetWithoutBlocksIsAUsageError) {
+  // A budget is meaningless on the in-memory path: nothing can be evicted.
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--memory-budget=64M"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("memory-budget"), std::string::npos);
+}
+
+TEST(CliUsage, MalformedMemoryBudgetIsAUsageError) {
+  for (const char* bad : {"--memory-budget=", "--memory-budget=M",
+                          "--memory-budget=12Q"}) {
+    DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                                 "--blocks=2", bad});
+    EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError) << bad;
+    EXPECT_NE(r.err.find("memory-budget"), std::string::npos) << bad;
+  }
+}
+
+TEST_F(CliSmoke, SpillDirIsUsedAndCleaned) {
+  fs::path spill_parent = dir_ / "spill";
+  fs::create_directories(spill_parent);
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--blocks=2",
+                               "--spill-dir=" + spill_parent.string(),
+                               "--out-dir=" + (dir_ / "out").string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  // The per-run dibella-spill-* directory lived under --spill-dir and was
+  // removed when the run finished.
+  EXPECT_TRUE(fs::exists(spill_parent));
+  EXPECT_TRUE(fs::is_empty(spill_parent));
+}
+
+TEST(CliUsage, SpillDirWithoutBlocksIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--spill-dir=/tmp"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("spill-dir"), std::string::npos);
+}
