@@ -11,7 +11,9 @@
 #include <string>
 #include <vector>
 
+#include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "core/checkpoint.hpp"
 #include "core/output.hpp"
 #include "core/pipeline.hpp"
 #include "eval/report.hpp"
@@ -78,6 +80,36 @@ out-of-core (scaling beyond RAM):
                         dibella-spill-<pid>-<seq> (default: system temp).
                         Removed when the run finishes. Requires --blocks >= 2.
 
+fault tolerance:
+  --checkpoint-dir=DIR  persist a checksummed per-rank checkpoint after each
+                        completed stage (manifest.tsv + stage<n>.<name>.r<rank>.bin).
+                        Required by --resume and --on-rank-failure=degrade.
+  --resume              skip the stages the checkpoint in --checkpoint-dir
+                        records as complete, restore the last one's state, and
+                        continue. The checkpoint must come from a matching run
+                        (same reads, rank count, and output-determining
+                        parameters); alignments.paf, graph.gfa, and eval.tsv
+                        are byte-identical to an uninterrupted run's, across
+                        rank counts and --overlap-comm modes.
+  --on-rank-failure=M   fail (default) = a lost rank poisons the world; every
+                        sibling unwinds and the run exits with code 3.
+                        degrade = re-run from the last completed checkpoint
+                        with the failed rank's shard dropped: surviving shards
+                        finish, and eval.tsv states the honest (lower) recall
+                        plus a run/degraded_ranks row. Requires
+                        --checkpoint-dir (no checkpoint, nothing to salvage).
+  --inject-fault=SPECS  deterministic fault injection (testing), a comma list
+                        of KIND@STAGE:EPOCH[:RANK] specs, e.g. drop@overlap:0
+                        or abort@align:0:2. KIND: drop | duplicate | delay |
+                        truncate | bitflip are transport faults absorbed by
+                        the self-healing exchange (they need
+                        --overlap-comm=on and show up in the
+                        comm_chunk_retries / _redeliveries / _corrupt_chunks
+                        counters); abort kills the rank at that collective.
+                        STAGE: bloom | ht | overlap | align | sgraph. EPOCH
+                        counts that stage's collectives on the injecting
+                        RANK (default 0).
+
 string graph (stage 5):
   --stage5=MODE         on (default) = build the string graph from the
                         alignments: classify contained/dovetail/internal
@@ -116,6 +148,12 @@ output:
                         (default dibella_out)
   --no-output           print to stdout only, write no files
   --help                show this message
+
+exit codes:
+  0  success
+  1  runtime error (I/O failure, bad input data, failed internal check)
+  2  usage error (unknown or inconsistent options)
+  3  communication failure / rank loss (the world was poisoned and unwound)
 )";
 
 /// Every option the driver understands; anything else is a usage error
@@ -129,7 +167,8 @@ const std::set<std::string>& known_options() {
       "ranks-per-node", "out-dir",   "no-output",      "help",
       "stage5",     "gfa",           "min-overlap-score",
       "eval",       "truth",         "eval-min-overlap",
-      "blocks",     "memory-budget", "spill-dir"};
+      "blocks",     "memory-budget", "spill-dir",
+      "checkpoint-dir", "resume",    "on-rank-failure", "inject-fault"};
   return opts;
 }
 
@@ -243,6 +282,9 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("block_evictions", c.block_evictions);
   row("spill_bytes", c.spill_bytes);
   row("spill_runs", c.spill_runs);
+  row("comm_chunk_retries", c.comm_chunk_retries);
+  row("comm_chunk_redeliveries", c.comm_chunk_redeliveries);
+  row("comm_corrupt_chunks", c.comm_corrupt_chunks);
   row("max_kmer_count", c.max_kmer_count);
   return os.str();
 }
@@ -308,6 +350,11 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
     row("mem. spill bytes", c.spill_bytes);
     row("mem. spill runs", c.spill_runs);
   }
+  if (c.comm_chunk_retries || c.comm_chunk_redeliveries || c.comm_corrupt_chunks) {
+    row("comm. chunk retries", c.comm_chunk_retries);
+    row("comm. duplicate chunks discarded", c.comm_chunk_redeliveries);
+    row("comm. corrupt chunks dropped", c.comm_corrupt_chunks);
+  }
   out << t.to_text("diBELLA pipeline on " + std::to_string(ranks) + " ranks");
 }
 
@@ -327,6 +374,9 @@ void print_eval(std::ostream& out, const eval::EvalReport& r) {
   row_u("reported pairs", r.overlap.reported_pairs);
   row_u("true positives", r.overlap.true_positives);
   row_u("false positives", r.overlap.false_positives);
+  if (r.degraded_ranks > 0) {
+    row_u("degraded ranks (shards dropped)", r.degraded_ranks);
+  }
   row_d("recall", r.overlap.recall());
   row_d("precision", r.overlap.precision());
   row_d("F1", r.overlap.f1());
@@ -493,6 +543,45 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
     throw UsageError("--spill-dir requires --blocks >= 2 (nothing spills in-memory)");
   }
 
+  // --- fault tolerance.
+  cfg.checkpoint_dir = args.get("checkpoint-dir", "");
+  cfg.resume = args.get_bool("resume", false);
+  if (cfg.resume && cfg.checkpoint_dir.empty()) {
+    throw UsageError("--resume requires --checkpoint-dir");
+  }
+  const std::string on_failure = args.get("on-rank-failure", "fail");
+  if (on_failure != "fail" && on_failure != "degrade") {
+    throw UsageError("unknown --on-rank-failure=" + on_failure +
+                     " (expected fail|degrade)");
+  }
+  const bool degrade_on_failure = on_failure == "degrade";
+  if (degrade_on_failure && cfg.checkpoint_dir.empty()) {
+    throw UsageError(
+        "--on-rank-failure=degrade requires --checkpoint-dir (without a "
+        "checkpoint there is nothing to salvage)");
+  }
+  std::shared_ptr<const comm::FaultPlan> fault_plan;
+  if (args.has("inject-fault")) {
+    try {
+      fault_plan = comm::FaultPlan::parse(args.get("inject-fault", ""));
+    } catch (const Error& e) {
+      throw UsageError(std::string("--inject-fault: ") + e.what());
+    }
+    for (const comm::FaultSpec& spec : fault_plan->specs()) {
+      if (spec.rank >= ranks) {
+        throw UsageError("--inject-fault names rank " + std::to_string(spec.rank) +
+                         " but the run has only " + std::to_string(ranks) +
+                         " ranks");
+      }
+    }
+    if (fault_plan->has_transport_faults() && !cfg.overlap_comm) {
+      throw UsageError(
+          "--inject-fault transport faults (drop/duplicate/delay/truncate/"
+          "bitflip) require --overlap-comm=on (the bulk-synchronous path has "
+          "no framed exchange to mangle)");
+    }
+  }
+
   // --- ground-truth evaluation: on by default when truth is free (simulated
   // presets) or explicitly supplied (--truth); off for bare file input.
   if (args.has("truth") && simulated) {
@@ -554,8 +643,34 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
       << "  overlap-comm=" << overlap_mode << "  blocks=" << cfg.blocks << "\n\n";
 
   // --- run.
-  comm::World world(ranks);
-  core::PipelineOutput result = core::run_pipeline(world, reads, cfg, truth);
+  core::PipelineOutput result;
+  try {
+    comm::World world(ranks);
+    if (fault_plan) world.set_fault_plan(fault_plan);
+    result = core::run_pipeline(world, reads, cfg, truth);
+  } catch (const comm::RankFailure& e) {
+    if (!degrade_on_failure) throw;
+    const core::CheckpointStage last =
+        core::CheckpointSet::probe_last_complete(cfg.checkpoint_dir);
+    if (last == core::CheckpointStage::kNone) {
+      err << "dibella: rank " << e.failed_rank()
+          << " failed before any stage checkpoint completed; cannot degrade\n";
+      throw;
+    }
+    err << "dibella: rank " << e.failed_rank() << " failed (" << e.what()
+        << "); degrading: resuming from the stage '"
+        << core::checkpoint_stage_name(last)
+        << "' checkpoint with that rank's shard dropped\n";
+    out << "degraded run: rank " << e.failed_rank()
+        << " lost after checkpoint '" << core::checkpoint_stage_name(last)
+        << "'; its shard's pairs are missing from the output\n";
+    comm::World degraded_world(ranks);
+    if (fault_plan) degraded_world.set_fault_plan(fault_plan);  // specs are one-shot
+    core::PipelineConfig degraded_cfg = cfg;
+    degraded_cfg.resume = true;
+    degraded_cfg.degraded_ranks = {e.failed_rank()};
+    result = core::run_pipeline(degraded_world, reads, degraded_cfg, truth);
+  }
 
   print_counters(out, result.counters, ranks, cfg.stage5);
   if (result.eval_ran) print_eval(out, result.eval);
@@ -653,6 +768,9 @@ int run_driver(int argc, const char* const* argv, std::ostream& out,
   } catch (const UsageError& e) {
     err << "dibella: " << e.what() << "\n";
     return kExitUsageError;
+  } catch (const comm::CommFailure& e) {
+    err << "dibella: communication failure: " << e.what() << "\n";
+    return kExitCommFailure;
   } catch (const std::exception& e) {
     err << "dibella: error: " << e.what() << "\n";
     return kExitRuntimeError;

@@ -16,6 +16,10 @@ namespace dibella::cli {
 inline constexpr int kExitOk = 0;
 inline constexpr int kExitRuntimeError = 1;
 inline constexpr int kExitUsageError = 2;
+/// A rank was lost or the exchange gave up: the world was poisoned and every
+/// sibling unwound (comm::CommFailure). Distinct from 1 so harnesses can
+/// tell "bad input" from "the distributed run itself died".
+inline constexpr int kExitCommFailure = 3;
 
 /// Filenames written inside --out-dir.
 inline constexpr const char* kAlignmentsFile = "alignments.paf";

@@ -17,6 +17,8 @@
 
 #include <cstring>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -26,6 +28,8 @@
 #include "util/timer.hpp"
 
 namespace dibella::comm {
+
+class FaultPlan;
 
 namespace detail {
 class WorldState;
@@ -65,6 +69,7 @@ class Communicator {
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
     static_assert(std::is_trivially_copyable_v<T>, "alltoallv payload must be POD");
     DIBELLA_CHECK(static_cast<int>(send.size()) == size_, "alltoallv: send.size() != P");
+    fault_point();
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kAlltoallv);
     for (int d = 0; d < size_; ++d) {
@@ -95,6 +100,7 @@ class Communicator {
                                 std::vector<u64>* src_offsets = nullptr) {
     static_assert(std::is_trivially_copyable_v<T>, "alltoallv payload must be POD");
     DIBELLA_CHECK(static_cast<int>(send.size()) == size_, "alltoallv: send.size() != P");
+    fault_point();
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kAlltoallv);
     for (int d = 0; d < size_; ++d) {
@@ -141,6 +147,7 @@ class Communicator {
   template <class T>
   std::vector<T> allgatherv(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>, "allgatherv payload must be POD");
+    fault_point();
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kAllgather);
     for (int d = 0; d < size_; ++d) {
@@ -195,6 +202,7 @@ class Communicator {
   template <class T>
   T broadcast(const T& v, int root) {
     static_assert(std::is_trivially_copyable_v<T>, "broadcast payload must be POD");
+    fault_point();
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kBroadcast);
     if (rank_ == root) {
@@ -215,6 +223,7 @@ class Communicator {
   template <class T>
   std::vector<std::vector<T>> gather(const std::vector<T>& v, int root) {
     static_assert(std::is_trivially_copyable_v<T>, "gather payload must be POD");
+    fault_point();
     util::WallTimer timer;
     ExchangeRecord rec = start_record(CollectiveOp::kGather);
     if (root != rank_) rec.bytes_to_peer[static_cast<std::size_t>(root)] = v.size() * sizeof(T);
@@ -233,6 +242,14 @@ class Communicator {
 
  private:
   friend class Exchanger;
+
+  /// Every collective operation (blocking collectives and Exchanger flushes
+  /// alike) announces itself here before touching the wire: the call assigns
+  /// the operation's 0-based index within the current stage on this rank —
+  /// the `epoch` coordinate of `--inject-fault=kind@stage:epoch[:rank]` —
+  /// and throws RankFailure if an unfired abort spec matches. Returns the
+  /// index so the Exchanger can also match transport faults against it.
+  u64 fault_point();
 
   ExchangeRecord start_record(CollectiveOp op);
   void finish_record(ExchangeRecord rec, double wall_seconds);
@@ -270,6 +287,8 @@ class Communicator {
   std::string stage_;
   std::function<void(const ExchangeRecord&)> sink_;
   std::function<void()> start_sink_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  std::map<std::string, u64> stage_collective_index_;  ///< fault_point() counters
 };
 
 }  // namespace dibella::comm

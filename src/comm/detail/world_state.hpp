@@ -3,13 +3,19 @@
 /// Internal shared state of a World's ranks. Not part of the public API —
 /// include only from comm/*.cpp.
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "comm/exchange_record.hpp"
+#include "comm/fault.hpp"
 #include "comm/world.hpp"
+#include "util/checksum.hpp"
 #include "util/common.hpp"
 
 namespace dibella::comm::detail {
@@ -18,13 +24,23 @@ namespace dibella::comm::detail {
 /// sender's collective epoch and operation so a consumer can detect
 /// mismatched collective sequences instead of silently mixing payloads, and
 /// chunk-indexed so a single logical exchange may travel as several pieces
-/// (the Exchanger's chunked batches).
+/// (the Exchanger's chunked batches). Exchanger chunks additionally carry a
+/// reliability frame — wire sequence number, payload length, CRC32 — so a
+/// truncated or bit-flipped chunk is detected on receive and replaced from
+/// the sender's replay buffer instead of being consumed as garbage.
 struct MailboxMessage {
   u64 epoch = 0;             ///< sender's collective epoch at deposit time
   CollectiveOp op = CollectiveOp::kBarrier;
   u32 chunk_index = 0;       ///< position within this epoch's chunk train
   u32 chunk_count = 1;       ///< total chunks this (src, dst, epoch) sends
   u8 sender_done = 0;        ///< piggybacked termination bit (Exchanger)
+  u8 framed = 0;             ///< carries the reliability frame (Exchanger path)
+  u64 chunk_seq = 0;         ///< per-(src, dst) wire sequence number
+  u64 payload_bytes = 0;     ///< framed: expected bytes.size()
+  u32 payload_crc = 0;       ///< framed: CRC32 of the pristine payload
+  /// Framed: instant the wire copy becomes visible to the receiver (a delay
+  /// fault pushes this into the future; default epoch == always visible).
+  std::chrono::steady_clock::time_point visible_at{};
   std::vector<u8> bytes;
 };
 
@@ -38,27 +54,102 @@ struct MailboxMessage {
 /// never deadlock against another rank's flush); the receiver consumes the
 /// message matching its own epoch, blocking only until that specific deposit
 /// arrives. Collectives therefore need no whole-world synchronization at
-/// all — the only remaining fence is the explicit barrier() collective.
+/// all — the only fence is the explicit barrier() collective.
 /// Consumption validates the (epoch, op) tag and poisons the world on a
 /// mismatched collective sequence; a consume or fence that waits longer than
 /// the timeout poisons the world as well, so misuse aborts instead of
 /// deadlocking. Mailbox depth is unbounded, but bounded in practice by the
 /// SPMD discipline: blocking collectives drain every epoch they participate
 /// in, and the Exchanger keeps at most one flush in flight.
+///
+/// Exchanger chunks travel through the framed variant of that protocol
+/// (deposit_framed / consume_reliable): the deposit and the sender-side
+/// replay copy are stored under one lock, so a receiver that sees the replay
+/// entry without a consumable wire copy knows the chunk was lost or mangled
+/// in transit — never merely "not sent yet" — and requests a retransmission
+/// (bounded, with exponential backoff). In a fault-free run the replay
+/// buffer is not even populated (it only exists while a FaultPlan is
+/// installed), so the retry counters stay exactly zero and byte-identity of
+/// counters.tsv across schedules is preserved.
 class WorldState {
  public:
+  /// Bounded retransmission: a chunk that cannot be validated after this
+  /// many replay deliveries poisons the world (the transport is broken
+  /// beyond what redundancy can absorb).
+  static constexpr u32 kMaxChunkRetransmits = 4;
+
   WorldState(int ranks, double timeout_seconds)
       : ranks_(ranks),
         timeout_(timeout_seconds),
         mailboxes_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
+        next_seq_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks), 0),
+        replay_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
+        fault_stats_(static_cast<std::size_t>(ranks)),
         records_(static_cast<std::size_t>(ranks)) {}
 
   int ranks() const { return ranks_; }
+
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fault_plan_ = std::move(plan);
+  }
+
+  std::shared_ptr<const FaultPlan> fault_plan() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fault_plan_;
+  }
 
   /// Deposit a message into the src -> dst mailbox. Never blocks.
   void deposit(int src, int dst, MailboxMessage msg) {
     std::lock_guard<std::mutex> lock(mutex_);
     mailbox(src, dst).push_back(std::move(msg));
+    cv_.notify_all();
+  }
+
+  /// Deposit an Exchanger chunk with the reliability frame stamped (wire
+  /// sequence number, payload length, CRC32). When a FaultPlan is installed
+  /// the pristine copy is also stored in the sender's replay buffer — under
+  /// the same lock as the wire deposit, which is what makes the receiver's
+  /// "replay entry but no wire copy" test mean *lost*, never *early*. An
+  /// injected transport `fault` then mangles only the wire copy.
+  void deposit_framed(int src, int dst, MailboxMessage msg,
+                      std::optional<FaultKind> fault) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    msg.framed = 1;
+    msg.chunk_seq = next_seq_[pair_index(src, dst)]++;
+    msg.payload_bytes = msg.bytes.size();
+    msg.payload_crc = util::crc32(msg.bytes.data(), msg.bytes.size());
+    if (fault_plan_) {
+      replay_[pair_index(src, dst)][msg.epoch].push_back(msg);
+    }
+    bool insert = true;
+    if (fault) {
+      switch (*fault) {
+        case FaultKind::kDrop:
+          insert = false;
+          break;
+        case FaultKind::kDuplicate:
+          mailbox(src, dst).push_back(msg);  // extra wire copy
+          break;
+        case FaultKind::kDelay:
+          msg.visible_at = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(50);
+          break;
+        case FaultKind::kTruncate:
+          // An empty payload has nothing to shorten; losing it entirely is
+          // the nearest observable fault.
+          if (msg.bytes.empty()) insert = false;
+          else msg.bytes.resize(msg.bytes.size() / 2);
+          break;
+        case FaultKind::kBitFlip:
+          if (msg.bytes.empty()) insert = false;
+          else msg.bytes[msg.bytes.size() / 2] ^= u8{0x20};
+          break;
+        case FaultKind::kAbort:
+          break;  // abort is not a transport fault; handled at fault_point()
+      }
+    }
+    if (insert) mailbox(src, dst).push_back(std::move(msg));
     cv_.notify_all();
   }
 
@@ -77,7 +168,7 @@ class WorldState {
       for (auto it = box.begin(); it != box.end(); ++it) {
         if (it->epoch != epoch) continue;
         if (it->op != op) {
-          poison_locked(std::make_exception_ptr(Error(
+          poison_locked(std::make_exception_ptr(CommFailure(
               std::string("collective sequence mismatch: expected ") +
               collective_op_name(op) + " (epoch " + std::to_string(epoch) + "), got " +
               collective_op_name(it->op) + " (epoch " + std::to_string(it->epoch) + ")")));
@@ -93,11 +184,134 @@ class WorldState {
                              [&] { return box.size() != seen || poisoned_; });
       if (poisoned_) throw WorldPoisoned();
       if (!ok) {
-        poison_locked(std::make_exception_ptr(Error(
+        poison_locked(std::make_exception_ptr(CommFailure(
             "exchange timeout: ranks executed mismatched collective sequences")));
         throw WorldPoisoned();
       }
     }
+  }
+
+  /// Consume a framed Exchanger chunk, validating its reliability frame.
+  /// A wire copy failing length/CRC validation is discarded (counted as a
+  /// corrupt chunk); a chunk whose replay entry exists but which has no
+  /// consumable wire copy — dropped, delayed past patience, or just
+  /// discarded as corrupt — is retransmitted from the sender's pristine
+  /// replay copy (counted as a retry; bounded, exponential backoff).
+  /// Successful consumption purges every other wire copy of the same chunk
+  /// (duplicate deliveries, late delayed originals) so redelivery is
+  /// idempotent.
+  MailboxMessage consume_reliable(int src, int dst, u64 epoch, u32 chunk_index) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& box = mailbox(src, dst);
+    u32 attempts = 0;
+    while (true) {
+      if (poisoned_) throw WorldPoisoned();
+      const auto now = std::chrono::steady_clock::now();
+      bool rescan = false;
+      for (auto it = box.begin(); it != box.end(); ++it) {
+        if (it->epoch != epoch) continue;
+        if (it->op != CollectiveOp::kExchange) {
+          poison_locked(std::make_exception_ptr(CommFailure(
+              std::string("collective sequence mismatch: expected exchange (epoch ") +
+              std::to_string(epoch) + "), got " + collective_op_name(it->op) +
+              " (epoch " + std::to_string(it->epoch) + ")")));
+          throw WorldPoisoned();
+        }
+        if (it->chunk_index != chunk_index) continue;
+        if (it->visible_at > now) continue;  // delayed on the wire
+        if (it->bytes.size() != it->payload_bytes ||
+            util::crc32(it->bytes.data(), it->bytes.size()) != it->payload_crc) {
+          box.erase(it);
+          ++fault_stats_[static_cast<std::size_t>(dst)].corrupt_chunks;
+          rescan = true;  // fall through to the replay path
+          break;
+        }
+        MailboxMessage msg = std::move(*it);
+        box.erase(it);
+        // Idempotent receive: purge every other wire copy of this chunk
+        // (duplicate deliveries, late-arriving delayed originals).
+        for (auto jt = box.begin(); jt != box.end();) {
+          if (jt->epoch == epoch && jt->op == CollectiveOp::kExchange &&
+              jt->chunk_index == chunk_index) {
+            jt = box.erase(jt);
+            ++fault_stats_[static_cast<std::size_t>(dst)].redeliveries;
+          } else {
+            ++jt;
+          }
+        }
+        return msg;
+      }
+      if (rescan) continue;
+      // No valid visible wire copy. If the sender's replay buffer holds the
+      // pristine chunk, the wire copy was lost or mangled (the replay entry
+      // and the wire deposit are stored atomically, so "replayed but not
+      // delivered" can never mean "not sent yet") — retransmit it.
+      const MailboxMessage* pristine = find_replay(src, dst, epoch, chunk_index);
+      if (pristine != nullptr) {
+        if (attempts >= kMaxChunkRetransmits) {
+          poison_locked(std::make_exception_ptr(CommFailure(
+              "exchange chunk retransmission exhausted: chunk " +
+              std::to_string(chunk_index) + " of epoch " + std::to_string(epoch) +
+              " (" + std::to_string(src) + " -> " + std::to_string(dst) +
+              ") failed validation " + std::to_string(kMaxChunkRetransmits) +
+              " times")));
+          throw WorldPoisoned();
+        }
+        MailboxMessage copy = *pristine;
+        copy.chunk_seq = next_seq_[pair_index(src, dst)]++;
+        copy.visible_at = {};
+        box.push_back(std::move(copy));
+        ++fault_stats_[static_cast<std::size_t>(dst)].retries;
+        ++attempts;
+        if (attempts > 1) {
+          // Exponential backoff between repeated retransmissions.
+          cv_.wait_for(lock, std::chrono::milliseconds(1LL << attempts));
+          if (poisoned_) throw WorldPoisoned();
+        }
+        continue;
+      }
+      std::size_t seen = box.size();
+      bool ok = cv_.wait_for(lock, std::chrono::duration<double>(timeout_),
+                             [&] { return box.size() != seen || poisoned_; });
+      if (poisoned_) throw WorldPoisoned();
+      if (!ok) {
+        poison_locked(std::make_exception_ptr(CommFailure(
+            "exchange timeout: ranks executed mismatched collective sequences")));
+        throw WorldPoisoned();
+      }
+    }
+  }
+
+  /// Called by receiver `dst` after a full Exchanger wait(): the batch of
+  /// `epoch` is consumed, so drop its replay entries and purge any framed
+  /// stragglers of that epoch still sitting in the mailboxes (counted as
+  /// discarded redeliveries).
+  void ack_exchange_epoch(int dst, u64 epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int src = 0; src < ranks_; ++src) {
+      replay_[pair_index(src, dst)].erase(epoch);
+      auto& box = mailbox(src, dst);
+      for (auto it = box.begin(); it != box.end();) {
+        if (it->framed && it->epoch == epoch) {
+          it = box.erase(it);
+          ++fault_stats_[static_cast<std::size_t>(dst)].redeliveries;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  /// Self-healing-exchange tallies summed over receiving ranks.
+  CommFaultStats sum_fault_stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CommFaultStats total;
+    for (const auto& s : fault_stats_) {
+      total.retries += s.retries;
+      total.redeliveries += s.redeliveries;
+      total.corrupt_chunks += s.corrupt_chunks;
+    }
+    return total;
   }
 
   /// The single phase fence: synchronize all ranks, verifying they agree on
@@ -108,7 +322,7 @@ class WorldState {
     if (arrived_ == 0) {
       fence_epoch_ = epoch;
     } else if (epoch != fence_epoch_) {
-      poison_locked(std::make_exception_ptr(Error(
+      poison_locked(std::make_exception_ptr(CommFailure(
           "collective sequence mismatch: ranks disagree on barrier epoch (" +
           std::to_string(epoch) + " vs " + std::to_string(fence_epoch_) + ")")));
       throw WorldPoisoned();
@@ -126,8 +340,8 @@ class WorldState {
     if (!ok) {
       // A rank never arrived: collective sequence mismatch or runaway
       // compute. Poison so everything unwinds instead of hanging.
-      poison_locked(std::make_exception_ptr(
-          Error("barrier timeout: ranks executed mismatched collective sequences")));
+      poison_locked(std::make_exception_ptr(CommFailure(
+          "barrier timeout: ranks executed mismatched collective sequences")));
       throw WorldPoisoned();
     }
   }
@@ -148,14 +362,17 @@ class WorldState {
     return first_error_;
   }
 
-  /// Reset between SPMD regions: clear poison and drop any messages a failed
-  /// run left behind (a clean run always drains every mailbox).
+  /// Reset between SPMD regions: clear poison, drop any messages and replay
+  /// copies a failed run left behind (a clean run always drains every
+  /// mailbox), and zero the fault tallies.
   void reset_poison() {
     std::lock_guard<std::mutex> lock(mutex_);
     poisoned_ = false;
     first_error_ = nullptr;
     arrived_ = 0;
     for (auto& box : mailboxes_) box.clear();
+    for (auto& r : replay_) r.clear();
+    for (auto& s : fault_stats_) s = CommFaultStats{};
   }
 
   /// Append a completed exchange record for `rank`, assigning the rank-local
@@ -174,9 +391,23 @@ class WorldState {
   }
 
  private:
+  std::size_t pair_index(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
+           static_cast<std::size_t>(dst);
+  }
+
   std::deque<MailboxMessage>& mailbox(int src, int dst) {
-    return mailboxes_[static_cast<std::size_t>(src) * static_cast<std::size_t>(ranks_) +
-                      static_cast<std::size_t>(dst)];
+    return mailboxes_[pair_index(src, dst)];
+  }
+
+  const MailboxMessage* find_replay(int src, int dst, u64 epoch, u32 chunk_index) const {
+    const auto& per_epoch = replay_[pair_index(src, dst)];
+    auto it = per_epoch.find(epoch);
+    if (it == per_epoch.end()) return nullptr;
+    for (const MailboxMessage& m : it->second) {
+      if (m.chunk_index == chunk_index) return &m;
+    }
+    return nullptr;
   }
 
   void poison_locked(std::exception_ptr error) {
@@ -190,6 +421,11 @@ class WorldState {
   const int ranks_;
   const double timeout_;
   std::vector<std::deque<MailboxMessage>> mailboxes_;
+  std::vector<u64> next_seq_;  ///< per (src, dst) wire sequence counters
+  /// Per (src, dst): pristine framed chunks keyed by epoch, kept until the
+  /// receiver acks the epoch. Populated only while a FaultPlan is installed.
+  std::vector<std::map<u64, std::vector<MailboxMessage>>> replay_;
+  std::vector<CommFaultStats> fault_stats_;  ///< per receiving rank
   std::vector<std::vector<ExchangeRecord>> records_;  // written by owner rank only
 
   mutable std::mutex mutex_;
@@ -199,6 +435,7 @@ class WorldState {
   u64 fence_epoch_ = 0;  ///< epoch claimed by the fence's first arriver
   bool poisoned_ = false;
   std::exception_ptr first_error_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
 };
 
 }  // namespace dibella::comm::detail

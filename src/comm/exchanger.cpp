@@ -1,8 +1,10 @@
 #include "comm/exchanger.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "comm/detail/world_state.hpp"
+#include "comm/fault.hpp"
 
 namespace dibella::comm {
 
@@ -32,6 +34,15 @@ void Exchanger::post_bytes(int dst, const void* data, std::size_t n) {
 void Exchanger::flush_async(bool done) {
   DIBELLA_CHECK(!in_flight_, "Exchanger::flush_async: previous flush not waited");
   const int P = comm_.size();
+  // Announce the flush as a collective fault point; an injected transport
+  // fault for this (stage, index, rank) mangles exactly one wire chunk — the
+  // first chunk of the payload to the next-neighbour destination.
+  const u64 fault_index = comm_.fault_point();
+  const std::optional<FaultKind> fault =
+      comm_.fault_plan_
+          ? comm_.fault_plan_->transport_fault(comm_.stage(), fault_index, comm_.rank())
+          : std::nullopt;
+  const int fault_dst = (comm_.rank() + 1) % P;
   flight_epoch_ = comm_.epoch_;
   for (int d = 0; d < P; ++d) {
     auto& buf = pack_[static_cast<std::size_t>(d)];
@@ -55,7 +66,9 @@ void Exchanger::flush_async(bool done) {
         msg.bytes.assign(buf.begin() + static_cast<std::ptrdiff_t>(begin),
                          buf.begin() + static_cast<std::ptrdiff_t>(end));
       }
-      comm_.state_.deposit(comm_.rank(), d, std::move(msg));
+      const bool mangle = fault && d == fault_dst && c == 0;
+      comm_.state_.deposit_framed(comm_.rank(), d, std::move(msg),
+                                  mangle ? fault : std::nullopt);
     }
     buf.clear();
   }
@@ -76,17 +89,17 @@ RecvBatch Exchanger::wait() {
   batch.src_offsets.assign(static_cast<std::size_t>(P) + 1, 0);
   batch.done_flags.assign(static_cast<std::size_t>(P), 0);
   for (int s = 0; s < P; ++s) {
-    auto first = comm_.state_.consume(s, comm_.rank(), flight_epoch_,
-                                      CollectiveOp::kExchange, /*chunk_index=*/0);
+    auto first = comm_.state_.consume_reliable(s, comm_.rank(), flight_epoch_,
+                                               /*chunk_index=*/0);
     batch.done_flags[static_cast<std::size_t>(s)] = first.sender_done;
     batch.bytes.insert(batch.bytes.end(), first.bytes.begin(), first.bytes.end());
     for (u32 c = 1; c < first.chunk_count; ++c) {
-      auto next =
-          comm_.state_.consume(s, comm_.rank(), flight_epoch_, CollectiveOp::kExchange, c);
+      auto next = comm_.state_.consume_reliable(s, comm_.rank(), flight_epoch_, c);
       batch.bytes.insert(batch.bytes.end(), next.bytes.begin(), next.bytes.end());
     }
     batch.src_offsets[static_cast<std::size_t>(s) + 1] = batch.bytes.size();
   }
+  comm_.state_.ack_exchange_epoch(comm_.rank(), flight_epoch_);
   in_flight_ = false;
 
   ExchangeRecord rec = comm_.start_record(CollectiveOp::kExchange);

@@ -30,15 +30,36 @@
 namespace dibella::comm {
 
 class Communicator;
+class FaultPlan;
 namespace detail {
 class WorldState;
 }
 
+/// Base of every comm-substrate failure that poisons the World: collective
+/// timeouts, mismatched collective sequences, exhausted chunk
+/// retransmissions, and injected rank aborts (RankFailure, fault.hpp). The
+/// driver maps this family to its own exit code (poisoned-world abort)
+/// distinct from ordinary runtime errors.
+class CommFailure : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Thrown inside sibling ranks when some rank failed; World::run swallows
 /// these and rethrows the originating exception.
-class WorldPoisoned : public Error {
+class WorldPoisoned : public CommFailure {
  public:
-  WorldPoisoned() : Error("world poisoned by failure on another rank") {}
+  WorldPoisoned() : CommFailure("world poisoned by failure on another rank") {}
+};
+
+/// Per-receiver tallies of the self-healing exchange protocol (summed over
+/// ranks by World::comm_fault_stats): chunks redelivered from the sender's
+/// replay buffer after a drop/corruption, duplicate deliveries discarded by
+/// the idempotent receive path, and CRC/length validation failures.
+struct CommFaultStats {
+  u64 retries = 0;          ///< replay-buffer retransmissions requested
+  u64 redeliveries = 0;     ///< duplicate chunk copies discarded
+  u64 corrupt_chunks = 0;   ///< chunks failing CRC32/length validation
 };
 
 /// A fixed-size group of SPMD ranks.
@@ -69,8 +90,25 @@ class World {
   /// Drop accumulated exchange records (e.g. between benchmark repetitions).
   void clear_exchange_records();
 
+  /// Install a deterministic fault plan (fault.hpp): injected transport
+  /// faults and rank aborts fire during subsequent run() calls. Faults are
+  /// one-shot across the plan's lifetime, so a degraded re-run over the same
+  /// World does not re-trigger them. Pass nullptr to clear.
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan);
+
+  /// Self-healing-exchange tallies summed over ranks, for the run(s) since
+  /// the last run() began (stats reset when a run starts). All zero in a
+  /// fault-free run.
+  CommFaultStats comm_fault_stats() const;
+
+  /// Ranks of the most recent run() that unwound with WorldPoisoned after a
+  /// sibling's failure (P - 1 when one rank aborted and everyone else was
+  /// poisoned; 0 for a clean run).
+  int last_poisoned_siblings() const { return last_poisoned_siblings_; }
+
  private:
   int ranks_;
+  int last_poisoned_siblings_ = 0;
   std::shared_ptr<detail::WorldState> state_;
 };
 

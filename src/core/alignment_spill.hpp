@@ -2,15 +2,23 @@
 /// \file alignment_spill.hpp
 /// External sort/merge of alignment records — the LAsort/LAmerge analog of
 /// the out-of-core pipeline. Each block round radix-sorts its records by
-/// (rid_a, rid_b) and spills them as one raw binary run file; the final PAF,
-/// stage-5 classification, and eval oracle then consume a k-way merge of the
-/// runs instead of a resident vector.
+/// (rid_a, rid_b) and spills them as one framed binary run file; the final
+/// PAF, stage-5 classification, and eval oracle then consume a k-way merge
+/// of the runs instead of a resident vector.
+///
+/// Run file framing: a magic word and payload length up front, the raw
+/// trivially-copyable records, and a trailing CRC32 of the record bytes.
+/// SpillMergeSource validates the frame as it streams, so a truncated or
+/// bit-flipped run file fails with a clear error naming the file instead of
+/// feeding garbage records into the merge. The same format carries the
+/// stage-4 checkpoint payloads (core/checkpoint.hpp).
 ///
 /// File lifecycle: one directory per pipeline run (`dibella-spill-<pid>-<seq>`
 /// under the configured spill dir or the system temp dir), deterministic run
 /// names `align.r<rank>.<run>.bin` inside it, everything removed when the
-/// spill set is destroyed. Records are trivially-copyable structs written
-/// and read by the same process, so raw memcpy framing is safe.
+/// spill set is destroyed. Creating a spill set also reclaims orphaned
+/// `dibella-spill-*` directories whose owning process is gone (a crashed or
+/// killed run cannot clean up after itself).
 ///
 /// Merge totality: every (rid_a, rid_b) pair is produced by exactly one rank
 /// in exactly one block round (the pair's task owner and the remote read's
@@ -24,15 +32,35 @@
 #include <vector>
 
 #include "align/record_stream.hpp"
+#include "util/common.hpp"
 
 namespace dibella::core {
+
+/// Magic word opening every spill run / checkpoint record file ("DBSP").
+inline constexpr u32 kSpillRunMagic = 0x44425350u;
+
+/// Write `sorted` records to `path` in the framed run format (magic, payload
+/// length, records, CRC32). Returns the payload byte count.
+u64 write_alignment_run(const std::string& path,
+                        const std::vector<align::AlignmentRecord>& sorted);
+
+/// Stream `source` to `path` in the framed run format without materializing
+/// the records (the header is patched once the record count is known).
+/// Returns the payload byte count.
+u64 write_alignment_run(const std::string& path, align::RecordSource& source);
+
+/// Delete `dibella-spill-<pid>-<seq>` directories under `parent_dir` whose
+/// owning process no longer exists. Returns the number of directories
+/// reclaimed. Best-effort: unreadable directories are skipped.
+std::size_t reclaim_orphan_spill_dirs(const std::string& parent_dir);
 
 /// Owns a run directory of sorted alignment-record spill files.
 /// add_run is thread-safe (ranks are threads); everything else is intended
 /// for the single-threaded merge phase after World::run returns.
 class AlignmentSpillSet {
  public:
-  /// Create the run directory under `dir_hint` (empty = system temp dir).
+  /// Create the run directory under `dir_hint` (empty = system temp dir),
+  /// reclaiming any orphaned spill directories of dead processes found there.
   explicit AlignmentSpillSet(const std::string& dir_hint = "");
   ~AlignmentSpillSet();
 
@@ -66,6 +94,9 @@ class AlignmentSpillSet {
 };
 
 /// K-way merge of sorted run files by (rid_a, rid_b), buffered reads.
+/// Validates each run's frame while streaming: a bad magic word fails at
+/// open; a truncated payload or CRC mismatch fails at the point it is
+/// detected, naming the file.
 class SpillMergeSource final : public align::RecordSource {
  public:
   explicit SpillMergeSource(const std::vector<std::string>& run_paths,
@@ -75,8 +106,11 @@ class SpillMergeSource final : public align::RecordSource {
  private:
   struct Run {
     std::ifstream in;
+    std::string path;
     std::vector<align::AlignmentRecord> buffer;
     std::size_t pos = 0;
+    u64 remaining_bytes = 0;  ///< payload bytes not yet read
+    u32 crc = 0;              ///< running CRC32 of payload bytes read so far
     bool eof = false;
     bool refill(std::size_t buffer_records);
     const align::AlignmentRecord& head() const { return buffer[pos]; }

@@ -6,6 +6,7 @@
 /// most paper figures).
 
 #include <string>
+#include <vector>
 
 #include "align/scoring.hpp"
 #include "overlap/seed_filter.hpp"
@@ -60,6 +61,21 @@ struct PipelineConfig {
   i32 min_overlap_score = 0;    ///< drop records below this before the graph
   u32 sgraph_fuzz = sgraph::kDefaultFuzz;  ///< end tolerance (bp) for classification
   u64 batch_graph_bytes = 1u << 20;  ///< stage-5 bytes per destination per batch
+
+  // --- fault tolerance (src/core/checkpoint.hpp)
+  /// Directory for stage checkpoints (empty = checkpointing off). Each
+  /// completed stage persists per-rank payloads + a manifest completion line.
+  std::string checkpoint_dir;
+  /// Resume from checkpoint_dir's last complete stage instead of starting
+  /// fresh. Requires a checkpoint written by a matching run (same reads,
+  /// rank count, and output-determining parameters). The resumed run's
+  /// PAF/GFA/eval outputs are byte-identical to an uninterrupted run's.
+  bool resume = false;
+  /// Ranks whose shard state is dropped on resume (graceful degradation
+  /// after a rank loss): these ranks restore nothing from the checkpoint and
+  /// rejoin with empty state, so their pairs are honestly missing from the
+  /// output. Only meaningful with resume.
+  std::vector<int> degraded_ranks;
 
   // --- ground-truth evaluation (src/eval/; needs a TruthTable at run time)
   /// Score the run against ground truth: overlap recall/precision/F1 plus

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "bella/model.hpp"
+#include "comm/exchanger.hpp"
+#include "core/checkpoint.hpp"
 #include "core/stage_context.hpp"
 #include "io/read_block.hpp"
 #include "util/radix_sort.hpp"
@@ -47,6 +49,79 @@ void sort_records(std::vector<align::AlignmentRecord>& records) {
                        [](const align::AlignmentRecord& r) { return r.rid_a; });
 }
 
+// --- checkpoint payload codecs (framed with comm::ByteReader on the way
+// back). Traversal order of the table does not matter: restores rebuild a
+// table whose slot layout may differ, and downstream stages canonicalize.
+
+std::vector<u8> serialize_table_keys(const dht::LocalKmerTable& table) {
+  ByteWriter w;
+  w.write<u64>(table.size());
+  table.for_each(
+      [&](const kmer::Kmer& key, u32, std::vector<dht::ReadOccurrence>&) { w.write(key); });
+  return std::move(w.bytes);
+}
+
+void restore_table_keys(dht::LocalKmerTable& table, const std::vector<u8>& bytes) {
+  comm::ByteReader r(bytes);
+  const u64 n = r.read<u64>();
+  for (u64 i = 0; i < n; ++i) table.insert_key(r.read<kmer::Kmer>());
+  DIBELLA_CHECK(r.empty(), "checkpoint: trailing bytes in bloom payload");
+}
+
+std::vector<u8> serialize_table_full(const dht::LocalKmerTable& table) {
+  ByteWriter w;
+  w.write<u64>(table.size());
+  table.for_each(
+      [&](const kmer::Kmer& key, u32 count, std::vector<dht::ReadOccurrence>& occs) {
+        w.write(key);
+        w.write(count);
+        w.write<u32>(static_cast<u32>(occs.size()));
+        w.write_array(occs.data(), occs.size());
+      });
+  return std::move(w.bytes);
+}
+
+void restore_table_full(dht::LocalKmerTable& table, const std::vector<u8>& bytes) {
+  comm::ByteReader r(bytes);
+  const u64 n = r.read<u64>();
+  std::vector<dht::ReadOccurrence> occs;
+  for (u64 i = 0; i < n; ++i) {
+    const auto key = r.read<kmer::Kmer>();
+    const u32 count = r.read<u32>();
+    const u32 n_occ = r.read<u32>();
+    occs.clear();
+    r.read_into(occs, n_occ);
+    table.restore_key(key, count, occs.data(), n_occ);
+  }
+  DIBELLA_CHECK(r.empty(), "checkpoint: trailing bytes in ht payload");
+}
+
+std::vector<u8> serialize_tasks(const std::vector<overlap::AlignmentTask>& tasks) {
+  ByteWriter w;
+  w.write<u64>(tasks.size());
+  for (const overlap::AlignmentTask& t : tasks) {
+    w.write(t.rid_a);
+    w.write(t.rid_b);
+    w.write<u32>(static_cast<u32>(t.seeds.size()));
+    w.write_array(t.seeds.data(), t.seeds.size());
+  }
+  return std::move(w.bytes);
+}
+
+std::vector<overlap::AlignmentTask> restore_tasks(const std::vector<u8>& bytes) {
+  comm::ByteReader r(bytes);
+  std::vector<overlap::AlignmentTask> tasks(static_cast<std::size_t>(r.read<u64>()));
+  for (overlap::AlignmentTask& t : tasks) {
+    t.rid_a = r.read<u64>();
+    t.rid_b = r.read<u64>();
+    const u32 n_seeds = r.read<u32>();
+    t.seeds.reserve(n_seeds);
+    r.read_into(t.seeds, n_seeds);
+  }
+  DIBELLA_CHECK(r.empty(), "checkpoint: trailing bytes in overlap payload");
+  return tasks;
+}
+
 }  // namespace
 
 PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& reads,
@@ -66,6 +141,28 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   for (const auto& r : reads) lens.push_back(r.seq.size());
   io::ReadPartition partition(lens, P);
 
+  // Checkpoint/restart setup. A fresh run with a checkpoint dir writes the
+  // manifest header now; a --resume run validates the fingerprint and learns
+  // which stages it may skip.
+  DIBELLA_CHECK(!config.resume || !config.checkpoint_dir.empty(),
+                "config.resume requires config.checkpoint_dir");
+  DIBELLA_CHECK(config.degraded_ranks.empty() || config.resume,
+                "config.degraded_ranks requires config.resume");
+  for (int r : config.degraded_ranks) {
+    DIBELLA_CHECK(r >= 0 && r < P, "degraded rank out of range");
+  }
+  std::shared_ptr<CheckpointSet> ckpt;
+  CheckpointStage resume_from = CheckpointStage::kNone;
+  if (!config.checkpoint_dir.empty()) {
+    const u32 fp = checkpoint_fingerprint(reads, config, P);
+    if (config.resume) {
+      ckpt = CheckpointSet::open(config.checkpoint_dir, fp, P);
+      resume_from = ckpt->last_complete();
+    } else {
+      ckpt = CheckpointSet::start(config.checkpoint_dir, fp, P);
+    }
+  }
+
   // Per-rank result slots (each rank writes only its own index).
   std::vector<netsim::RankTrace> traces(static_cast<std::size_t>(P));
   std::vector<bloom::BloomStageResult> bloom_res(static_cast<std::size_t>(P));
@@ -79,9 +176,13 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   std::vector<io::ReadStoreMemoryStats> mem_res(static_cast<std::size_t>(P));
 
   // Block mode spills each round's sorted records instead of keeping them
-  // resident; ranks (threads) append runs concurrently.
+  // resident; ranks (threads) append runs concurrently. A resume past the
+  // alignment stage loads the checkpointed records resident instead — no
+  // block rounds run, so no spill set is needed.
   std::shared_ptr<AlignmentSpillSet> spill;
-  if (B > 1) spill = std::make_shared<AlignmentSpillSet>(config.spill_dir);
+  if (B > 1 && resume_from < CheckpointStage::kAlignment) {
+    spill = std::make_shared<AlignmentSpillSet>(config.spill_dir);
+  }
 
   world.clear_exchange_records();
   world.run([&](comm::Communicator& comm) {
@@ -95,34 +196,78 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     io::ReadStore store(reads, partition, comm.rank(), block_cfg);
     if (truth) store.attach_truth(truth);
 
+    // Graceful degradation: a degraded rank restores nothing from the
+    // checkpoint — its shard's state is dropped and it rejoins empty.
+    const bool degraded_me =
+        std::find(config.degraded_ranks.begin(), config.degraded_ranks.end(),
+                  comm.rank()) != config.degraded_ranks.end();
+
+    // Persist a completed stage: every rank writes its payload, a barrier
+    // makes them all durable, then rank 0 alone appends the manifest line.
+    // Any abort past the barrier therefore sees the stage as complete, and
+    // any abort before it sees the stage as absent — never half a set.
+    const auto checkpoint_stage = [&](CheckpointStage stage, auto&& write_payload) {
+      if (!ckpt) return;
+      write_payload();
+      comm.barrier();
+      if (comm.rank() == 0) ckpt->mark_complete(stage);
+    };
+
     // Stage 1: distributed Bloom filter; initializes candidate keys.
     dht::LocalKmerTable table(1024, max_count + 1);
-    bloom::BloomStageConfig bcfg;
-    bcfg.k = config.k;
-    bcfg.batch_kmers = config.batch_kmers;
-    bcfg.bloom_fpr = config.bloom_fpr;
-    bcfg.assumed_error_rate = config.assumed_error_rate;
-    bcfg.overlap_comm = config.overlap_comm;
-    bcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-    bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
+    if (resume_from < CheckpointStage::kBloom) {
+      bloom::BloomStageConfig bcfg;
+      bcfg.k = config.k;
+      bcfg.batch_kmers = config.batch_kmers;
+      bcfg.bloom_fpr = config.bloom_fpr;
+      bcfg.assumed_error_rate = config.assumed_error_rate;
+      bcfg.overlap_comm = config.overlap_comm;
+      bcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
+      checkpoint_stage(CheckpointStage::kBloom, [&] {
+        ckpt->write_payload(CheckpointStage::kBloom, comm.rank(),
+                            serialize_table_keys(table));
+      });
+    } else if (resume_from == CheckpointStage::kBloom && !degraded_me) {
+      restore_table_keys(table,
+                         ckpt->read_payload(CheckpointStage::kBloom, comm.rank()));
+    }
 
     // Stage 2: distributed hash table with occurrence metadata + purge.
-    dht::HashTableStageConfig hcfg;
-    hcfg.k = config.k;
-    hcfg.batch_instances = config.batch_kmers;
-    hcfg.min_count = config.min_kmer_count;
-    hcfg.max_count = max_count;
-    hcfg.overlap_comm = config.overlap_comm;
-    hcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-    ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
+    if (resume_from < CheckpointStage::kHashTable) {
+      dht::HashTableStageConfig hcfg;
+      hcfg.k = config.k;
+      hcfg.batch_instances = config.batch_kmers;
+      hcfg.min_count = config.min_kmer_count;
+      hcfg.max_count = max_count;
+      hcfg.overlap_comm = config.overlap_comm;
+      hcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
+      checkpoint_stage(CheckpointStage::kHashTable, [&] {
+        ckpt->write_payload(CheckpointStage::kHashTable, comm.rank(),
+                            serialize_table_full(table));
+      });
+    } else if (resume_from == CheckpointStage::kHashTable && !degraded_me) {
+      restore_table_full(table,
+                         ckpt->read_payload(CheckpointStage::kHashTable, comm.rank()));
+    }
 
     // Stage 3: overlap detection (Algorithm 1) + task exchange.
-    overlap::OverlapStageConfig ocfg;
-    ocfg.seed_filter = config.seed_filter;
-    ocfg.overlap_comm = config.overlap_comm;
-    ocfg.batch_tasks = config.batch_overlap_tasks;
-    ocfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-    auto tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
+    std::vector<overlap::AlignmentTask> tasks;
+    if (resume_from < CheckpointStage::kOverlap) {
+      overlap::OverlapStageConfig ocfg;
+      ocfg.seed_filter = config.seed_filter;
+      ocfg.overlap_comm = config.overlap_comm;
+      ocfg.batch_tasks = config.batch_overlap_tasks;
+      ocfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
+      checkpoint_stage(CheckpointStage::kOverlap, [&] {
+        ckpt->write_payload(CheckpointStage::kOverlap, comm.rank(),
+                            serialize_tasks(tasks));
+      });
+    } else if (resume_from == CheckpointStage::kOverlap && !degraded_me) {
+      tasks = restore_tasks(ckpt->read_payload(CheckpointStage::kOverlap, comm.rank()));
+    }
 
     // Stage 4a+4b: read exchange then embarrassingly parallel x-drop
     // alignment. In-memory mode runs them once over all tasks; block mode
@@ -134,43 +279,69 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     // in-memory path exactly. Every rank runs exactly B rounds (the
     // exchange is collective), and B == 1 degenerates to one round over the
     // consolidated task order, i.e. today's behavior.
-    align::ReadExchangeConfig rcfg;
-    rcfg.overlap_comm = config.overlap_comm;
-    rcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-    align::AlignmentStageConfig acfg;
-    acfg.scoring = config.scoring;
-    acfg.xdrop = config.xdrop;
-    acfg.k = config.k;
-    acfg.min_score = config.min_report_score;
-    if (B == 1) {
-      rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
-      records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
-    } else {
-      std::vector<std::vector<overlap::AlignmentTask>> rounds(B);
-      for (auto& t : tasks) {
-        const u64 round_gid = !store.is_local(t.rid_a) ? t.rid_a : t.rid_b;
-        rounds[io::block_of(partition, B, round_gid)].push_back(std::move(t));
+    if (resume_from < CheckpointStage::kAlignment) {
+      align::ReadExchangeConfig rcfg;
+      rcfg.overlap_comm = config.overlap_comm;
+      rcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      align::AlignmentStageConfig acfg;
+      acfg.scoring = config.scoring;
+      acfg.xdrop = config.xdrop;
+      acfg.k = config.k;
+      acfg.min_score = config.min_report_score;
+      if (B == 1) {
+        rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
+        records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
+      } else {
+        std::vector<std::vector<overlap::AlignmentTask>> rounds(B);
+        for (auto& t : tasks) {
+          const u64 round_gid = !store.is_local(t.rid_a) ? t.rid_a : t.rid_b;
+          rounds[io::block_of(partition, B, round_gid)].push_back(std::move(t));
+        }
+        tasks.clear();
+        tasks.shrink_to_fit();
+        for (u32 r = 0; r < B; ++r) {
+          const auto rx = align::run_read_exchange(ctx, store, rounds[r], rcfg);
+          rx_res[rank].reads_requested += rx.reads_requested;
+          rx_res[rank].reads_served += rx.reads_served;
+          rx_res[rank].bytes_received += rx.bytes_received;
+          align::AlignmentStageResult al;
+          auto round_records = align::run_alignment_stage(ctx, store, rounds[r], acfg, &al);
+          al_res[rank].pairs_aligned += al.pairs_aligned;
+          al_res[rank].alignments_computed += al.alignments_computed;
+          al_res[rank].dp_cells += al.dp_cells;
+          al_res[rank].records_kept += al.records_kept;
+          al_res[rank].sw_band_fallbacks += al.sw_band_fallbacks;
+          sort_records(round_records);
+          spill->add_run(comm.rank(), round_records);
+          store.clear_remote_cache();
+          rounds[r].clear();
+          rounds[r].shrink_to_fit();
+        }
       }
-      tasks.clear();
-      tasks.shrink_to_fit();
-      for (u32 r = 0; r < B; ++r) {
-        const auto rx = align::run_read_exchange(ctx, store, rounds[r], rcfg);
-        rx_res[rank].reads_requested += rx.reads_requested;
-        rx_res[rank].reads_served += rx.reads_served;
-        rx_res[rank].bytes_received += rx.bytes_received;
-        align::AlignmentStageResult al;
-        auto round_records = align::run_alignment_stage(ctx, store, rounds[r], acfg, &al);
-        al_res[rank].pairs_aligned += al.pairs_aligned;
-        al_res[rank].alignments_computed += al.alignments_computed;
-        al_res[rank].dp_cells += al.dp_cells;
-        al_res[rank].records_kept += al.records_kept;
-        al_res[rank].sw_band_fallbacks += al.sw_band_fallbacks;
-        sort_records(round_records);
-        spill->add_run(comm.rank(), round_records);
-        store.clear_remote_cache();
-        rounds[r].clear();
-        rounds[r].shrink_to_fit();
-      }
+      // The stage-4 checkpoint is this rank's records, sorted, in the framed
+      // spill-run format (block mode merges its runs while streaming — no
+      // resident copy). Keys are globally unique, so the restored sorted
+      // order merges into the same global sequence production order would.
+      checkpoint_stage(CheckpointStage::kAlignment, [&] {
+        const std::string path =
+            ckpt->payload_path(CheckpointStage::kAlignment, comm.rank());
+        if (B == 1) {
+          std::vector<align::AlignmentRecord> sorted = records[rank];
+          sort_records(sorted);
+          write_alignment_run(path, sorted);
+        } else {
+          SpillMergeSource merged(spill->rank_runs(comm.rank()));
+          write_alignment_run(path, merged);
+        }
+      });
+    } else if (!degraded_me) {
+      // Resume past alignment: load this rank's checkpointed records
+      // resident and run everything downstream in-memory (no spill set).
+      SpillMergeSource source(std::vector<std::string>{
+          ckpt->payload_path(CheckpointStage::kAlignment, comm.rank())});
+      align::AlignmentRecord rec;
+      while (source.next(rec)) records[rank].push_back(rec);
+      al_res[rank].records_kept = records[rank].size();
     }
 
     // Stage 5 (optional): distributed string graph — classification, edge
@@ -184,7 +355,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       scfg.overlap_comm = config.overlap_comm;
       scfg.batch_bytes = config.batch_graph_bytes;
       scfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-      if (B == 1) {
+      if (!spill) {
         sg_out[rank] = sgraph::run_string_graph_stage(ctx, store, records[rank], scfg,
                                                       &sg_res[rank]);
       } else {
@@ -205,7 +376,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   out.exchange_log = world.exchange_records();
   out.spill = spill;
 
-  if (B == 1) {
+  if (!spill) {
     std::size_t total_records = 0;
     for (const auto& v : records) total_records += v.size();
     out.alignments.reserve(total_records);
@@ -254,6 +425,10 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     c.spill_bytes = spill->spill_bytes();
     c.spill_runs = spill->run_count();
   }
+  const comm::CommFaultStats fault_stats = world.comm_fault_stats();
+  c.comm_chunk_retries = fault_stats.retries;
+  c.comm_chunk_redeliveries = fault_stats.redeliveries;
+  c.comm_corrupt_chunks = fault_stats.corrupt_chunks;
   if (config.stage5) {
     out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
     c.sg_unitigs = out.string_graph.layout.unitigs.size();
@@ -270,6 +445,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     out.eval = eval::evaluate(*truth, *source,
                               config.stage5 ? &out.string_graph.layout : nullptr,
                               ecfg);
+    out.eval.degraded_ranks = static_cast<u32>(config.degraded_ranks.size());
     out.eval_ran = true;
   }
   return out;

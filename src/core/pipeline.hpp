@@ -66,6 +66,10 @@ struct PipelineCounters {
   u64 block_evictions = 0;       ///< budget-driven evictions (sum over ranks)
   u64 spill_bytes = 0;           ///< alignment-record bytes spilled to disk
   u64 spill_runs = 0;            ///< sorted runs feeding the k-way merge
+  // self-healing exchange (comm::CommFaultStats; all zero fault-free)
+  u64 comm_chunk_retries = 0;        ///< replay retransmissions requested
+  u64 comm_chunk_redeliveries = 0;   ///< duplicate chunk copies discarded
+  u64 comm_corrupt_chunks = 0;       ///< chunks failing CRC32/length checks
   // resolved parameters
   u32 max_kmer_count = 0;        ///< the m actually used
 };

@@ -37,6 +37,9 @@ void write_eval_tsv(std::ostream& os, const EvalReport& report) {
     fixed << std::fixed << std::setprecision(6) << v;
     os << "overlap\t" << metric << '\t' << fixed.str() << '\n';
   };
+  if (report.degraded_ranks > 0) {
+    row("run", "degraded_ranks", report.degraded_ranks);
+  }
   const auto& ov = report.overlap;
   row("overlap", "min_true_overlap", report.config.min_true_overlap);
   row("overlap", "true_pairs", ov.true_pairs);

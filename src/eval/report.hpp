@@ -37,6 +37,10 @@ struct EvalReport {
   OverlapScore overlap;
   bool has_unitigs = false;  ///< stage 5 ran; `unitigs` is meaningful
   UnitigScore unitigs;
+  /// Ranks whose shard state was dropped after a rank loss (graceful
+  /// degradation). Nonzero adds a `run  degraded_ranks` row to eval.tsv so a
+  /// degraded run's honest (lower) recall is never mistaken for a clean one.
+  u32 degraded_ranks = 0;
 };
 
 /// Evaluate a pipeline run: score `alignments` against `truth`, and — when

@@ -1,0 +1,32 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace dibella::util {
+
+namespace {
+
+/// Byte-at-a-time table for the reflected polynomial 0xEDB88320.
+std::array<u32, 256> make_crc_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+u32 crc32(const void* data, std::size_t n, u32 seed) {
+  static const std::array<u32, 256> table = make_crc_table();
+  const u8* p = static_cast<const u8*>(data);
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dibella::util

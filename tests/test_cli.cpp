@@ -520,3 +520,75 @@ TEST(CliUsage, SpillDirWithoutBlocksIsAUsageError) {
   EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
   EXPECT_NE(r.err.find("spill-dir"), std::string::npos);
 }
+
+// --- fault tolerance ----------------------------------------------------------
+
+TEST(CliExitCodes, UsageRuntimeAndPoisonedAreDistinct) {
+  // The driver's exit-code contract: 2 = usage, 1 = runtime, 3 = the
+  // distributed run itself died (world poisoned). Harnesses branch on these.
+  EXPECT_EQ(run_driver({"--rank=8"}).exit_code, dibella::cli::kExitUsageError);
+  EXPECT_EQ(run_driver({"--input=/nonexistent/reads.fq"}).exit_code,
+            dibella::cli::kExitRuntimeError);
+  DriverResult poisoned = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                                      "--inject-fault=abort@bloom:0:1"});
+  EXPECT_EQ(poisoned.exit_code, dibella::cli::kExitCommFailure);
+  EXPECT_NE(poisoned.err.find("communication failure"), std::string::npos)
+      << poisoned.err;
+  EXPECT_NE(poisoned.err.find("injected rank abort"), std::string::npos)
+      << poisoned.err;
+}
+
+TEST(CliUsage, ResumeWithoutCheckpointDirIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--resume"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("checkpoint-dir"), std::string::npos);
+}
+
+TEST(CliUsage, DegradeWithoutCheckpointDirIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                               "--on-rank-failure=degrade"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("checkpoint-dir"), std::string::npos);
+}
+
+TEST(CliUsage, BadOnRankFailureValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                               "--on-rank-failure=retry"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("on-rank-failure"), std::string::npos);
+}
+
+TEST(CliUsage, MalformedInjectFaultIsAUsageError) {
+  for (const char* bad : {"--inject-fault=drop", "--inject-fault=zap@bloom:0",
+                          "--inject-fault=drop@nowhere:0",
+                          "--inject-fault=drop@bloom:x"}) {
+    DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output", bad});
+    EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError) << bad;
+    EXPECT_NE(r.err.find("inject-fault"), std::string::npos) << r.err;
+  }
+}
+
+TEST(CliUsage, InjectFaultRankOutOfRangeIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                               "--inject-fault=abort@bloom:0:5"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("rank 5"), std::string::npos) << r.err;
+}
+
+TEST(CliUsage, TransportFaultRequiresOverlapComm) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--no-output",
+                               "--overlap-comm=off",
+                               "--inject-fault=drop@bloom:0"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("overlap-comm"), std::string::npos) << r.err;
+}
+
+TEST(CliUsage, FaultToleranceFlagsAreDocumented) {
+  DriverResult r = run_driver({"--help"});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk);
+  for (const char* needle : {"--checkpoint-dir", "--resume", "--on-rank-failure",
+                             "--inject-fault", "exit codes:"}) {
+    EXPECT_NE(r.out.find(needle), std::string::npos) << needle;
+  }
+}
