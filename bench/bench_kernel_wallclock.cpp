@@ -11,9 +11,21 @@
 //                   (ns/cell, pairs/s)
 //   * consolidate:  overlap-stage wire-task consolidation, sort-then-group vs
 //                   the node-based std::map (tasks/s)
-//   * radix_consolidate: the consolidation's sort itself — chained stable LSD
-//                   radix passes (util::radix_sort_u64, the in-tree kernel)
-//                   vs the former 5-tuple comparison std::sort (tasks/s)
+//   * radix_consolidate: the consolidation's sort itself — the hybrid
+//                   overlap::sort_wire_tasks (packed-key radix passes with a
+//                   size/key-width comparison cutover) vs the former 5-tuple
+//                   comparison std::sort (tasks/s)
+//   * minimizer_sketch: whole-pipeline wall seconds, dense seeding
+//                   (baseline) vs w=10 window minimizers (optimized) — the
+//                   sketch layer's end-to-end payoff from cutting stage 1-3
+//                   exchange volume and stage-4 task count; recall parity on
+//                   the >= min_true_overlap truth set is asserted instead of
+//                   output identity (the sampled pipeline reports fewer
+//                   sub-threshold pairs by design)
+//   * seed_chaining: whole-pipeline wall seconds under the all-seeds policy,
+//                   extending every surviving seed (baseline) vs colinear
+//                   chaining to one anchor per pair (optimized); the pair
+//                   universe is asserted identical
 //   * exchange_overlap: whole-pipeline exposed exchange seconds (modeled
 //                   Cori), bulk-synchronous loops (baseline) vs the
 //                   nonblocking batched Exchanger (optimized) — virtual
@@ -48,8 +60,11 @@
 #include "common/bench_common.hpp"
 #include "common/exchange_overlap.hpp"
 #include "common/sgraph_workload.hpp"
+#include "comm/world.hpp"
+#include "core/pipeline.hpp"
 #include "kmer/dna.hpp"
 #include "overlap/overlapper.hpp"
+#include "simgen/presets.hpp"
 #include "util/args.hpp"
 #include "util/radix_sort.hpp"
 #include "util/random.hpp"
@@ -283,9 +298,9 @@ BenchRow bench_radix_consolidate(std::size_t n_tasks, std::size_t n_reads, int r
                                  util::Xoshiro256& rng) {
   // The sort inside consolidate_tasks, isolated: canonicalized wire tasks
   // ordered by the 5-tuple (rid_a, rid_b, pos_a, pos_b, same_orientation).
-  // baseline = the former comparison std::sort; optimized = the chained
-  // stable LSD radix passes the overlap stage now runs (least-significant
-  // component first, pos_b and the orientation bit packed into one key).
+  // baseline = the former comparison std::sort; optimized = the hybrid
+  // overlap::sort_wire_tasks the overlap stage now runs (packed two-key
+  // radix with a size/key-width cutover to a packed-key comparison sort).
   std::vector<overlap::OverlapTaskWire> wire;
   wire.reserve(n_tasks);
   for (std::size_t i = 0; i < n_tasks; ++i) {
@@ -333,18 +348,105 @@ BenchRow bench_radix_consolidate(std::size_t n_tasks, std::size_t n_reads, int r
   });
   row.optimized_s = best_of(reps, [&] {
     auto v = wire;
-    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) {
-      return (static_cast<u64>(t.pos_b) << 1) | t.same_orientation;
-    });
-    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) {
-      return static_cast<u64>(t.pos_a);
-    });
-    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) { return t.rid_b; });
-    util::radix_sort_u64(v, [](const overlap::OverlapTaskWire& t) { return t.rid_a; });
+    overlap::sort_wire_tasks(v);
     hash_opt = order_hash(v);
   });
   DIBELLA_CHECK(hash_ref == hash_opt,
                 "radix consolidation order diverged from the comparison sort");
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
+BenchRow bench_minimizer_sketch(bool smoke, int reps) {
+  // End-to-end pipeline wall seconds on a 4-rank World: dense seeding vs
+  // w=10 window minimizers on the same reads. The two runs report different
+  // (nested) pair sets by design, so instead of output identity this asserts
+  // a quality floor: bounded recall loss, no aggregate F1 regression (the
+  // sketch prunes spurious short overlaps, so precision rises), and real
+  // sampling (< 1/3 the seeds). The tighter <= 1-point recall bar at the
+  // default density is pinned by the eval tier on the preset profile the
+  // default applies to (tests/test_property_sweeps.cpp); this workload's
+  // 15% error rate sheds more of the threshold-straddling tail.
+  auto preset = smoke ? simgen::tiny_test(42) : simgen::ecoli30x_like(0.02);
+  auto sim = simgen::make_dataset(preset);
+  auto truth =
+      std::make_shared<const io::TruthTable>(simgen::truth_table(sim));
+  core::PipelineConfig cfg;
+  cfg.assumed_error_rate = preset.reads.error_rate;
+  cfg.assumed_coverage = preset.reads.coverage;
+  cfg.eval = true;
+  // Recall parity is judged on the standard >= 2000-base overlap definition
+  // (PipelineConfig's default): pairs sharing that much sequence keep a
+  // sampled seed; the tiny preset's scaled 500-base threshold would count a
+  // sub-threshold tail the sketch thins by design.
+
+  BenchRow row;
+  row.name = "minimizer_sketch";
+  row.unit = "reads/s";
+  row.items = sim.reads.size();
+  core::PipelineOutput dense, sketched;
+  row.baseline_s = best_of(reps, [&] {
+    comm::World world(4);
+    auto c = cfg;
+    c.minimizer_w = 0;
+    dense = core::run_pipeline(world, sim.reads, c, truth);
+  });
+  row.optimized_s = best_of(reps, [&] {
+    comm::World world(4);
+    auto c = cfg;
+    c.minimizer_w = 10;
+    sketched = core::run_pipeline(world, sim.reads, c, truth);
+  });
+  DIBELLA_CHECK(sketched.counters.sketch_seeds_kept * 3 <
+                    dense.counters.sketch_seeds_kept,
+                "minimizer sketch kept too many seeds (not sampling)");
+  DIBELLA_CHECK(sketched.eval.overlap.recall() >=
+                    dense.eval.overlap.recall() - 0.08,
+                "minimizer sketch lost too much recall");
+  DIBELLA_CHECK(sketched.eval.overlap.f1() >= dense.eval.overlap.f1(),
+                "minimizer sketch regressed aggregate F1");
+  row.cells = sketched.counters.sketch_seeds_kept;
+  row.throughput = static_cast<double>(row.items) / row.optimized_s;
+  return row;
+}
+
+BenchRow bench_seed_chaining(bool smoke, int reps) {
+  // Stage 4 under the all-seeds policy (the paper's high-intensity setting):
+  // baseline extends every surviving seed of every pair; optimized chains
+  // each pair's seeds and extends one representative anchor. Same pair
+  // universe either way — only the extension count drops.
+  auto preset = smoke ? simgen::tiny_test(42) : simgen::ecoli30x_like(0.02);
+  auto sim = simgen::make_dataset(preset);
+  core::PipelineConfig cfg;
+  cfg.assumed_error_rate = preset.reads.error_rate;
+  cfg.assumed_coverage = preset.reads.coverage;
+  cfg.seed_filter = overlap::SeedFilterConfig::all_seeds(cfg.k);
+  cfg.minimizer_w = 10;  // the preset-default sketched workload shape
+
+  BenchRow row;
+  row.name = "seed_chaining";
+  row.unit = "pairs/s";
+  core::PipelineOutput every_seed, chained;
+  row.baseline_s = best_of(reps, [&] {
+    comm::World world(4);
+    auto c = cfg;
+    c.chain = false;
+    every_seed = core::run_pipeline(world, sim.reads, c);
+  });
+  row.optimized_s = best_of(reps, [&] {
+    comm::World world(4);
+    auto c = cfg;
+    c.chain = true;
+    chained = core::run_pipeline(world, sim.reads, c);
+  });
+  DIBELLA_CHECK(chained.counters.pairs_aligned == every_seed.counters.pairs_aligned,
+                "chaining changed the aligned-pair universe");
+  DIBELLA_CHECK(
+      chained.counters.alignments_computed * 3 <=
+          every_seed.counters.alignments_computed * 2,
+      "chaining cut fewer than 1.5x of the seed extensions");
+  row.items = chained.counters.pairs_aligned;
+  row.cells = every_seed.counters.alignments_computed;  // extensions avoided from
   row.throughput = static_cast<double>(row.items) / row.optimized_s;
   return row;
 }
@@ -450,6 +552,8 @@ int main(int argc, char** argv) {
     rows.push_back(bench_consolidate(2'000'000, 60'000, reps, rng));
     rows.push_back(bench_radix_consolidate(2'000'000, 60'000, reps, rng));
   }
+  rows.push_back(bench_minimizer_sketch(smoke, reps));
+  rows.push_back(bench_seed_chaining(smoke, reps));
   rows.push_back(bench_exchange_overlap(smoke));
   rows.push_back(bench_sgraph(smoke, reps));
 

@@ -1,5 +1,6 @@
 #include "align/alignment_stage.hpp"
 
+#include "align/chain.hpp"
 #include "align/xdrop.hpp"
 #include "core/kernel_costs.hpp"
 #include "kmer/dna.hpp"
@@ -22,6 +23,9 @@ std::vector<AlignmentRecord> run_alignment_stage(
   // steady-state loop performs zero heap allocations per seed.
   Workspace ws;
 
+  ChainParams chain_params;
+  chain_params.k = cfg.k;
+
   u64 touched_bytes = 0;
   u64 revcomp_bytes = 0;
   for (const auto& task : tasks) {
@@ -40,7 +44,26 @@ std::vector<AlignmentRecord> run_alignment_stage(
     best.rid_b = task.rid_b;
     bool have_best = false;
 
-    for (const auto& seed : task.seeds) {
+    // Chaining collapses the pair's seed list to the best chain's
+    // representative anchor — one extension per pair. When no seed is
+    // chainable (all corrupt) the per-seed loop below runs and skips them
+    // the same way it always has.
+    overlap::SeedPair chain_anchor;
+    const overlap::SeedPair* seeds = task.seeds.data();
+    std::size_t n_seeds = task.seeds.size();
+    if (cfg.chain && n_seeds > 1) {
+      ChainResult chain = chain_seeds(task.seeds, a.size(), b.size(), chain_params,
+                                      &res.chain_dropped_seeds);
+      if (chain.found) {
+        chain_anchor = chain.anchor;
+        seeds = &chain_anchor;
+        n_seeds = 1;
+        ++res.chain_anchors;
+      }
+    }
+
+    for (std::size_t si = 0; si < n_seeds; ++si) {
+      const overlap::SeedPair& seed = seeds[si];
       const int k = cfg.k;
       u64 pos_a = seed.pos_a;
       u64 pos_b;
@@ -83,7 +106,7 @@ std::vector<AlignmentRecord> run_alignment_stage(
         }
       }
     }
-    best.seeds_explored = static_cast<u32>(task.seeds.size());
+    best.seeds_explored = static_cast<u32>(n_seeds);
     if (have_best && best.score >= cfg.min_score) {
       records.push_back(best);
       ++res.records_kept;

@@ -41,6 +41,11 @@ struct AlignmentStageConfig {
   int k = 17;
   /// Report only alignments with score >= min_score (0 keeps everything).
   int min_score = 0;
+  /// Colinear-chain each multi-seed pair (align/chain.hpp) and extend only
+  /// the best chain's representative anchor, instead of extending every
+  /// seed and keeping the best score. Off preserves the exhaustive per-seed
+  /// sweep; the pipeline turns this on by default.
+  bool chain = false;
 };
 
 struct AlignmentStageResult {
@@ -52,6 +57,8 @@ struct AlignmentStageResult {
   /// the banded score-only kernel (from the stage workspace; 0 unless an
   /// exact-SW path runs through it).
   u64 sw_band_fallbacks = 0;
+  u64 chain_anchors = 0;        ///< pairs extended from a chain anchor
+  u64 chain_dropped_seeds = 0;  ///< seeds subsumed by their pair's chain
 };
 
 /// Align every task (reads must already be resident via run_read_exchange).

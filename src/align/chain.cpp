@@ -1,0 +1,134 @@
+#include "align/chain.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace dibella::align {
+
+namespace {
+
+/// One seed in chaining coordinates: strictly increasing (x, y) along a
+/// consistent overlap. y is b-forward for same-orientation seeds and
+/// b-reverse-complement for opposite-orientation seeds.
+struct Anchor {
+  u32 x = 0;
+  u32 y = 0;
+  u32 seed = 0;  ///< index into the original seed list
+};
+
+/// Integer gap cost, shaped like minimap2's 0.01*k*dd + 0.5*log2(dd):
+/// linear in the diagonal drift with a logarithmic floor, zero for perfectly
+/// diagonal links.
+inline i64 gap_cost(i64 dd, int k) {
+  if (dd == 0) return 0;
+  return (dd * k) / 100 + static_cast<i64>(std::bit_width(static_cast<u64>(dd)));
+}
+
+/// Best chain over one orientation group. Returns the chain score (< 0 when
+/// the group is empty) and fills the representative/extent outputs.
+i64 chain_group(std::vector<Anchor>& anchors, const ChainParams& p, u32* rep_seed,
+                u32* chain_len, u32* span_a, u32* span_b) {
+  if (anchors.empty()) return -1;
+  std::sort(anchors.begin(), anchors.end(), [](const Anchor& l, const Anchor& r) {
+    return l.x != r.x ? l.x < r.x : l.y < r.y;
+  });
+
+  const std::size_t n = anchors.size();
+  const i64 k = p.k;
+  std::vector<i64> f(n, k);
+  std::vector<i32> parent(n, -1);
+  std::size_t best_i = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t lo = i > p.max_lookback ? i - p.max_lookback : 0;
+    for (std::size_t j = i; j-- > lo;) {
+      const i64 dx = static_cast<i64>(anchors[i].x) - static_cast<i64>(anchors[j].x);
+      const i64 dy = static_cast<i64>(anchors[i].y) - static_cast<i64>(anchors[j].y);
+      if (dx <= 0 || dy <= 0) continue;  // not colinear (seeds are deduplicated)
+      if (dx > p.max_gap || dy > p.max_gap) continue;
+      const i64 dd = dx > dy ? dx - dy : dy - dx;
+      if (dd > p.max_drift) continue;
+      const i64 gain = std::min({dx, dy, k});
+      const i64 s = f[j] + gain - gap_cost(dd, p.k);
+      // Strict > keeps the smallest-index predecessor on ties: with the
+      // sorted order fixed, the whole traceback is deterministic.
+      if (s > f[i]) {
+        f[i] = s;
+        parent[i] = static_cast<i32>(j);
+      }
+    }
+    if (f[i] > f[best_i]) best_i = i;
+  }
+
+  // Walk the best chain to its start, counting links; the representative is
+  // the middle anchor — interior anchors sit in the pair's shared region
+  // even when the chain's ends brush read boundaries.
+  u32 len = 1;
+  for (i32 j = parent[best_i]; j >= 0; j = parent[static_cast<std::size_t>(j)]) ++len;
+  std::size_t first_i = best_i;
+  std::size_t mid = best_i;
+  for (u32 step = 0; parent[first_i] >= 0; ++step) {
+    first_i = static_cast<std::size_t>(parent[first_i]);
+    if (step < len / 2) mid = first_i;
+  }
+  *rep_seed = anchors[mid].seed;
+  *chain_len = len;
+  *span_a = anchors[best_i].x - anchors[first_i].x + static_cast<u32>(p.k);
+  *span_b = anchors[best_i].y - anchors[first_i].y + static_cast<u32>(p.k);
+  return f[best_i];
+}
+
+}  // namespace
+
+ChainResult chain_seeds(const std::vector<overlap::SeedPair>& seeds, u64 a_len,
+                        u64 b_len, const ChainParams& params, u64* dropped) {
+  ChainResult out;
+  const u64 k = static_cast<u64>(params.k);
+
+  // Split by orientation; only same-frame seeds can be colinear. Reverse
+  // seeds move to b's RC frame (window at pos p forward starts at
+  // b_len - k - p reversed), the frame stage 4 extends them in.
+  std::vector<Anchor> fwd, rev;
+  u64 usable = 0;
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const overlap::SeedPair& s = seeds[i];
+    if (s.pos_a + k > a_len || s.pos_b + k > b_len) continue;  // corrupt seed
+    ++usable;
+    Anchor a;
+    a.x = s.pos_a;
+    a.seed = static_cast<u32>(i);
+    if (s.same_orientation) {
+      a.y = s.pos_b;
+      fwd.push_back(a);
+    } else {
+      a.y = static_cast<u32>(b_len - k - s.pos_b);
+      rev.push_back(a);
+    }
+  }
+  if (usable == 0) return out;
+
+  u32 rep = 0, len = 0, sa = 0, sb = 0;
+  const i64 score_f = chain_group(fwd, params, &rep, &len, &sa, &sb);
+  if (score_f >= 0) {
+    out.found = true;
+    out.score = score_f;
+    out.anchor = seeds[rep];
+    out.anchors = len;
+    out.span_a = sa;
+    out.span_b = sb;
+  }
+  const i64 score_r = chain_group(rev, params, &rep, &len, &sa, &sb);
+  // Strict >: the same-orientation chain wins score ties, a fixed rule that
+  // keeps the selection deterministic.
+  if (score_r >= 0 && (!out.found || score_r > out.score)) {
+    out.found = true;
+    out.score = score_r;
+    out.anchor = seeds[rep];
+    out.anchors = len;
+    out.span_a = sa;
+    out.span_b = sb;
+  }
+  if (dropped) *dropped += usable - 1;
+  return out;
+}
+
+}  // namespace dibella::align

@@ -1,0 +1,53 @@
+#pragma once
+/// \file chain.hpp
+/// Colinear seed chaining for stage 4 — minimap2's anchor-chaining step
+/// scaled to this pipeline's per-pair seed lists. Instead of extending an
+/// alignment from every surviving seed of a read pair and keeping the best,
+/// the seeds are sorted by position, joined by a gap-cost DP into chains of
+/// mutually consistent (colinear, bounded-gap, bounded-drift) anchors, and
+/// the best chain nominates one representative seed — so stage 4 runs one
+/// x-drop extension per pair instead of one per seed.
+///
+/// Chaining runs where the partner read's length is known (after the read
+/// exchange): reverse-orientation seeds must first be mapped into b's
+/// reverse-complement frame, since colinearity only holds there. Everything
+/// is integer arithmetic with fixed tie-breaks, so the chosen anchor — and
+/// therefore the output — is a pure function of the seed set.
+
+#include <vector>
+
+#include "overlap/seed_filter.hpp"
+#include "util/common.hpp"
+
+namespace dibella::align {
+
+struct ChainParams {
+  int k = 17;          ///< seed length (anchor span and max per-link gain)
+  u32 max_gap = 5000;  ///< max bases between adjacent anchors, either read
+  u32 max_drift = 500; ///< max diagonal drift |dx - dy| between neighbours
+  /// DP lookback bound: each anchor considers at most this many sorted
+  /// predecessors (minimap2's h). Seed lists here are post-filter and small;
+  /// the bound only guards pathological repeat pairs.
+  u32 max_lookback = 64;
+};
+
+struct ChainResult {
+  bool found = false;
+  /// Representative seed of the best chain (its middle anchor), in the
+  /// original wire coordinates — pos_b in b's forward frame.
+  overlap::SeedPair anchor;
+  i64 score = 0;       ///< best chain's DP score
+  u32 anchors = 0;     ///< anchors in the best chain
+  u32 span_a = 0;      ///< a-extent of the chain (first to last seed start + k)
+  u32 span_b = 0;      ///< b-extent in the chaining frame
+};
+
+/// Chain a consolidated pair's seeds. `b_len` is the partner read's length
+/// (needed to transform reverse-orientation seeds). Seeds whose window falls
+/// outside the read (corrupt) are skipped. Returns found = false only when
+/// no seed is chainable at all. `dropped` (optional) accumulates the number
+/// of seeds the pair had beyond the one emitted anchor.
+ChainResult chain_seeds(const std::vector<overlap::SeedPair>& seeds, u64 a_len,
+                        u64 b_len, const ChainParams& params, u64* dropped = nullptr);
+
+}  // namespace dibella::align

@@ -60,13 +60,25 @@ LocalAlignment smith_waterman(std::string_view a, std::string_view b,
   int best = 0;
   std::size_t best_i = 0, best_j = 0;
   for (std::size_t i = 1; i <= n; ++i) {
+    // The rows live in the caller's workspace, so unlike the reference
+    // kernel's fresh allocations the compiler cannot prove the u8 traceback
+    // stores don't alias them — a reload of prev[j-1]/cur[j-1] after every
+    // dirs store. Carrying both in registers (cur[j-1] is just last
+    // iteration's s; prev[j-1] is its up-neighbour load) leaves one row load,
+    // one row store, and one dirs store per cell.
+    const char ai = a[i - 1];
+    u8* dir_row = dirs + i * (m + 1);
+    int diag_carry = prev[0];  // prev[j-1]
+    int left_carry = 0;        // cur[j-1]; cur[0] == 0
     for (std::size_t j = 1; j <= m; ++j) {
-      int diag = prev[j - 1] + scoring.substitution(a[i - 1], b[j - 1]);
-      int up = prev[j] + scoring.gap;
-      int left = cur[j - 1] + scoring.gap;
+      const int pj = prev[j];
+      int diag = diag_carry + scoring.substitution(ai, b[j - 1]);
+      int up = pj + scoring.gap;
+      int left = left_carry + scoring.gap;
       int s = std::max({0, diag, up, left});
       cur[j] = s;
-      ++out.cells;
+      diag_carry = pj;
+      left_carry = s;
       u8 d = kStop;
       if (s > 0) {
         if (s == diag) {
@@ -77,7 +89,7 @@ LocalAlignment smith_waterman(std::string_view a, std::string_view b,
           d = kLeft;
         }
       }
-      dirs[i * (m + 1) + j] = d;
+      dir_row[j] = d;
       if (s > best) {
         best = s;
         best_i = i;
@@ -86,6 +98,7 @@ LocalAlignment smith_waterman(std::string_view a, std::string_view b,
     }
     std::swap(prev, cur);
   }
+  out.cells = static_cast<u64>(n) * static_cast<u64>(m);
 
   out.score = best;
   if (best == 0) {

@@ -40,6 +40,14 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
     u64 total_windows = comm.allreduce_sum(local_windows);
     est_distinct = estimate_distinct_kmers(total_windows, cfg.assumed_error_rate, cfg.k);
   }
+  if (cfg.sketch.enabled()) {
+    // Sketching inserts only the sampled subset; scale the filter by the
+    // scheme's expected density (an overestimate for the distinct count,
+    // which errs toward a lower false-positive rate).
+    est_distinct = static_cast<u64>(static_cast<double>(est_distinct) *
+                                    sketch::expected_density(cfg.sketch)) +
+                   64;
+  }
   u64 est_local = est_distinct / static_cast<u64>(P) + 64;
   BloomFilter filter(est_local, cfg.bloom_fpr);
   result.bloom_bits = filter.bit_count();
@@ -50,7 +58,7 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
   // Both schedules consume each batch in source-rank order over the same
   // batch boundaries, so insertions happen in the same global order and the
   // resulting filter/table are bitwise-identical.
-  kmer::OccurrenceStream stream(reads, cfg.k);
+  kmer::OccurrenceStream stream(reads, cfg.k, cfg.sketch);
   auto insert_batch = [&](const kmer::Kmer* data, std::size_t n) {
     u64 hits = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -76,14 +84,18 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
         ex,
         [&] {
           u64 parsed = 0;
+          const u64 windows_before = stream.sketch_stats().windows_scanned;
           bool more =
               stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
                 ex.post(kmer_owner(occ.kmer, P), &occ.kmer, 1);
                 ++parsed;
               });
           result.parsed_instances += parsed;
+          // Parse work is per window scanned, not per seed kept — sketching
+          // still rolls every k-mer, it just posts fewer of them.
+          const u64 scanned = stream.sketch_stats().windows_scanned - windows_before;
           ctx.trace.add_compute("bloom:pack",
-                                static_cast<double>(parsed) * costs.parse_per_kmer,
+                                static_cast<double>(scanned) * costs.parse_per_kmer,
                                 ex.pending_bytes());
           return more;
         },
@@ -99,17 +111,20 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
     while (true) {
       std::vector<std::vector<kmer::Kmer>> outgoing(static_cast<std::size_t>(P));
       u64 parsed_this_batch = 0;
+      u64 scanned_this_batch = 0;
       if (more) {
+        const u64 windows_before = stream.sketch_stats().windows_scanned;
         more = stream.fill(cfg.batch_kmers, [&](u64 /*rid*/, const kmer::Occurrence& occ) {
           outgoing[static_cast<std::size_t>(kmer_owner(occ.kmer, P))].push_back(occ.kmer);
           ++parsed_this_batch;
         });
         result.parsed_instances += parsed_this_batch;
+        scanned_this_batch = stream.sketch_stats().windows_scanned - windows_before;
       }
       u64 buffered = 0;
       for (const auto& v : outgoing) buffered += v.size() * sizeof(kmer::Kmer);
       ctx.trace.add_compute("bloom:pack",
-                            static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                            static_cast<double>(scanned_this_batch) * costs.parse_per_kmer,
                             buffered);
 
       auto incoming = comm.alltoallv_flat(outgoing);
@@ -123,6 +138,7 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
 
   result.candidate_keys = table.size();
   result.bloom_set_bits = filter.popcount();
+  result.windows_scanned = stream.sketch_stats().windows_scanned;
   // The Bloom filter is freed here (scope exit) once the table holds the
   // candidate keys — matching §6: "After the hash table is initialized with
   // k-mer keys, the Bloom filter is freed."

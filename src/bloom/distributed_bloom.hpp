@@ -12,12 +12,16 @@
 #include "core/stage_context.hpp"
 #include "dht/local_table.hpp"
 #include "io/read_store.hpp"
+#include "sketch/sketch.hpp"
 #include "util/common.hpp"
 
 namespace dibella::bloom {
 
 struct BloomStageConfig {
   int k = 17;
+  /// Minimizer sketch applied to the k-mer scan. Must match stage 2's so
+  /// both stages sample (and therefore route) the identical seed set.
+  sketch::SketchConfig sketch;
   /// Per-rank k-mer occurrences buffered per bulk-synchronous batch. The
   /// memory bound of the streaming pass (§4): k-mers are never all resident.
   u64 batch_kmers = 1u << 20;
@@ -35,7 +39,8 @@ struct BloomStageConfig {
 };
 
 struct BloomStageResult {
-  u64 parsed_instances = 0;    ///< k-mer occurrences parsed from this rank's reads
+  u64 parsed_instances = 0;    ///< seed occurrences emitted from this rank's reads
+  u64 windows_scanned = 0;     ///< k-mer windows examined (== parsed when dense)
   u64 received_instances = 0;  ///< occurrences routed to this rank (it owns them)
   u64 candidate_keys = 0;      ///< keys initialized in this rank's table partition
   u64 bloom_bits = 0;          ///< Bloom partition size

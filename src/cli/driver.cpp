@@ -55,6 +55,22 @@ pipeline:
   --error-rate=F        assumed per-base error rate (preset supplies)
   --seed-policy=P       one | spaced | all (default one)
   --spacing=N           min seed distance for --seed-policy=spaced (default 1000)
+  --minimizer-w=N       sketch each read before stages 1-3: only its window
+                        minimizers (windows of N consecutive k-mers, ~2/(N+1)
+                        of the dense seed volume) enter the Bloom routing,
+                        hash table, and overlap task exchange. 0 = dense,
+                        every k-mer window. Outputs at a fixed N stay
+                        byte-identical across ranks, schedules, and blocks.
+                        Default: 10 for presets, 0 for --input.
+  --syncmer=MODE        on  = closed-syncmer selection (s = k - N + 1, ~2/N
+                              density) instead of window minimizers; needs
+                              2 <= --minimizer-w <= k-1
+                        off = window minimizers (default)
+  --chain=MODE          on  = colinear-chain each pair's seeds (gap-cost DP
+                              over position-sorted hits) and x-drop extend
+                              only the best chain's anchor — one extension
+                              per pair (default)
+                        off = extend every surviving seed, keep the best
   --xdrop=N             x-drop termination threshold (default 25)
   --min-score=N         drop alignments scoring below N (default 0)
   --bloom-fpr=F         Bloom filter false-positive rate (default 0.05)
@@ -163,6 +179,7 @@ const std::set<std::string>& known_options() {
       "input",      "preset",        "scale",          "ranks",
       "k",          "min-kmer-count", "max-kmer-count", "coverage",
       "error-rate", "seed-policy",   "spacing",        "xdrop",
+      "minimizer-w", "syncmer",      "chain",
       "min-score",  "bloom-fpr",     "overlap-comm",   "platform",
       "ranks-per-node", "out-dir",   "no-output",      "help",
       "stage5",     "gfa",           "min-overlap-score",
@@ -257,6 +274,13 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("ranks", static_cast<u64>(ranks));
   row("kmers_parsed", c.kmers_parsed);
   row("candidate_keys", c.candidate_keys);
+  row("sketch_windows", c.sketch_windows);
+  row("sketch_seeds_kept", c.sketch_seeds_kept);
+  // Achieved sampling density in parts-per-million (kept / windows); 10^6
+  // when dense, ~2/(w+1) * 10^6 under minimizers. Integer so the TSV stays
+  // locale-proof and byte-comparable.
+  row("sketch_density_ppm",
+      c.sketch_windows == 0 ? 0 : c.sketch_seeds_kept * 1'000'000 / c.sketch_windows);
   row("retained_kmers", c.retained_kmers);
   row("purged_keys", c.purged_keys);
   row("overlap_tasks", c.overlap_tasks);
@@ -269,6 +293,8 @@ std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
   row("dp_cells", c.dp_cells);
   row("alignments_reported", c.alignments_reported);
   row("sw_band_fallbacks", c.sw_band_fallbacks);
+  row("chain_anchors", c.chain_anchors);
+  row("chain_dropped_seeds", c.chain_dropped_seeds);
   row("sg_contained_reads", c.sg_contained_reads);
   row("sg_internal_records", c.sg_internal_records);
   row("sg_dovetail_edges", c.sg_dovetail_edges);
@@ -323,6 +349,10 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
     t.cell(v);
   };
   row("1. k-mer instances parsed", c.kmers_parsed);
+  if (c.sketch_seeds_kept != c.sketch_windows) {  // sketching actually sampled
+    row("1. k-mer windows scanned (sketch)", c.sketch_windows);
+    row("1. minimizer seeds kept", c.sketch_seeds_kept);
+  }
   row("1. candidate keys (Bloom-approved)", c.candidate_keys);
   row("2. retained k-mers (2 <= count <= m)", c.retained_kmers);
   row("2. purged high-frequency keys", c.purged_keys);
@@ -332,6 +362,10 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
   row("4. reads replicated in exchange", c.reads_exchanged);
   row("4. pairs aligned", c.pairs_aligned);
   row("4. seed extensions (alignments)", c.alignments_computed);
+  if (c.chain_anchors > 0) {
+    row("4. pairs extended from chain anchor", c.chain_anchors);
+    row("4. seeds subsumed by chains", c.chain_dropped_seeds);
+  }
   row("4. alignments reported", c.alignments_reported);
   if (stage5) {
     row("5. contained reads dropped", c.sg_contained_reads);
@@ -510,6 +544,36 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   } else {
     throw UsageError("unknown --seed-policy=" + policy + " (expected one|spaced|all)");
   }
+  // Sketching defaults on (w = 10) for simulated presets, where the issue's
+  // density/recall trade-off is pinned by the eval tier; user-supplied input
+  // stays dense unless asked.
+  const i64 default_w = simulated ? 10 : 0;
+  const i64 minimizer_w = parse_i64(args, "minimizer-w", default_w);
+  if (minimizer_w < 0 || minimizer_w > 255) {
+    throw UsageError("--minimizer-w must be in [0, 255]");
+  }
+  cfg.minimizer_w = static_cast<u32>(minimizer_w);
+  const std::string syncmer_mode = args.get("syncmer", "off");
+  if (syncmer_mode == "on") {
+    cfg.syncmer = true;
+  } else if (syncmer_mode == "off") {
+    cfg.syncmer = false;
+  } else {
+    throw UsageError("unknown --syncmer=" + syncmer_mode + " (expected on|off)");
+  }
+  if (cfg.syncmer &&
+      (cfg.minimizer_w < 2 || cfg.minimizer_w > static_cast<u32>(cfg.k) - 1)) {
+    throw UsageError("--syncmer=on needs 2 <= --minimizer-w <= k-1 (s = k - w + 1 "
+                     "s-mers must fit inside a k-mer)");
+  }
+  const std::string chain_mode = args.get("chain", "on");
+  if (chain_mode == "on") {
+    cfg.chain = true;
+  } else if (chain_mode == "off") {
+    cfg.chain = false;
+  } else {
+    throw UsageError("unknown --chain=" + chain_mode + " (expected on|off)");
+  }
   const std::string overlap_mode = args.get("overlap-comm", "on");
   if (overlap_mode == "on") {
     cfg.overlap_comm = true;
@@ -640,6 +704,13 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
       << "  seed policy=" << policy << "  ranks=" << ranks
+      << "  sketch=";
+  if (cfg.minimizer_w >= 2) {
+    out << (cfg.syncmer ? "syncmer" : "minimizer") << " w=" << cfg.minimizer_w;
+  } else {
+    out << "dense";
+  }
+  out << "  chain=" << chain_mode
       << "  overlap-comm=" << overlap_mode << "  blocks=" << cfg.blocks << "\n\n";
 
   // --- run.

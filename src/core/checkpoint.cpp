@@ -52,6 +52,9 @@ u32 checkpoint_fingerprint(const std::vector<io::Read>& reads,
   crc = crc_value(config.k, crc);
   crc = crc_value(config.min_kmer_count, crc);
   crc = crc_value(config.resolved_max_kmer_count(), crc);
+  crc = crc_value(config.minimizer_w, crc);
+  crc = crc_value(config.syncmer, crc);
+  crc = crc_value(config.chain, crc);
   crc = crc_value(config.seed_filter.policy, crc);
   crc = crc_value(config.seed_filter.min_distance, crc);
   crc = crc_value(config.seed_filter.max_seeds, crc);

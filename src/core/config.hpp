@@ -23,6 +23,16 @@ struct PipelineConfig {
   double assumed_error_rate = 0.15;  ///< data model input for auto thresholds
   double assumed_coverage = 30.0;    ///< data model input for auto m
 
+  // --- minimizer sketch (src/sketch/)
+  /// Window minimizer sampling ahead of stages 1-3: only each read's window
+  /// minimizers enter the Bloom routing, hash table, and overlap task
+  /// exchange (~2/(w+1) of the dense seed volume). 0 or 1 = dense (every
+  /// k-mer window). The driver defaults presets to w = 10.
+  u32 minimizer_w = 0;
+  /// Closed-syncmer selection (s = k - w + 1) instead of window minimizers;
+  /// only meaningful when minimizer_w >= 2.
+  bool syncmer = false;
+
   // --- streaming / memory bounds
   u64 batch_kmers = 1u << 20;  ///< per-rank occurrences per exchange batch
   double bloom_fpr = 0.05;
@@ -55,6 +65,11 @@ struct PipelineConfig {
   align::Scoring scoring;
   int xdrop = 25;
   int min_report_score = 0;  ///< drop alignments scoring below this
+  /// Colinear-chain each pair's seeds and extend only the best chain's
+  /// representative anchor (align/chain.hpp) instead of extending every
+  /// seed. One extension per pair; identical output under the default
+  /// one-seed filter (a single seed chains to itself).
+  bool chain = true;
 
   // --- string graph (optional stage 5: src/sgraph/)
   bool stage5 = false;          ///< classify + reduce + lay out the string graph

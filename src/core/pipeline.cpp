@@ -221,6 +221,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       bcfg.batch_kmers = config.batch_kmers;
       bcfg.bloom_fpr = config.bloom_fpr;
       bcfg.assumed_error_rate = config.assumed_error_rate;
+      bcfg.sketch = sketch::SketchConfig{config.minimizer_w, config.syncmer};
       bcfg.overlap_comm = config.overlap_comm;
       bcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
       bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
@@ -240,6 +241,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       hcfg.batch_instances = config.batch_kmers;
       hcfg.min_count = config.min_kmer_count;
       hcfg.max_count = max_count;
+      hcfg.sketch = sketch::SketchConfig{config.minimizer_w, config.syncmer};
       hcfg.overlap_comm = config.overlap_comm;
       hcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
       ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
@@ -288,6 +290,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       acfg.xdrop = config.xdrop;
       acfg.k = config.k;
       acfg.min_score = config.min_report_score;
+      acfg.chain = config.chain;
       if (B == 1) {
         rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
         records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
@@ -394,6 +397,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     out.per_rank_pairs_aligned[rank] = al_res[rank].pairs_aligned;
     c.kmers_parsed += bloom_res[rank].parsed_instances;
     c.candidate_keys += bloom_res[rank].candidate_keys;
+    c.sketch_windows += bloom_res[rank].windows_scanned;
+    c.sketch_seeds_kept += bloom_res[rank].parsed_instances;
     c.retained_kmers += ht_res[rank].retained_keys;
     c.purged_keys += ht_res[rank].purged_keys;
     c.overlap_tasks += ov_res[rank].pair_tasks_formed;
@@ -406,6 +411,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     c.dp_cells += al_res[rank].dp_cells;
     c.alignments_reported += al_res[rank].records_kept;
     c.sw_band_fallbacks += al_res[rank].sw_band_fallbacks;
+    c.chain_anchors += al_res[rank].chain_anchors;
+    c.chain_dropped_seeds += al_res[rank].chain_dropped_seeds;
     // Stage-5 ownership rules (records where produced, contained reads by
     // owner, edges by the owner of lo) make these plain sums.
     c.sg_contained_reads += sg_res[rank].contained_reads;

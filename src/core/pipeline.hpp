@@ -36,6 +36,9 @@ struct PipelineCounters {
   // stage 1
   u64 kmers_parsed = 0;          ///< k-mer instances routed in stage 1
   u64 candidate_keys = 0;        ///< non-singleton candidates (Bloom-approved)
+  // minimizer sketch (src/sketch/; windows == kept when dense)
+  u64 sketch_windows = 0;        ///< k-mer windows scanned by stage 1
+  u64 sketch_seeds_kept = 0;     ///< sampled occurrences that entered the pipeline
   // stage 2
   u64 retained_kmers = 0;        ///< keys surviving the [min, m] purge
   u64 purged_keys = 0;
@@ -51,6 +54,8 @@ struct PipelineCounters {
   u64 dp_cells = 0;
   u64 alignments_reported = 0;
   u64 sw_band_fallbacks = 0;     ///< exact-SW traceback budget fallbacks
+  u64 chain_anchors = 0;         ///< pairs extended from a colinear chain anchor
+  u64 chain_dropped_seeds = 0;   ///< seeds subsumed by their pair's chain
   // stage 5 (string graph; all zero when stage5 is off)
   u64 sg_contained_reads = 0;    ///< reads dropped as contained
   u64 sg_internal_records = 0;   ///< records discarded as internal matches

@@ -21,7 +21,7 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
   // As in stage 1, both schedules consume each batch in source-rank order
   // over the same batch boundaries — identical insertion order, identical
   // table contents.
-  kmer::OccurrenceStream stream(reads, cfg.k);
+  kmer::OccurrenceStream stream(reads, cfg.k, cfg.sketch);
   auto insert_batch = [&](const KmerInstance* data, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       const KmerInstance& inst = data[i];
@@ -40,6 +40,7 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
         ex,
         [&] {
           u64 parsed = 0;
+          const u64 windows_before = stream.sketch_stats().windows_scanned;
           bool more =
               stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
                 KmerInstance inst;
@@ -51,8 +52,11 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
                 ++parsed;
               });
           result.parsed_instances += parsed;
+          // As in stage 1: parse work scales with windows scanned, not with
+          // the (sketched) subset that gets posted.
+          const u64 scanned = stream.sketch_stats().windows_scanned - windows_before;
           ctx.trace.add_compute("ht:pack",
-                                static_cast<double>(parsed) * costs.parse_per_kmer,
+                                static_cast<double>(scanned) * costs.parse_per_kmer,
                                 ex.pending_bytes());
           return more;
         },
@@ -66,7 +70,9 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
     while (true) {
       std::vector<std::vector<KmerInstance>> outgoing(static_cast<std::size_t>(P));
       u64 parsed_this_batch = 0;
+      u64 scanned_this_batch = 0;
       if (more) {
+        const u64 windows_before = stream.sketch_stats().windows_scanned;
         more = stream.fill(cfg.batch_instances, [&](u64 rid, const kmer::Occurrence& occ) {
           KmerInstance inst;
           inst.km = occ.kmer;
@@ -77,11 +83,12 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
           ++parsed_this_batch;
         });
         result.parsed_instances += parsed_this_batch;
+        scanned_this_batch = stream.sketch_stats().windows_scanned - windows_before;
       }
       u64 buffered = 0;
       for (const auto& v : outgoing) buffered += v.size() * sizeof(KmerInstance);
       ctx.trace.add_compute("ht:pack",
-                            static_cast<double>(parsed_this_batch) * costs.parse_per_kmer,
+                            static_cast<double>(scanned_this_batch) * costs.parse_per_kmer,
                             buffered);
 
       auto incoming = comm.alltoallv_flat(outgoing);

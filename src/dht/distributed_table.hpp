@@ -14,12 +14,16 @@
 #include "core/stage_context.hpp"
 #include "dht/local_table.hpp"
 #include "io/read_store.hpp"
+#include "sketch/sketch.hpp"
 #include "util/common.hpp"
 
 namespace dibella::dht {
 
 struct HashTableStageConfig {
   int k = 17;
+  /// Minimizer sketch applied to the k-mer scan. Must match stage 1's so
+  /// the metadata pass samples exactly the keys the Bloom pass admitted.
+  sketch::SketchConfig sketch;
   u64 batch_instances = 1u << 20;  ///< per-rank occurrences per batch
   u32 min_count = 2;               ///< below: singleton purge
   u32 max_count = 8;               ///< above: high-frequency purge (m)

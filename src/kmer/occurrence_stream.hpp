@@ -22,23 +22,31 @@
 #include "io/read.hpp"
 #include "io/read_store.hpp"
 #include "kmer/parser.hpp"
+#include "sketch/sketch.hpp"
 
 namespace dibella::kmer {
 
 class OccurrenceStream {
  public:
-  OccurrenceStream(const std::vector<io::Read>& reads, int k)
-      : reads_(&reads), count_(reads.size()), k_(k) {}
+  OccurrenceStream(const std::vector<io::Read>& reads, int k,
+                   const sketch::SketchConfig& sk = {})
+      : reads_(&reads), count_(reads.size()), k_(k), sketcher_(k, sk) {}
 
   /// Iterate a rank's owned reads through the store (block-mode safe).
-  OccurrenceStream(const io::ReadStore& store, int k)
+  OccurrenceStream(const io::ReadStore& store, int k,
+                   const sketch::SketchConfig& sk = {})
       : store_(&store),
         first_gid_(store.first_local_gid()),
         count_(static_cast<std::size_t>(store.local_count())),
-        k_(k) {}
+        k_(k),
+        sketcher_(k, sk) {}
 
   /// Emit occurrences of whole reads until at least `budget` occurrences
-  /// have been produced in this call (or input is exhausted).
+  /// have been produced in this call (or input is exhausted). With a sketch
+  /// config the emission is the read's minimizer (or syncmer) sample — a
+  /// pure per-read selection, so pause points still depend only on the
+  /// budget and per-read seed counts and the stream keeps its bitwise
+  /// block-count independence.
   /// fn(u64 rid, const Occurrence&). Returns true while input remains.
   template <class Fn>
   bool fill(u64 budget, Fn&& fn) {
@@ -46,7 +54,7 @@ class OccurrenceStream {
     while (next_read_ < count_ && produced < budget) {
       const io::Read& r = store_ ? store_->local_read(first_gid_ + next_read_)
                                  : (*reads_)[next_read_];
-      for_each_canonical_kmer(r.seq, k_, [&](const Occurrence& occ) {
+      sketcher_.for_each_seed(r.seq, [&](const Occurrence& occ) {
         fn(r.gid, occ);
         ++produced;
       });
@@ -59,6 +67,9 @@ class OccurrenceStream {
 
   void reset() { next_read_ = 0; }
 
+  /// Windows scanned / seeds kept so far (cumulative across fill calls).
+  const sketch::SketchStats& sketch_stats() const { return sketcher_.stats(); }
+
  private:
   const std::vector<io::Read>* reads_ = nullptr;
   const io::ReadStore* store_ = nullptr;
@@ -66,6 +77,7 @@ class OccurrenceStream {
   std::size_t count_ = 0;
   int k_;
   std::size_t next_read_ = 0;
+  sketch::Sketcher sketcher_;
 };
 
 }  // namespace dibella::kmer

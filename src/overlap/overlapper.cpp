@@ -18,6 +18,74 @@ int task_owner_read(u64 ra, u64 rb) {
   return 1;                                  // owner of rb
 }
 
+void sort_wire_tasks(std::vector<OverlapTaskWire>& tasks) {
+  const std::size_t n = tasks.size();
+  if (n < 2) return;
+
+  // Tuple order (rid_a, rid_b, pos_a, pos_b, same_orientation) packs into
+  // two u64 keys when pos_a < 2^31 and both rids < 2^32 — sorting by the
+  // position key then (stably) by the rid key reproduces the full-tuple
+  // order with two radix calls instead of four.
+  auto pos_key = [](const OverlapTaskWire& t) {
+    return (static_cast<u64>(t.pos_a) << 33) |
+           (static_cast<u64>(t.pos_b) << 1) | static_cast<u64>(t.same_orientation);
+  };
+  auto rid_key = [](const OverlapTaskWire& t) { return (t.rid_a << 32) | t.rid_b; };
+
+  // One scan: packability, plus each key's per-byte constancy. A byte whose
+  // OR- and AND-aggregates agree holds one value across the whole set, and
+  // radix_sort_u64 skips it — the remaining bytes are the passes a radix
+  // chain would actually stream the element array through.
+  bool packable = true;
+  u64 or_pos = 0, and_pos = ~u64{0}, or_rid = 0, and_rid = ~u64{0};
+  for (const auto& t : tasks) {
+    if (t.pos_a >= (u32{1} << 31) || (t.rid_a >> 32) != 0 || (t.rid_b >> 32) != 0) {
+      packable = false;
+      break;
+    }
+    const u64 pk = pos_key(t), rk = rid_key(t);
+    or_pos |= pk;
+    and_pos &= pk;
+    or_rid |= rk;
+    and_rid &= rk;
+  }
+  if (!packable) {
+    // Arbitrary-width fallback: the original four-component chain.
+    util::radix_sort_u64(tasks, [](const OverlapTaskWire& t) {
+      return (static_cast<u64>(t.pos_b) << 1) | static_cast<u64>(t.same_orientation);
+    });
+    util::radix_sort_u64(tasks,
+                         [](const OverlapTaskWire& t) { return static_cast<u64>(t.pos_a); });
+    util::radix_sort_u64(tasks, [](const OverlapTaskWire& t) { return t.rid_b; });
+    util::radix_sort_u64(tasks, [](const OverlapTaskWire& t) { return t.rid_a; });
+    return;
+  }
+
+  int passes = 0;
+  for (int b = 0; b < 8; ++b) {
+    const int shift = 8 * b;
+    if (((or_pos >> shift) & 0xFFu) != ((and_pos >> shift) & 0xFFu)) ++passes;
+    if (((or_rid >> shift) & 0xFFu) != ((and_rid >> shift) & 0xFFu)) ++passes;
+  }
+
+  // Cutover (measured on this element type): each radix pass streams the
+  // whole array, so at >= 7 passes comparison sort overtakes it once n is
+  // large enough that the passes outweigh log2(n) cheap comparisons. Ties in
+  // the full tuple are identical elements, so the unstable std::sort still
+  // yields a deterministic sequence.
+  const bool use_comparison = n > (std::size_t{1} << 17) && passes >= 7;
+  if (use_comparison) {
+    std::sort(tasks.begin(), tasks.end(),
+              [&](const OverlapTaskWire& x, const OverlapTaskWire& y) {
+                const u64 rx = rid_key(x), ry = rid_key(y);
+                return rx != ry ? rx < ry : pos_key(x) < pos_key(y);
+              });
+  } else {
+    util::radix_sort_u64(tasks, pos_key);
+    util::radix_sort_u64(tasks, rid_key);
+  }
+}
+
 std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incoming,
                                              const SeedFilterConfig& seed_filter,
                                              OverlapStageResult* result) {
@@ -25,27 +93,17 @@ std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incomi
 
   // Normalize to rid_a < rid_b, then sort the flat vector and group equal
   // runs — the former node-per-pair std::map made every insertion an
-  // allocation plus a pointer chase. The sort itself is a stable LSD radix
-  // chain (least-significant component first), so the cost is a few linear
-  // counting passes instead of O(n log n) comparisons on the 5-field tuple.
-  // The full-tuple key keeps the order (and thus the output) deterministic
-  // regardless of arrival order; filter_seeds re-sorts and deduplicates per
-  // pair anyway.
+  // allocation plus a pointer chase. The sort picks radix or comparison by
+  // input size and key width (see sort_wire_tasks). The full-tuple key keeps
+  // the order (and thus the output) deterministic regardless of arrival
+  // order; filter_seeds re-sorts and deduplicates per pair anyway.
   for (auto& t : incoming) {
     if (t.rid_a > t.rid_b) {
       std::swap(t.rid_a, t.rid_b);
       std::swap(t.pos_a, t.pos_b);
     }
   }
-  // Tuple order (rid_a, rid_b, pos_a, pos_b, same_orientation): the two low
-  // components fit one u64 key (33 bits), then pos_a, rid_b, rid_a.
-  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) {
-    return (static_cast<u64>(t.pos_b) << 1) | static_cast<u64>(t.same_orientation);
-  });
-  util::radix_sort_u64(incoming,
-                       [](const OverlapTaskWire& t) { return static_cast<u64>(t.pos_a); });
-  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) { return t.rid_b; });
-  util::radix_sort_u64(incoming, [](const OverlapTaskWire& t) { return t.rid_a; });
+  sort_wire_tasks(incoming);
 
   std::vector<AlignmentTask> tasks;
   std::size_t run = 0;

@@ -73,6 +73,17 @@ std::vector<AlignmentTask> consolidate_tasks(std::vector<OverlapTaskWire> incomi
                                              const SeedFilterConfig& seed_filter,
                                              OverlapStageResult* result = nullptr);
 
+/// Sort canonicalized (rid_a <= rid_b) wire tasks by the full
+/// (rid_a, rid_b, pos_a, pos_b, same_orientation) tuple — the deterministic
+/// order consolidate_tasks groups on. Hybrid: one scan measures the keys'
+/// significant bytes (= the radix passes a chained `util::radix_sort_u64`
+/// would actually run, after constant-byte skipping), then picks the LSD
+/// radix chain or a comparison sort — radix's linear passes win on small
+/// inputs and narrow keys, but on large inputs with wide keys its data
+/// movement (each pass streams the whole 24-byte element array) loses to
+/// O(n log n) comparisons. Exposed for the kernel bench.
+void sort_wire_tasks(std::vector<OverlapTaskWire>& tasks);
+
 /// Run stage 3 for this rank. Returns the alignment tasks this rank owns.
 /// Collective.
 std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,

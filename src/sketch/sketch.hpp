@@ -1,0 +1,118 @@
+#pragma once
+/// \file sketch.hpp
+/// Minimizer sketching of a read's canonical k-mer occurrences — the
+/// minimap2-style sampling layer in front of pipeline stages 1-3. Instead of
+/// routing every k-mer window into the Bloom filter, hash table, and overlap
+/// task exchange, each read keeps only its window minimizers (or closed
+/// syncmers), cutting stage 1-3 traffic to ~2/(w+1) of the dense volume
+/// while two overlapping reads still sample the same seeds from their shared
+/// region.
+///
+/// Selection is a pure function of one read's sequence (and k, w, the
+/// scheme), so the sampled set — and therefore every downstream output — is
+/// independent of rank count, communication schedule, and block count, the
+/// same invariance contract the dense pipeline pins.
+///
+/// Schemes:
+///  * window minimizers (robust winnowing): over every window of `w`
+///    consecutive valid k-mers, keep the one with the smallest sketch hash,
+///    rightmost on ties. Windows slide over the read's *valid* windows
+///    (non-ACGT characters break k-mer windows upstream), expected density
+///    2/(w+1).
+///  * closed syncmers (`syncmer = true`): a k-mer is kept iff the minimum
+///    canonical s-mer hash inside it (s = k - w + 1, so each k-mer holds
+///    exactly `w` s-mers) sits at its first or last s-mer position — a
+///    context-free test with the same window-coverage guarantee, expected
+///    density 2/w.
+///
+/// Either way a read with at least one valid k-mer always contributes at
+/// least one seed: a read shorter than a full window keeps its winnowed
+/// minimum.
+
+#include <string_view>
+#include <vector>
+
+#include "kmer/parser.hpp"
+
+namespace dibella::sketch {
+
+/// Hash salt reserved for sketch selection — distinct from the owner-routing
+/// and Bloom salts so the sampled set is uncorrelated with rank placement.
+inline constexpr u64 kSketchSalt = 0x5EEDC0DE;
+
+struct SketchConfig {
+  /// Minimizer window in k-mers; 0 or 1 = dense (every window kept).
+  u32 w = 0;
+  /// Closed-syncmer selection instead of window minimizers. Requires
+  /// 2 <= w <= k - 1 (s = k - w + 1 must leave s >= 2).
+  bool syncmer = false;
+
+  bool enabled() const { return w >= 2; }
+};
+
+struct SketchStats {
+  u64 windows_scanned = 0;  ///< valid k-mer windows examined (dense count)
+  u64 seeds_kept = 0;       ///< sampled occurrences emitted
+};
+
+/// Per-read seed sampler. Holds reusable scratch so the steady-state scan
+/// performs no per-read allocations; not thread-safe, one per stream.
+class Sketcher {
+ public:
+  Sketcher(int k, const SketchConfig& cfg);
+
+  /// Emit the sampled canonical k-mer occurrences of `seq` in position
+  /// order via `fn(const kmer::Occurrence&)`. With sketching disabled this
+  /// is exactly kmer::for_each_canonical_kmer.
+  template <class Fn>
+  void for_each_seed(std::string_view seq, Fn&& fn) {
+    if (!cfg_.enabled()) {
+      kmer::for_each_canonical_kmer(seq, k_, [&](const kmer::Occurrence& occ) {
+        ++stats_.windows_scanned;
+        ++stats_.seeds_kept;
+        fn(occ);
+      });
+      return;
+    }
+    occ_.clear();
+    kmer::for_each_canonical_kmer(
+        seq, k_, [&](const kmer::Occurrence& occ) { occ_.push_back(occ); });
+    stats_.windows_scanned += occ_.size();
+    if (cfg_.syncmer) {
+      select_syncmers(seq);
+    } else {
+      select_minimizers();
+    }
+    for (std::size_t i = 0; i < occ_.size(); ++i) {
+      if (kept_[i]) {
+        ++stats_.seeds_kept;
+        fn(static_cast<const kmer::Occurrence&>(occ_[i]));
+      }
+    }
+  }
+
+  const SketchStats& stats() const { return stats_; }
+  const SketchConfig& config() const { return cfg_; }
+
+ private:
+  void select_minimizers();
+  void select_syncmers(std::string_view seq);
+  /// Fallback for reads no full window fits: keep the winnowed (rightmost)
+  /// hash minimum so every read with >= 1 valid k-mer contributes a seed.
+  void keep_single_minimum();
+
+  int k_;
+  SketchConfig cfg_;
+  SketchStats stats_;
+  // per-read scratch
+  std::vector<kmer::Occurrence> occ_;
+  std::vector<u64> hash_;
+  std::vector<u8> kept_;
+  std::vector<u32> deque_;
+  std::vector<u64> shash_;
+};
+
+/// Expected sampled fraction of k-mer windows under `cfg` (1.0 when dense).
+double expected_density(const SketchConfig& cfg);
+
+}  // namespace dibella::sketch

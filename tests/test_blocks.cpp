@@ -334,6 +334,46 @@ TEST(Blocks, OutputBytewiseIdenticalAcrossBlocksRanksAndSchedules) {
   }
 }
 
+TEST(Blocks, MinimizerModeOutputBytewiseIdenticalAcrossGrid) {
+  // The same pinning grid with the sketch layer on: at a fixed density the
+  // sampled seeding is a pure per-read function, so block counts, rank
+  // counts, and schedules still cannot move a byte of PAF/GFA/eval output.
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(3));
+  auto truth = std::make_shared<const dibella::io::TruthTable>(
+      dibella::simgen::truth_table(sim));
+  auto cfg = full_config();
+  cfg.minimizer_w = 10;
+
+  dibella::comm::World w3(3);
+  auto base_out = run_pipeline(w3, sim.reads, cfg, truth);
+  ASSERT_TRUE(base_out.eval_ran);
+  auto base = artifacts(base_out, sim.reads, cfg.sgraph_fuzz);
+  ASSERT_FALSE(base.paf.empty());
+
+  for (u32 blocks : {2u, 4u}) {
+    for (int ranks : {1, 3, 5}) {
+      for (bool overlap_comm : {true, false}) {
+        auto c = cfg;
+        c.blocks = blocks;
+        c.memory_budget_bytes = 64u << 20;
+        c.overlap_comm = overlap_comm;
+        dibella::comm::World world(ranks);
+        auto out = run_pipeline(world, sim.reads, c, truth);
+        ASSERT_TRUE(out.eval_ran);
+        auto got = artifacts(out, sim.reads, c.sgraph_fuzz);
+        const char* where = overlap_comm ? "overlapped" : "blocking";
+        EXPECT_EQ(got.paf, base.paf)
+            << "PAF diverged: blocks=" << blocks << " ranks=" << ranks << " " << where;
+        EXPECT_EQ(got.gfa, base.gfa)
+            << "GFA diverged: blocks=" << blocks << " ranks=" << ranks << " " << where;
+        EXPECT_EQ(got.eval_tsv, base.eval_tsv)
+            << "eval.tsv diverged: blocks=" << blocks << " ranks=" << ranks << " "
+            << where;
+      }
+    }
+  }
+}
+
 TEST(Blocks, MergedAlignmentsMatchInMemoryVector) {
   auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(9));
   auto cfg = full_config();

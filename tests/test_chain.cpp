@@ -1,0 +1,165 @@
+// Unit tests for colinear seed chaining (align/chain.hpp): the stage-4 step
+// that collapses a pair's seed list to one representative anchor.
+
+#include "align/chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "overlap/seed_filter.hpp"
+
+using dibella::u32;
+using dibella::u64;
+using dibella::align::ChainParams;
+using dibella::align::ChainResult;
+using dibella::align::chain_seeds;
+using dibella::overlap::SeedPair;
+
+namespace {
+
+ChainParams params() {
+  ChainParams p;
+  p.k = 17;
+  return p;
+}
+
+SeedPair seed(u32 a, u32 b, bool fwd = true) {
+  return SeedPair{a, b, static_cast<dibella::u8>(fwd ? 1 : 0)};
+}
+
+}  // namespace
+
+TEST(Chain, EmptySeedListFindsNothing) {
+  u64 dropped = 0;
+  ChainResult r = chain_seeds({}, 1000, 1000, params(), &dropped);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Chain, SingleSeedChainsToItself) {
+  u64 dropped = 0;
+  ChainResult r = chain_seeds({seed(100, 250)}, 1000, 1000, params(), &dropped);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchor, seed(100, 250));
+  EXPECT_EQ(r.anchors, 1u);
+  EXPECT_EQ(dropped, 0u);
+}
+
+TEST(Chain, ColinearRunChainsFullyAndPicksAMemberAnchor) {
+  // Five seeds along one diagonal: all chain; the representative is one of
+  // them (the near-middle anchor) in original coordinates.
+  std::vector<SeedPair> seeds;
+  for (u32 i = 0; i < 5; ++i) seeds.push_back(seed(100 + 200 * i, 300 + 200 * i));
+  u64 dropped = 0;
+  ChainResult r = chain_seeds(seeds, 2000, 2000, params(), &dropped);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchors, 5u);
+  EXPECT_EQ(dropped, 4u);  // five usable seeds, one anchor emitted
+  bool is_member = false;
+  for (const auto& s : seeds) is_member |= r.anchor == s;
+  EXPECT_TRUE(is_member);
+  // Middle anchor, not an endpoint: extension reaches both ways.
+  EXPECT_GT(r.anchor.pos_a, seeds.front().pos_a);
+  EXPECT_LT(r.anchor.pos_a, seeds.back().pos_a);
+  EXPECT_EQ(r.span_a, seeds.back().pos_a - seeds.front().pos_a +
+                          static_cast<u32>(params().k));
+}
+
+TEST(Chain, OffDiagonalNoiseSeedLosesToTheRun) {
+  // A 4-anchor colinear run plus one stray repeat seed far off the diagonal:
+  // the chain wins and the stray cannot be the representative.
+  std::vector<SeedPair> seeds;
+  for (u32 i = 0; i < 4; ++i) seeds.push_back(seed(100 + 150 * i, 500 + 150 * i));
+  const SeedPair stray = seed(120, 4000);
+  seeds.push_back(stray);
+  ChainResult r = chain_seeds(seeds, 5000, 5000, params(), nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchors, 4u);
+  EXPECT_FALSE(r.anchor == stray);
+}
+
+TEST(Chain, ReverseOrientationSeedsChainInRcFrame) {
+  // In b's forward frame reverse-orientation seeds anti-correlate: pos_b
+  // decreases as pos_a grows. They are colinear only in b's RC frame, and
+  // the returned anchor must still carry original wire coordinates.
+  const u64 b_len = 2000;
+  const int k = params().k;
+  std::vector<SeedPair> seeds;
+  for (u32 i = 0; i < 5; ++i) {
+    const u32 pos_a = 100 + 200 * i;
+    const u32 y = 300 + 200 * i;  // colinear in the RC frame
+    seeds.push_back(seed(pos_a, static_cast<u32>(b_len - k - y), false));
+  }
+  u64 dropped = 0;
+  ChainResult r = chain_seeds(seeds, 2000, b_len, params(), &dropped);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchors, 5u);
+  EXPECT_EQ(r.anchor.same_orientation, 0);
+  bool is_member = false;
+  for (const auto& s : seeds) is_member |= r.anchor == s;
+  EXPECT_TRUE(is_member);
+}
+
+TEST(Chain, MixedOrientationsKeepTheLongerChain) {
+  // Three forward seeds on a diagonal vs one reverse stray: forward chain wins.
+  std::vector<SeedPair> seeds;
+  for (u32 i = 0; i < 3; ++i) seeds.push_back(seed(100 + 100 * i, 200 + 100 * i));
+  seeds.push_back(seed(150, 900, false));
+  ChainResult r = chain_seeds(seeds, 2000, 2000, params(), nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchor.same_orientation, 1);
+  EXPECT_EQ(r.anchors, 3u);
+}
+
+TEST(Chain, GapBoundSplitsDistantClusters) {
+  // Two colinear clusters separated by more than max_gap cannot join; the
+  // larger cluster supplies the anchor.
+  ChainParams p = params();
+  p.max_gap = 1000;
+  std::vector<SeedPair> seeds;
+  for (u32 i = 0; i < 2; ++i) seeds.push_back(seed(100 + 50 * i, 100 + 50 * i));
+  for (u32 i = 0; i < 4; ++i)
+    seeds.push_back(seed(20'000 + 50 * i, 20'000 + 50 * i));
+  ChainResult r = chain_seeds(seeds, 30'000, 30'000, p, nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchors, 4u);
+  EXPECT_GE(r.anchor.pos_a, 20'000u);
+}
+
+TEST(Chain, DriftBoundRejectsDiagonalWander) {
+  ChainParams p = params();
+  p.max_drift = 100;
+  // Second seed drifts 400 off the first's diagonal: they must not chain.
+  ChainResult r =
+      chain_seeds({seed(100, 100), seed(600, 1000)}, 3000, 3000, p, nullptr);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.anchors, 1u);
+}
+
+TEST(Chain, CorruptSeedsAreSkipped) {
+  const u64 a_len = 500, b_len = 500;
+  // pos + k beyond the read end: corrupt, skipped. All corrupt -> not found.
+  ChainResult none =
+      chain_seeds({seed(495, 100), seed(100, 495)}, a_len, b_len, params(), nullptr);
+  EXPECT_FALSE(none.found);
+  ChainResult some = chain_seeds({seed(495, 100), seed(100, 200)}, a_len, b_len,
+                                 params(), nullptr);
+  ASSERT_TRUE(some.found);
+  EXPECT_EQ(some.anchor, seed(100, 200));
+}
+
+TEST(Chain, DeterministicAcrossInputPermutations) {
+  // The chosen anchor is a pure function of the seed *set* — input order
+  // cannot change it (seeds are sorted before the DP).
+  std::vector<SeedPair> seeds = {seed(500, 700), seed(100, 300), seed(900, 1100),
+                                 seed(300, 500), seed(700, 900), seed(120, 4000)};
+  ChainResult first = chain_seeds(seeds, 5000, 5000, params(), nullptr);
+  ASSERT_TRUE(first.found);
+  std::vector<SeedPair> rotated(seeds.rbegin(), seeds.rend());
+  ChainResult second = chain_seeds(rotated, 5000, 5000, params(), nullptr);
+  ASSERT_TRUE(second.found);
+  EXPECT_EQ(first.anchor, second.anchor);
+  EXPECT_EQ(first.score, second.score);
+  EXPECT_EQ(first.anchors, second.anchors);
+}

@@ -145,12 +145,14 @@ TEST_F(CliSmoke, FastaInputRoundTrip) {
       dibella::io::load_file((dir_ / dibella::cli::kAlignmentsFile).string());
 
   // Pin the data-model inputs to the tiny preset's values: the auto repeat
-  // ceiling m depends on (coverage, error rate), which a bare FASTA file
-  // cannot carry.
+  // ceiling m depends on (coverage, error rate), and presets default to
+  // --minimizer-w=10 while --input stays dense — a bare FASTA file carries
+  // neither.
   fs::path dir2 = dir_ / "from_fasta";
   DriverResult loaded = run_driver(
       {"--input=" + (dir_ / dibella::cli::kReadsFile).string(), "--ranks=3",
-       "--coverage=20", "--error-rate=0.12", "--out-dir=" + dir2.string()});
+       "--coverage=20", "--error-rate=0.12", "--minimizer-w=10",
+       "--out-dir=" + dir2.string()});
   ASSERT_EQ(loaded.exit_code, dibella::cli::kExitOk) << loaded.err;
 
   // Alignment output is deterministic in (reads, config) and independent of
@@ -404,11 +406,67 @@ TEST_F(CliSmoke, EvalRoundTripsThroughTruthSidecar) {
   DriverResult loaded = run_driver(
       {"--input=" + (dir_ / dibella::cli::kReadsFile).string(), "--eval=on",
        "--ranks=5", "--overlap-comm=off", "--coverage=20", "--error-rate=0.12",
-       "--eval-min-overlap=500", "--out-dir=" + dir2.string()});
+       "--minimizer-w=10", "--eval-min-overlap=500",
+       "--out-dir=" + dir2.string()});
   ASSERT_EQ(loaded.exit_code, dibella::cli::kExitOk) << loaded.err;
   EXPECT_NE(loaded.out.find("loaded ground truth"), std::string::npos);
   EXPECT_EQ(dibella::io::load_file((dir2 / dibella::cli::kEvalFile).string()),
             eval_sim);
+}
+
+TEST(CliUsage, BadMinimizerWidthIsAUsageError) {
+  for (const char* bad : {"--minimizer-w=-1", "--minimizer-w=256",
+                          "--minimizer-w=abc"}) {
+    DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output", bad});
+    EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError) << bad;
+    EXPECT_NE(r.err.find("minimizer-w"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliUsage, SyncmerNeedsACompatibleWindow) {
+  // s = k - w + 1 must leave 2 <= w <= k-1; the tiny preset's k is 17.
+  DriverResult dense = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                                   "--minimizer-w=0", "--syncmer=on"});
+  EXPECT_EQ(dense.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(dense.err.find("syncmer"), std::string::npos);
+  DriverResult wide = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                                  "--minimizer-w=17", "--syncmer=on"});
+  EXPECT_EQ(wide.exit_code, dibella::cli::kExitUsageError);
+  DriverResult bad = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                                 "--syncmer=maybe"});
+  EXPECT_EQ(bad.exit_code, dibella::cli::kExitUsageError);
+}
+
+TEST(CliUsage, BadChainValueIsAUsageError) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=1", "--no-output",
+                               "--chain=maybe"});
+  EXPECT_EQ(r.exit_code, dibella::cli::kExitUsageError);
+  EXPECT_NE(r.err.find("chain"), std::string::npos);
+}
+
+TEST_F(CliSmoke, MinimizerModeWritesSketchCounters) {
+  DriverResult r = run_driver({"--preset=tiny", "--ranks=2", "--minimizer-w=10",
+                               "--out-dir=" + dir_.string()});
+  ASSERT_EQ(r.exit_code, dibella::cli::kExitOk) << r.err;
+  const std::string counters =
+      dibella::io::load_file((dir_ / dibella::cli::kCountersFile).string());
+  // Sampling really happened: kept strictly below windows scanned, and the
+  // achieved density lands in the right decade (~2/(w+1) = 181818 ppm).
+  auto value_of = [&](const std::string& key) -> long long {
+    auto pos = counters.find(key + "\t");
+    EXPECT_NE(pos, std::string::npos) << key;
+    if (pos == std::string::npos) return -1;
+    return std::stoll(counters.substr(pos + key.size() + 1));
+  };
+  const long long windows = value_of("sketch_windows");
+  const long long kept = value_of("sketch_seeds_kept");
+  const long long ppm = value_of("sketch_density_ppm");
+  EXPECT_GT(windows, 0);
+  EXPECT_GT(kept, 0);
+  EXPECT_LT(kept * 3, windows);
+  EXPECT_GT(ppm, 100'000);
+  EXPECT_LT(ppm, 300'000);
+  EXPECT_GE(value_of("chain_anchors"), 0);
 }
 
 TEST(CliUsage, BadEvalValueIsAUsageError) {

@@ -147,6 +147,8 @@ TEST(Pipeline, RecallAgainstGroundTruth) {
 TEST(Pipeline, SeedPolicyIntensityOrdering) {
   auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(31));
   auto base = tiny_config();
+  base.chain = false;  // the sweep measures exhaustive per-seed extension work;
+                       // chaining collapses every policy to one extension/pair
   dibella::comm::World world(2);
 
   auto cfg_one = base;

@@ -197,6 +197,117 @@ INSTANTIATE_TEST_SUITE_P(PresetRanksSchedule, EvalGridSweep,
                                             ::testing::Values(1, 3, 5),
                                             ::testing::Bool()));
 
+// --- minimizer density sweep -------------------------------------------------
+// At every sketch density, eval.tsv is a pure function of (reads, truth,
+// config): byte-identical across rank counts and communication schedules.
+// The reference for each (seed, w) cell comes from 1 rank, overlap-comm on.
+
+class SketchDensitySweep
+    : public ::testing::TestWithParam<std::tuple<u32 /*minimizer w*/,
+                                                 u64 /*preset seed*/, int /*ranks*/,
+                                                 bool /*overlap_comm*/>> {
+ protected:
+  struct Dataset {
+    dibella::simgen::SimulatedReads sim;
+    std::shared_ptr<const dibella::io::TruthTable> truth;
+  };
+
+  static dibella::core::PipelineConfig eval_config(u32 w) {
+    dibella::core::PipelineConfig cfg;
+    cfg.assumed_error_rate = 0.12;
+    cfg.assumed_coverage = 20.0;
+    cfg.minimizer_w = w;
+    cfg.stage5 = true;
+    cfg.eval = true;
+    cfg.eval_min_overlap = 500;
+    return cfg;
+  }
+
+  static std::string eval_tsv(const dibella::core::PipelineOutput& out) {
+    std::ostringstream os;
+    dibella::eval::write_eval_tsv(os, out.eval);
+    return os.str();
+  }
+
+  static const Dataset& dataset(u64 seed) {
+    static std::map<u64, Dataset> cache;
+    auto it = cache.find(seed);
+    if (it == cache.end()) {
+      Dataset d;
+      d.sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(seed));
+      d.truth = std::make_shared<const dibella::io::TruthTable>(
+          dibella::simgen::truth_table(d.sim));
+      it = cache.emplace(seed, std::move(d)).first;
+    }
+    return it->second;
+  }
+
+  static const std::string& reference_tsv(u64 seed, u32 w) {
+    static std::map<std::pair<u64, u32>, std::string> cache;
+    auto key = std::make_pair(seed, w);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      const Dataset& d = dataset(seed);
+      dibella::comm::World world(1);
+      auto ref = run_pipeline(world, d.sim.reads, eval_config(w), d.truth);
+      it = cache.emplace(key, eval_tsv(ref)).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(SketchDensitySweep, EvalByteIdenticalAtEveryDensity) {
+  const auto [w, seed, ranks, overlap_comm] = GetParam();
+  const Dataset& d = dataset(seed);
+  auto cfg = eval_config(w);
+  cfg.overlap_comm = overlap_comm;
+  dibella::comm::World world(ranks);
+  auto out = run_pipeline(world, d.sim.reads, cfg, d.truth);
+  ASSERT_TRUE(out.eval_ran);
+  EXPECT_GT(out.eval.overlap.true_positives, 0u);
+  EXPECT_EQ(eval_tsv(out), reference_tsv(seed, w))
+      << "w=" << w << " seed=" << seed << " ranks=" << ranks
+      << " overlap_comm=" << overlap_comm;
+}
+
+INSTANTIATE_TEST_SUITE_P(DensityRanksSchedule, SketchDensitySweep,
+                         ::testing::Combine(::testing::Values(0u, 5u, 10u, 19u),
+                                            ::testing::Values(u64{42}, u64{7}),
+                                            ::testing::Values(1, 3, 5),
+                                            ::testing::Bool()));
+
+// The quality bar: at the default density (w = 10) overlap recall stays
+// within one point of the dense pipeline under the standard >= 2000-base
+// true-overlap definition (PipelineConfig's default; the paper's working
+// notion of a real overlap). Pairs sharing that much sequence have enough
+// correct shared windows that 1/w sampling keeps at least one; only the
+// marginal short-overlap tail below the threshold thins out.
+TEST(SketchDensity, DefaultDensityRecallWithinOnePointOfDense) {
+  auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test(42));
+  auto truth = std::make_shared<const dibella::io::TruthTable>(
+      dibella::simgen::truth_table(sim));
+  auto run_with = [&](u32 w) {
+    dibella::core::PipelineConfig cfg;
+    cfg.assumed_error_rate = 0.12;
+    cfg.assumed_coverage = 20.0;
+    cfg.minimizer_w = w;
+    cfg.eval = true;
+    dibella::comm::World world(2);
+    return run_pipeline(world, sim.reads, cfg, truth);
+  };
+  auto dense = run_with(0);
+  auto sketched = run_with(10);
+  ASSERT_TRUE(dense.eval_ran);
+  ASSERT_TRUE(sketched.eval_ran);
+  ASSERT_GT(dense.eval.overlap.true_pairs, 100u);  // not a vacuous truth set
+  EXPECT_GE(sketched.eval.overlap.recall(), dense.eval.overlap.recall() - 0.01)
+      << "dense recall=" << dense.eval.overlap.recall()
+      << " w=10 recall=" << sketched.eval.overlap.recall();
+  // And it must actually sample: far fewer seed occurrences enter stage 1.
+  EXPECT_LT(sketched.counters.sketch_seeds_kept * 3,
+            dense.counters.sketch_seeds_kept);
+}
+
 // --- error-rate sweep: seed detection meets BELLA's model -------------------
 
 class ErrorRateSweep : public ::testing::TestWithParam<double> {};

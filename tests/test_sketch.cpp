@@ -1,0 +1,202 @@
+// Unit tests for the minimizer sketch layer (src/sketch/): dense-mode
+// identity, subset + window-coverage guarantees, expected density, strand
+// symmetry (the property that makes sampled seeding find shared seeds), the
+// closed-syncmer scheme, and the short-read fallback.
+
+#include "sketch/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kmer/parser.hpp"
+#include "util/random.hpp"
+
+using dibella::u32;
+using dibella::u64;
+using dibella::kmer::Occurrence;
+using dibella::sketch::SketchConfig;
+using dibella::sketch::Sketcher;
+
+namespace {
+
+std::string random_dna(u64 seed, std::size_t n) {
+  dibella::util::Xoshiro256 rng(seed);
+  std::string s(n, 'A');
+  for (auto& c : s) c = "ACGT"[rng.uniform_below(4)];
+  return s;
+}
+
+std::string reverse_complement(const std::string& s) {
+  std::string rc(s.rbegin(), s.rend());
+  for (auto& c : rc) {
+    switch (c) {
+      case 'A': c = 'T'; break;
+      case 'C': c = 'G'; break;
+      case 'G': c = 'C'; break;
+      case 'T': c = 'A'; break;
+    }
+  }
+  return rc;
+}
+
+std::vector<Occurrence> dense_occurrences(const std::string& seq, int k) {
+  std::vector<Occurrence> occ;
+  dibella::kmer::for_each_canonical_kmer(
+      seq, k, [&](const Occurrence& o) { occ.push_back(o); });
+  return occ;
+}
+
+std::vector<Occurrence> sketch_occurrences(const std::string& seq, int k,
+                                           const SketchConfig& cfg) {
+  Sketcher sk(k, cfg);
+  std::vector<Occurrence> occ;
+  sk.for_each_seed(seq, [&](const Occurrence& o) { occ.push_back(o); });
+  return occ;
+}
+
+}  // namespace
+
+TEST(Sketch, DenseModeIsExactlyTheCanonicalKmerStream) {
+  const int k = 17;
+  const std::string seq = random_dna(11, 400);
+  auto dense = dense_occurrences(seq, k);
+  for (u32 w : {0u, 1u}) {  // both below the enablement threshold
+    auto got = sketch_occurrences(seq, k, SketchConfig{w, false});
+    ASSERT_EQ(got.size(), dense.size()) << "w=" << w;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].pos, dense[i].pos);
+      EXPECT_EQ(got[i].kmer, dense[i].kmer);
+    }
+  }
+}
+
+TEST(Sketch, MinimizersAreASubsetWithFullWindowCoverage) {
+  const int k = 17;
+  const u32 w = 7;
+  const std::string seq = random_dna(23, 1200);
+  auto dense = dense_occurrences(seq, k);
+  auto kept = sketch_occurrences(seq, k, SketchConfig{w, false});
+  ASSERT_FALSE(kept.empty());
+  ASSERT_LT(kept.size(), dense.size());
+
+  // Subset, in position order.
+  std::set<u32> dense_pos, kept_pos;
+  for (const auto& o : dense) dense_pos.insert(o.pos);
+  for (const auto& o : kept) {
+    EXPECT_TRUE(dense_pos.count(o.pos)) << "pos " << o.pos << " not a k-mer window";
+    kept_pos.insert(o.pos);
+  }
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_LT(kept[i - 1].pos, kept[i].pos);
+  }
+
+  // The winnowing guarantee: every window of w consecutive k-mers keeps one.
+  for (std::size_t i = 0; i + w <= dense.size(); ++i) {
+    bool covered = false;
+    for (u32 j = 0; j < w; ++j) covered |= kept_pos.count(dense[i + j].pos) > 0;
+    EXPECT_TRUE(covered) << "window of " << w << " k-mers at index " << i
+                         << " kept no minimizer";
+  }
+}
+
+TEST(Sketch, DensityTracksExpectation) {
+  const int k = 17;
+  const std::string seq = random_dna(5, 60'000);
+  for (u32 w : {5u, 10u, 19u, 50u}) {
+    SketchConfig cfg{w, false};
+    Sketcher sk(k, cfg);
+    u64 kept = 0;
+    sk.for_each_seed(seq, [&](const Occurrence&) { ++kept; });
+    const double measured = static_cast<double>(kept) /
+                            static_cast<double>(sk.stats().windows_scanned);
+    const double expected = dibella::sketch::expected_density(cfg);
+    EXPECT_NEAR(measured, expected, 0.35 * expected) << "w=" << w;
+    EXPECT_EQ(sk.stats().seeds_kept, kept);
+  }
+}
+
+TEST(Sketch, MinimizerSelectionIsStrandSymmetric) {
+  // Sketching a read and its reverse complement must keep the same k-mers
+  // (positions mirrored): overlapping reads sequenced from opposite strands
+  // sample identical seeds from their shared region.
+  const int k = 17;
+  const std::string fwd = random_dna(31, 900);
+  const std::string rc = reverse_complement(fwd);
+  for (bool syncmer : {false, true}) {
+    const SketchConfig cfg{10, syncmer};
+    auto kept_f = sketch_occurrences(fwd, k, cfg);
+    auto kept_r = sketch_occurrences(rc, k, cfg);
+    ASSERT_EQ(kept_f.size(), kept_r.size()) << "syncmer=" << syncmer;
+    std::set<u32> mirrored;
+    for (const auto& o : kept_r) {
+      mirrored.insert(static_cast<u32>(fwd.size()) - k - o.pos);
+    }
+    for (const auto& o : kept_f) {
+      EXPECT_TRUE(mirrored.count(o.pos))
+          << "syncmer=" << syncmer << ": fwd minimizer at " << o.pos
+          << " missing from the reverse-complement sketch";
+    }
+  }
+}
+
+TEST(Sketch, ClosedSyncmersAreSparserSubset) {
+  const int k = 17;
+  const u32 w = 10;
+  const std::string seq = random_dna(47, 30'000);
+  auto dense = dense_occurrences(seq, k);
+  auto kept = sketch_occurrences(seq, k, SketchConfig{w, true});
+  ASSERT_FALSE(kept.empty());
+  std::set<u32> dense_pos;
+  for (const auto& o : dense) dense_pos.insert(o.pos);
+  for (const auto& o : kept) EXPECT_TRUE(dense_pos.count(o.pos));
+  const double measured =
+      static_cast<double>(kept.size()) / static_cast<double>(dense.size());
+  const double expected =
+      dibella::sketch::expected_density(SketchConfig{w, true});  // ~2/w
+  EXPECT_NEAR(measured, expected, 0.35 * expected);
+}
+
+TEST(Sketch, ShortReadStillContributesOneSeed) {
+  const int k = 17;
+  const u32 w = 10;
+  // 20 bases = 4 k-mer windows, fewer than w: the fallback keeps exactly one.
+  const std::string seq = random_dna(53, 20);
+  ASSERT_EQ(dense_occurrences(seq, k).size(), 4u);
+  for (bool syncmer : {false, true}) {
+    auto kept = sketch_occurrences(seq, k, SketchConfig{w, syncmer});
+    EXPECT_GE(kept.size(), 1u) << "syncmer=" << syncmer;
+    EXPECT_LE(kept.size(), 4u) << "syncmer=" << syncmer;
+  }
+}
+
+TEST(Sketch, SketcherIsReusableAcrossReads) {
+  // One Sketcher instance streams many reads (per-rank usage); scratch state
+  // must not leak between reads.
+  const int k = 17;
+  const SketchConfig cfg{10, false};
+  Sketcher sk(k, cfg);
+  const std::string a = random_dna(61, 500);
+  const std::string b = random_dna(67, 700);
+  std::vector<Occurrence> first, again;
+  sk.for_each_seed(a, [&](const Occurrence& o) { first.push_back(o); });
+  sk.for_each_seed(b, [&](const Occurrence&) {});
+  sk.for_each_seed(a, [&](const Occurrence& o) { again.push_back(o); });
+  ASSERT_EQ(first.size(), again.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].pos, again[i].pos);
+    EXPECT_EQ(first[i].kmer, again[i].kmer);
+  }
+}
+
+TEST(Sketch, ExpectedDensityFormula) {
+  EXPECT_DOUBLE_EQ(dibella::sketch::expected_density(SketchConfig{0, false}), 1.0);
+  EXPECT_DOUBLE_EQ(dibella::sketch::expected_density(SketchConfig{1, false}), 1.0);
+  EXPECT_DOUBLE_EQ(dibella::sketch::expected_density(SketchConfig{9, false}),
+                   2.0 / 10.0);
+  EXPECT_DOUBLE_EQ(dibella::sketch::expected_density(SketchConfig{10, true}),
+                   2.0 / 10.0);
+}
