@@ -26,6 +26,7 @@ std::vector<AlignmentRecord> run_alignment_stage(
   ChainParams chain_params;
   chain_params.k = cfg.k;
 
+  obs::Span extend_span = ctx.span("align:extend");
   u64 touched_bytes = 0;
   u64 revcomp_bytes = 0;
   for (const auto& task : tasks) {
@@ -112,6 +113,8 @@ std::vector<AlignmentRecord> run_alignment_stage(
       ++res.records_kept;
     }
   }
+  extend_span.arg("pairs", res.pairs_aligned);
+  extend_span.arg("cells", res.dp_cells);
   res.sw_band_fallbacks = ws.sw_band_fallbacks;
   // Work-based compute accounting: DP cells dominate; reverse-complement
   // construction and read access are byte-copy-bounded. Exact per-rank unit

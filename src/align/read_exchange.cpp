@@ -31,6 +31,7 @@ ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& sto
   const int P = comm.size();
   const auto& partition = store.partition();
   ReadExchangeResult res;
+  obs::Span fetch_span = ctx.span("align:read_exchange");
 
   const auto& costs = core::KernelCosts::get();
 
@@ -137,6 +138,8 @@ ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& sto
                                 batch_bytes);
         });
     store.cache_remote_bulk(std::move(fetched));
+    fetch_span.arg("reads", res.reads_requested);
+    fetch_span.arg("bytes", res.bytes_received);
     return res;
   }
 
@@ -196,6 +199,8 @@ ReadExchangeResult run_read_exchange(core::StageContext& ctx, io::ReadStore& sto
                           res.bytes_received);
     store.cache_remote_bulk(std::move(fetched));
   }
+  fetch_span.arg("reads", res.reads_requested);
+  fetch_span.arg("bytes", res.bytes_received);
   return res;
 }
 

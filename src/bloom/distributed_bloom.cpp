@@ -60,6 +60,8 @@ BloomStageResult run_bloom_stage(core::StageContext& ctx, const io::ReadStore& r
   // resulting filter/table are bitwise-identical.
   kmer::OccurrenceStream stream(reads, cfg.k, cfg.sketch);
   auto insert_batch = [&](const kmer::Kmer* data, std::size_t n) {
+    obs::Span span = ctx.span("bloom:insert");
+    span.arg("kmers", n);
     u64 hits = 0;
     for (std::size_t i = 0; i < n; ++i) {
       const kmer::Kmer& km = data[i];

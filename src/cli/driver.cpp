@@ -21,6 +21,9 @@
 #include "io/truth.hpp"
 #include "netsim/cost_model.hpp"
 #include "netsim/platform.hpp"
+#include "obs/profile.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace_export.hpp"
 #include "sgraph/unitig.hpp"
 #include "simgen/presets.hpp"
 #include "util/args.hpp"
@@ -158,6 +161,19 @@ cost model:
   --ranks-per-node=N    simulated ranks per node (default min(4, ranks);
                         must divide --ranks)
 
+observability:
+  --trace=FILE          record wallclock spans and write a Chrome trace-event
+                        JSON timeline to FILE (open in ui.perfetto.dev or
+                        chrome://tracing): one track per rank, nested stage /
+                        round / kernel spans, async arrows for in-flight
+                        exchanges. Honored even with --no-output. Outputs are
+                        byte-identical with tracing on or off.
+  --profile-report      collect spans and print the post-run profile: per-stage
+                        critical path, exposed vs hidden exchange wallclock
+                        cross-checked against the cost model, per-rank load
+                        imbalance, and the hottest spans. Also writes
+                        profile.tsv to --out-dir (unless --no-output).
+
 output:
   --out-dir=DIR         directory for alignments.paf, counters.tsv,
                         timings.tsv (+ reads.fasta for simulated input)
@@ -185,7 +201,8 @@ const std::set<std::string>& known_options() {
       "stage5",     "gfa",           "min-overlap-score",
       "eval",       "truth",         "eval-min-overlap",
       "blocks",     "memory-budget", "spill-dir",
-      "checkpoint-dir", "resume",    "on-rank-failure", "inject-fault"};
+      "checkpoint-dir", "resume",    "on-rank-failure", "inject-fault",
+      "trace",      "profile-report"};
   return opts;
 }
 
@@ -267,56 +284,9 @@ void write_file(const std::filesystem::path& path, const std::string& data) {
   if (!os.flush()) throw Error("write failed: " + path.string());
 }
 
-std::string counters_tsv(const core::PipelineCounters& c, int ranks) {
-  std::ostringstream os;
-  os << "counter\tvalue\n";
-  auto row = [&](const char* name, u64 v) { os << name << "\t" << v << "\n"; };
-  row("ranks", static_cast<u64>(ranks));
-  row("kmers_parsed", c.kmers_parsed);
-  row("candidate_keys", c.candidate_keys);
-  row("sketch_windows", c.sketch_windows);
-  row("sketch_seeds_kept", c.sketch_seeds_kept);
-  // Achieved sampling density in parts-per-million (kept / windows); 10^6
-  // when dense, ~2/(w+1) * 10^6 under minimizers. Integer so the TSV stays
-  // locale-proof and byte-comparable.
-  row("sketch_density_ppm",
-      c.sketch_windows == 0 ? 0 : c.sketch_seeds_kept * 1'000'000 / c.sketch_windows);
-  row("retained_kmers", c.retained_kmers);
-  row("purged_keys", c.purged_keys);
-  row("overlap_tasks", c.overlap_tasks);
-  row("read_pairs", c.read_pairs);
-  row("seeds_after_filter", c.seeds_after_filter);
-  row("reads_exchanged", c.reads_exchanged);
-  row("read_bytes_exchanged", c.read_bytes_exchanged);
-  row("pairs_aligned", c.pairs_aligned);
-  row("alignments_computed", c.alignments_computed);
-  row("dp_cells", c.dp_cells);
-  row("alignments_reported", c.alignments_reported);
-  row("sw_band_fallbacks", c.sw_band_fallbacks);
-  row("chain_anchors", c.chain_anchors);
-  row("chain_dropped_seeds", c.chain_dropped_seeds);
-  row("sg_contained_reads", c.sg_contained_reads);
-  row("sg_internal_records", c.sg_internal_records);
-  row("sg_dovetail_edges", c.sg_dovetail_edges);
-  row("sg_edges_removed", c.sg_edges_removed);
-  row("sg_edges_surviving", c.sg_edges_surviving);
-  row("sg_unitigs", c.sg_unitigs);
-  row("sg_components", c.sg_components);
-  row("peak_resident_read_bytes", c.peak_resident_read_bytes);
-  row("packed_read_bytes", c.packed_read_bytes);
-  row("block_loads", c.block_loads);
-  row("block_evictions", c.block_evictions);
-  row("spill_bytes", c.spill_bytes);
-  row("spill_runs", c.spill_runs);
-  row("comm_chunk_retries", c.comm_chunk_retries);
-  row("comm_chunk_redeliveries", c.comm_chunk_redeliveries);
-  row("comm_corrupt_chunks", c.comm_corrupt_chunks);
-  row("max_kmer_count", c.max_kmer_count);
-  return os.str();
-}
-
 std::string timings_tsv(const netsim::TimingReport& report) {
   std::ostringstream os;
+  os << obs::tsv_schema_header() << "\n";
   os << "stage\tcompute_virtual_s\texchange_virtual_s\texchange_exposed_s"
      << "\texchange_hidden_s\ttotal_virtual_s\texchange_bytes\texchange_calls\n";
   auto row = [&](const std::string& name, const netsim::StageTiming& t) {
@@ -349,10 +319,6 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
     t.cell(v);
   };
   row("1. k-mer instances parsed", c.kmers_parsed);
-  if (c.sketch_seeds_kept != c.sketch_windows) {  // sketching actually sampled
-    row("1. k-mer windows scanned (sketch)", c.sketch_windows);
-    row("1. minimizer seeds kept", c.sketch_seeds_kept);
-  }
   row("1. candidate keys (Bloom-approved)", c.candidate_keys);
   row("2. retained k-mers (2 <= count <= m)", c.retained_kmers);
   row("2. purged high-frequency keys", c.purged_keys);
@@ -362,10 +328,6 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
   row("4. reads replicated in exchange", c.reads_exchanged);
   row("4. pairs aligned", c.pairs_aligned);
   row("4. seed extensions (alignments)", c.alignments_computed);
-  if (c.chain_anchors > 0) {
-    row("4. pairs extended from chain anchor", c.chain_anchors);
-    row("4. seeds subsumed by chains", c.chain_dropped_seeds);
-  }
   row("4. alignments reported", c.alignments_reported);
   if (stage5) {
     row("5. contained reads dropped", c.sg_contained_reads);
@@ -375,6 +337,17 @@ void print_counters(std::ostream& out, const core::PipelineCounters& c, int rank
     row("5. edges surviving", c.sg_edges_surviving);
     row("5. unitigs", c.sg_unitigs);
     row("5. components", c.sg_components);
+  }
+  // Cross-cutting counters print as their own grouped blocks below the
+  // per-stage rows (sketch, chain, mem, comm) instead of interleaving with
+  // the stage that happens to produce them.
+  if (c.sketch_seeds_kept != c.sketch_windows) {  // sketching actually sampled
+    row("sketch. k-mer windows scanned", c.sketch_windows);
+    row("sketch. minimizer seeds kept", c.sketch_seeds_kept);
+  }
+  if (c.chain_anchors > 0) {
+    row("chain. pairs extended from chain anchor", c.chain_anchors);
+    row("chain. seeds subsumed by chains", c.chain_dropped_seeds);
   }
   row("mem. peak resident read bytes", c.peak_resident_read_bytes);
   if (c.packed_read_bytes > 0) {  // out-of-core rows only mean something in block mode
@@ -700,6 +673,14 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   if (eval_min_overlap < 1) throw UsageError("--eval-min-overlap must be >= 1");
   cfg.eval_min_overlap = static_cast<u64>(eval_min_overlap);
 
+  // --- observability: spans are collected whenever any consumer asks.
+  const bool profile_report = args.get_bool("profile-report", false);
+  const std::string trace_path = args.get("trace", "");
+  if (args.has("trace") && trace_path.empty()) {
+    throw UsageError("--trace needs a file path (--trace=FILE)");
+  }
+  cfg.collect_spans = !trace_path.empty() || profile_report;
+
   const netsim::Platform platform = platform_by_name(args.get("platform", "local"));
 
   out << "k=" << cfg.k << "  m=" << cfg.resolved_max_kmer_count()
@@ -750,6 +731,12 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
   const netsim::TimingReport report = result.evaluate(platform, topo);
   print_timings(out, report, platform, topo);
 
+  obs::ProfileReport profile;
+  if (result.span_trace) {
+    profile = obs::build_profile(*result.span_trace, &report);
+    if (profile_report) obs::print_profile(out, profile);
+  }
+
   // --- persist.
   const bool no_output = args.get_bool("no-output", false);
   if (!no_output) {
@@ -767,8 +754,33 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
       core::write_paf(paf, *source, reads, cfg.sgraph_fuzz);
     }
     write_file(dir / kAlignmentsFile, paf.str());
-    write_file(dir / kCountersFile, counters_tsv(result.counters, ranks));
+    {
+      std::ostringstream counters;
+      result.metrics.dump_tsv(counters);
+      write_file(dir / kCountersFile, counters.str());
+    }
     write_file(dir / kTimingsFile, timings_tsv(report));
+    if (profile_report && result.span_trace) {
+      std::ostringstream prof;
+      obs::write_profile_tsv(prof, profile);
+      // Wire-level exchange accounting rides along as a `wire` section:
+      // schedule-dependent (chunking differs between overlapped and
+      // bulk-synchronous runs), so it belongs here, not in counters.tsv.
+      {
+        std::ostringstream wire;
+        result.wire_metrics.dump_tsv(wire);
+        std::istringstream rows(wire.str());
+        std::string row;
+        while (std::getline(rows, row)) {
+          if (row.empty() || row[0] == '#' || row == "counter\tvalue") continue;
+          const auto tab = row.find('\t');
+          prof << "wire\t" << row.substr(0, tab) << "\tvalue\t"
+               << row.substr(tab + 1) << "\n";
+        }
+      }
+      write_file(dir / kProfileFile, prof.str());
+      extras.push_back(kProfileFile);
+    }
     if (simulated) {
       // Echo the reads and their truth sidecar, so a later --input run on
       // this dataset can opt back into evaluation.
@@ -815,6 +827,14 @@ int run_checked(const util::Args& args, std::ostream& out, std::ostream& err) {
         << " edges, " << result.counters.sg_unitigs << " unitigs in "
         << result.counters.sg_components << " components -> " << gfa_path.string()
         << "\n";
+  }
+  // Like --gfa, an explicit --trace path is honored even under --no-output.
+  if (!trace_path.empty() && result.span_trace) {
+    std::ostringstream json;
+    obs::write_chrome_trace(json, *result.span_trace);
+    write_file(trace_path, json.str());
+    out << "trace: " << result.span_trace->ranks() << " rank timelines -> "
+        << trace_path << " (open in ui.perfetto.dev)\n";
   }
 
   if (result.counters.alignments_reported == 0) {

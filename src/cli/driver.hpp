@@ -31,6 +31,7 @@ inline constexpr const char* kGfaFile = "graph.gfa";      ///< stage 5 (default 
 inline constexpr const char* kComponentsFile = "components.tsv";  ///< stage 5
 inline constexpr const char* kUnitigsFile = "unitigs.tsv";        ///< stage 5
 inline constexpr const char* kEvalFile = "eval.tsv";      ///< --eval=on only
+inline constexpr const char* kProfileFile = "profile.tsv";  ///< --profile-report only
 
 /// Run the driver with the given argv. Progress and results go to `out`,
 /// diagnostics to `err`. Never throws; failures map to the exit codes above.

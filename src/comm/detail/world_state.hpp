@@ -302,6 +302,13 @@ class WorldState {
     }
   }
 
+  /// One receiving rank's self-healing tallies (per-exchange retry deltas
+  /// for the ExchangeRecord accounting).
+  CommFaultStats rank_fault_stats(int dst) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fault_stats_[static_cast<std::size_t>(dst)];
+  }
+
   /// Self-healing-exchange tallies summed over receiving ranks.
   CommFaultStats sum_fault_stats() const {
     std::lock_guard<std::mutex> lock(mutex_);

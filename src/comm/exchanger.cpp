@@ -44,6 +44,8 @@ void Exchanger::flush_async(bool done) {
           : std::nullopt;
   const int fault_dst = (comm_.rank() + 1) % P;
   flight_epoch_ = comm_.epoch_;
+  flushed_chunks_ = 0;
+  retries_before_ = comm_.state_.rank_fault_stats(comm_.rank()).retries;
   for (int d = 0; d < P; ++d) {
     auto& buf = pack_[static_cast<std::size_t>(d)];
     flushed_bytes_[static_cast<std::size_t>(d)] = buf.size();
@@ -51,6 +53,7 @@ void Exchanger::flush_async(bool done) {
     // one empty chunk so the receiver always has a deposit to match).
     u32 chunks = static_cast<u32>(
         std::max<u64>(1, (buf.size() + cfg_.chunk_bytes - 1) / cfg_.chunk_bytes));
+    if (d != comm_.rank()) flushed_chunks_ += chunks;
     for (u32 c = 0; c < chunks; ++c) {
       detail::MailboxMessage msg;
       msg.epoch = flight_epoch_;
@@ -110,6 +113,9 @@ RecvBatch Exchanger::wait() {
     }
   }
   rec.hidden_wall_seconds = hidden;
+  rec.chunks = flushed_chunks_;
+  rec.retries =
+      comm_.state_.rank_fault_stats(comm_.rank()).retries - retries_before_;
   comm_.finish_record(std::move(rec), exposed_timer.seconds());
   return batch;
 }

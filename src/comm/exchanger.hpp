@@ -193,6 +193,8 @@ class Exchanger {
   Config cfg_;
   std::vector<std::vector<u8>> pack_;   ///< per-dst payload of the batch being packed
   std::vector<u64> flushed_bytes_;      ///< per-dst bytes of the in-flight batch
+  u64 flushed_chunks_ = 0;              ///< wire chunks of the in-flight batch (peers only)
+  u64 retries_before_ = 0;              ///< this rank's replay-retry tally at flush time
   u64 pending_bytes_ = 0;
   bool in_flight_ = false;
   u64 flight_epoch_ = 0;                ///< communicator epoch of the in-flight flush

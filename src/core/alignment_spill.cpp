@@ -113,9 +113,9 @@ AlignmentSpillSet::~AlignmentSpillSet() {
   fs::remove_all(dir_, ec);  // best effort; nothing to do about failure here
 }
 
-void AlignmentSpillSet::add_run(int rank,
-                                const std::vector<align::AlignmentRecord>& sorted) {
-  if (sorted.empty()) return;
+u64 AlignmentSpillSet::add_run(int rank,
+                               const std::vector<align::AlignmentRecord>& sorted) {
+  if (sorted.empty()) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   if (next_run_index_.size() <= static_cast<std::size_t>(rank)) {
     next_run_index_.resize(static_cast<std::size_t>(rank) + 1, 0);
@@ -126,6 +126,7 @@ void AlignmentSpillSet::add_run(int rank,
   const u64 bytes = write_alignment_run(path.string(), sorted);
   runs_.push_back({rank, path.string()});
   bytes_ += bytes;
+  return bytes;
 }
 
 std::vector<std::string> AlignmentSpillSet::rank_runs(int rank) const {

@@ -68,8 +68,9 @@ class AlignmentSpillSet {
   AlignmentSpillSet& operator=(const AlignmentSpillSet&) = delete;
 
   /// Spill one run of records already sorted by (rid_a, rid_b). Empty runs
-  /// are dropped (no file). Thread-safe.
-  void add_run(int rank, const std::vector<align::AlignmentRecord>& sorted);
+  /// are dropped (no file). Thread-safe. Returns the payload bytes written
+  /// (0 for a dropped empty run) — the caller's span/metrics accounting.
+  u64 add_run(int rank, const std::vector<align::AlignmentRecord>& sorted);
 
   /// Paths of rank `rank`'s runs, in spill order (stage-5 input).
   std::vector<std::string> rank_runs(int rank) const;

@@ -182,6 +182,9 @@ void CheckpointSet::write_payload(CheckpointStage stage, int rank,
   const u32 crc = util::crc32(bytes.data(), bytes.size());
   out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
   DIBELLA_CHECK(out.good(), "CheckpointSet: short write to " + path);
+  std::lock_guard<std::mutex> lock(io_mu_);
+  ++io_.payloads_written;
+  io_.bytes_written += bytes.size();
 }
 
 std::vector<u8> CheckpointSet::read_payload(CheckpointStage stage, int rank) const {
@@ -205,6 +208,11 @@ std::vector<u8> CheckpointSet::read_payload(CheckpointStage stage, int rank) con
                     stored == util::crc32(bytes.data(), bytes.size()),
                 "CheckpointSet: CRC32 mismatch in checkpoint payload " + path +
                     " (corrupted on disk)");
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    ++io_.payloads_read;
+    io_.bytes_read += bytes.size();
+  }
   return bytes;
 }
 

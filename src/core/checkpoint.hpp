@@ -34,6 +34,7 @@
 
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,20 @@ class CheckpointSet {
   /// a barrier has made every rank's payload durable.
   void mark_complete(CheckpointStage stage);
 
+  /// Checkpoint I/O accounting (payload bytes only; frame overhead and the
+  /// manifest are noise). Summed over ranks and stages; deterministic in
+  /// (reads, config), so it feeds the obs::Registry directly.
+  struct IoStats {
+    u64 payloads_written = 0;
+    u64 bytes_written = 0;
+    u64 payloads_read = 0;
+    u64 bytes_read = 0;
+  };
+  IoStats io_stats() const {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    return io_;
+  }
+
  private:
   CheckpointSet(std::string dir, u32 fingerprint, int ranks)
       : dir_(std::move(dir)), fingerprint_(fingerprint), ranks_(ranks) {}
@@ -137,6 +152,8 @@ class CheckpointSet {
   u32 fingerprint_;
   int ranks_;
   CheckpointStage last_complete_ = CheckpointStage::kNone;
+  mutable std::mutex io_mu_;  ///< ranks are threads; write_payload is concurrent
+  mutable IoStats io_;
 };
 
 }  // namespace dibella::core

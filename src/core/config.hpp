@@ -92,6 +92,14 @@ struct PipelineConfig {
   /// output. Only meaningful with resume.
   std::vector<int> degraded_ranks;
 
+  // --- observability (src/obs/)
+  /// Collect wallclock spans on every rank (the --trace/--profile-report
+  /// input). Purely additive: PAF/GFA/eval outputs and the metrics registry
+  /// are byte-identical with spans on or off.
+  bool collect_spans = false;
+  /// Per-rank span ring capacity (events); oldest events drop on overflow.
+  u64 span_events_per_rank = u64{1} << 17;
+
   // --- ground-truth evaluation (src/eval/; needs a TruthTable at run time)
   /// Score the run against ground truth: overlap recall/precision/F1 plus
   /// stage-5 unitig fidelity. run_pipeline must be handed the truth table.

@@ -163,6 +163,17 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     }
   }
 
+  // Observability: one wallclock span lane per rank when tracing is on, and
+  // one metrics registry per rank always (merged into the run registry after
+  // the ranks join; single-writer during the run, so no contention).
+  std::shared_ptr<obs::Trace> span_trace;
+  if (config.collect_spans) {
+    span_trace = std::make_shared<obs::Trace>(
+        P, static_cast<std::size_t>(config.span_events_per_rank));
+  }
+  std::vector<obs::Registry> rank_metrics(static_cast<std::size_t>(P));
+  std::vector<obs::Registry> rank_wire_metrics(static_cast<std::size_t>(P));
+
   // Per-rank result slots (each rank writes only its own index).
   std::vector<netsim::RankTrace> traces(static_cast<std::size_t>(P));
   std::vector<bloom::BloomStageResult> bloom_res(static_cast<std::size_t>(P));
@@ -187,7 +198,8 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   world.clear_exchange_records();
   world.run([&](comm::Communicator& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
-    StageContext ctx{comm, traces[rank]};
+    StageContext ctx{comm, traces[rank], span_trace.get(), &rank_metrics[rank],
+                     &rank_wire_metrics[rank]};
     ctx.attach();
 
     io::BlockConfig block_cfg;
@@ -208,7 +220,10 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     // any abort before it sees the stage as absent — never half a set.
     const auto checkpoint_stage = [&](CheckpointStage stage, auto&& write_payload) {
       if (!ckpt) return;
-      write_payload();
+      {
+        obs::Span io_span = ctx.span("checkpoint:write");
+        write_payload();
+      }
       comm.barrier();
       if (comm.rank() == 0) ckpt->mark_complete(stage);
     };
@@ -224,12 +239,16 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       bcfg.sketch = sketch::SketchConfig{config.minimizer_w, config.syncmer};
       bcfg.overlap_comm = config.overlap_comm;
       bcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-      bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
+      {
+        obs::Span stage_span = ctx.span("stage:bloom");
+        bloom_res[rank] = bloom::run_bloom_stage(ctx, store, bcfg, table);
+      }
       checkpoint_stage(CheckpointStage::kBloom, [&] {
         ckpt->write_payload(CheckpointStage::kBloom, comm.rank(),
                             serialize_table_keys(table));
       });
     } else if (resume_from == CheckpointStage::kBloom && !degraded_me) {
+      obs::Span io_span = ctx.span("checkpoint:read");
       restore_table_keys(table,
                          ckpt->read_payload(CheckpointStage::kBloom, comm.rank()));
     }
@@ -244,12 +263,16 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       hcfg.sketch = sketch::SketchConfig{config.minimizer_w, config.syncmer};
       hcfg.overlap_comm = config.overlap_comm;
       hcfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-      ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
+      {
+        obs::Span stage_span = ctx.span("stage:ht");
+        ht_res[rank] = dht::run_hashtable_stage(ctx, store, hcfg, table);
+      }
       checkpoint_stage(CheckpointStage::kHashTable, [&] {
         ckpt->write_payload(CheckpointStage::kHashTable, comm.rank(),
                             serialize_table_full(table));
       });
     } else if (resume_from == CheckpointStage::kHashTable && !degraded_me) {
+      obs::Span io_span = ctx.span("checkpoint:read");
       restore_table_full(table,
                          ckpt->read_payload(CheckpointStage::kHashTable, comm.rank()));
     }
@@ -262,12 +285,16 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       ocfg.overlap_comm = config.overlap_comm;
       ocfg.batch_tasks = config.batch_overlap_tasks;
       ocfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
-      tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
+      {
+        obs::Span stage_span = ctx.span("stage:overlap");
+        tasks = overlap::run_overlap_stage(ctx, table, partition, ocfg, &ov_res[rank]);
+      }
       checkpoint_stage(CheckpointStage::kOverlap, [&] {
         ckpt->write_payload(CheckpointStage::kOverlap, comm.rank(),
                             serialize_tasks(tasks));
       });
     } else if (resume_from == CheckpointStage::kOverlap && !degraded_me) {
+      obs::Span io_span = ctx.span("checkpoint:read");
       tasks = restore_tasks(ckpt->read_payload(CheckpointStage::kOverlap, comm.rank()));
     }
 
@@ -292,9 +319,11 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       acfg.min_score = config.min_report_score;
       acfg.chain = config.chain;
       if (B == 1) {
+        obs::Span stage_span = ctx.span("stage:align");
         rx_res[rank] = align::run_read_exchange(ctx, store, tasks, rcfg);
         records[rank] = align::run_alignment_stage(ctx, store, tasks, acfg, &al_res[rank]);
       } else {
+        obs::Span stage_span = ctx.span("stage:align");
         std::vector<std::vector<overlap::AlignmentTask>> rounds(B);
         for (auto& t : tasks) {
           const u64 round_gid = !store.is_local(t.rid_a) ? t.rid_a : t.rid_b;
@@ -303,6 +332,9 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
         tasks.clear();
         tasks.shrink_to_fit();
         for (u32 r = 0; r < B; ++r) {
+          obs::Span round_span = ctx.span("round");
+          round_span.arg("block", r);
+          round_span.arg("tasks", rounds[r].size());
           const auto rx = align::run_read_exchange(ctx, store, rounds[r], rcfg);
           rx_res[rank].reads_requested += rx.reads_requested;
           rx_res[rank].reads_served += rx.reads_served;
@@ -315,7 +347,12 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
           al_res[rank].records_kept += al.records_kept;
           al_res[rank].sw_band_fallbacks += al.sw_band_fallbacks;
           sort_records(round_records);
-          spill->add_run(comm.rank(), round_records);
+          {
+            obs::Span spill_span = ctx.span("spill:write");
+            const u64 spilled = spill->add_run(comm.rank(), round_records);
+            spill_span.arg("bytes", spilled);
+            ctx.metric("spill_write_bytes").add(spilled);
+          }
           store.clear_remote_cache();
           rounds[r].clear();
           rounds[r].shrink_to_fit();
@@ -340,6 +377,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     } else if (!degraded_me) {
       // Resume past alignment: load this rank's checkpointed records
       // resident and run everything downstream in-memory (no spill set).
+      obs::Span io_span = ctx.span("checkpoint:read");
       SpillMergeSource source(std::vector<std::string>{
           ckpt->payload_path(CheckpointStage::kAlignment, comm.rank())});
       align::AlignmentRecord rec;
@@ -358,6 +396,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
       scfg.overlap_comm = config.overlap_comm;
       scfg.batch_bytes = config.batch_graph_bytes;
       scfg.exchange_chunk_bytes = config.exchange_chunk_bytes;
+      obs::Span stage_span = ctx.span("stage:sgraph");
       if (!spill) {
         sg_out[rank] = sgraph::run_string_graph_stage(ctx, store, records[rank], scfg,
                                                       &sg_res[rank]);
@@ -378,6 +417,10 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   out.traces = std::move(traces);
   out.exchange_log = world.exchange_records();
   out.spill = spill;
+  if (span_trace) {
+    span_trace->finalize();  // an unclosed span would corrupt later pairing
+    out.span_trace = span_trace;
+  }
 
   if (!spill) {
     std::size_t total_records = 0;
@@ -440,6 +483,67 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
     out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
     c.sg_unitigs = out.string_graph.layout.unitigs.size();
     c.sg_components = out.string_graph.layout.components.size();
+  }
+
+  // The run registry: fold in the per-rank registries (labeled exchange
+  // accounting from the comm sinks, spill activity), then mirror every
+  // aggregated pipeline counter so counters.tsv is one deterministic,
+  // schema-versioned dump. No wallclock values enter here — measured time
+  // lives in the span trace — so the dump is byte-stable run over run.
+  {
+    obs::Registry& m = out.metrics;
+    for (const obs::Registry& rm : rank_metrics) m.merge(rm);
+    for (const obs::Registry& rm : rank_wire_metrics) out.wire_metrics.merge(rm);
+    const auto put = [&m](const char* name, u64 v) { m.counter(name).add(v); };
+    put("ranks", static_cast<u64>(P));
+    put("kmers_parsed", c.kmers_parsed);
+    put("candidate_keys", c.candidate_keys);
+    put("sketch_windows", c.sketch_windows);
+    put("sketch_seeds_kept", c.sketch_seeds_kept);
+    // Achieved sampling density in parts-per-million (kept / windows); 10^6
+    // when dense, ~2/(w+1) * 10^6 under minimizers. Integer so the TSV stays
+    // locale-proof and byte-comparable.
+    put("sketch_density_ppm", c.sketch_windows == 0
+                                  ? 0
+                                  : c.sketch_seeds_kept * 1'000'000 / c.sketch_windows);
+    put("retained_kmers", c.retained_kmers);
+    put("purged_keys", c.purged_keys);
+    put("overlap_tasks", c.overlap_tasks);
+    put("read_pairs", c.read_pairs);
+    put("seeds_after_filter", c.seeds_after_filter);
+    put("reads_exchanged", c.reads_exchanged);
+    put("read_bytes_exchanged", c.read_bytes_exchanged);
+    put("pairs_aligned", c.pairs_aligned);
+    put("alignments_computed", c.alignments_computed);
+    put("dp_cells", c.dp_cells);
+    put("alignments_reported", c.alignments_reported);
+    put("sw_band_fallbacks", c.sw_band_fallbacks);
+    put("chain_anchors", c.chain_anchors);
+    put("chain_dropped_seeds", c.chain_dropped_seeds);
+    put("sg_contained_reads", c.sg_contained_reads);
+    put("sg_internal_records", c.sg_internal_records);
+    put("sg_dovetail_edges", c.sg_dovetail_edges);
+    put("sg_edges_removed", c.sg_edges_removed);
+    put("sg_edges_surviving", c.sg_edges_surviving);
+    put("sg_unitigs", c.sg_unitigs);
+    put("sg_components", c.sg_components);
+    m.gauge("peak_resident_read_bytes").set_max(c.peak_resident_read_bytes);
+    put("packed_read_bytes", c.packed_read_bytes);
+    put("block_loads", c.block_loads);
+    put("block_evictions", c.block_evictions);
+    put("spill_bytes", c.spill_bytes);
+    put("spill_runs", c.spill_runs);
+    put("comm_chunk_retries", c.comm_chunk_retries);
+    put("comm_chunk_redeliveries", c.comm_chunk_redeliveries);
+    put("comm_corrupt_chunks", c.comm_corrupt_chunks);
+    put("max_kmer_count", c.max_kmer_count);
+    if (ckpt) {
+      const auto io = ckpt->io_stats();
+      put("checkpoint_payloads_written", io.payloads_written);
+      put("checkpoint_bytes_written", io.bytes_written);
+      put("checkpoint_payloads_read", io.payloads_read);
+      put("checkpoint_bytes_read", io.bytes_read);
+    }
   }
 
   // Ground-truth evaluation over the merged (rank-independent) outputs, so

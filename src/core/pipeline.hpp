@@ -26,6 +26,8 @@
 #include "io/read_store.hpp"
 #include "io/truth.hpp"
 #include "netsim/cost_model.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "overlap/overlapper.hpp"
 #include "sgraph/string_graph.hpp"
 
@@ -95,6 +97,17 @@ struct PipelineOutput {
   sgraph::StringGraphOutput string_graph;
   std::vector<netsim::RankTrace> traces;                       ///< per rank
   std::vector<std::vector<comm::ExchangeRecord>> exchange_log;  ///< per rank
+  /// The run's metrics registry (src/obs/): every counters.tsv row, merged
+  /// over ranks. Deterministic in (reads, config) — dump_tsv() is byte-stable
+  /// run over run and byte-identical across comm schedules and block counts.
+  obs::Registry metrics;
+  /// Wire-level exchange accounting (labeled per-stage call counts, framed
+  /// bytes, per-call size histogram), merged over ranks. Deterministic for a
+  /// fixed schedule but schedule-dependent, so it dumps into profile.tsv
+  /// rather than counters.tsv.
+  obs::Registry wire_metrics;
+  /// Wallclock span trace (finalized); non-null iff config.collect_spans.
+  std::shared_ptr<obs::Trace> span_trace;
   io::ReadPartition partition;
   /// Alignment tasks each rank owned — the paper's §9 point that the count
   /// balance is near perfect even when the time balance is not (Fig 8).

@@ -3,12 +3,20 @@
 /// Per-rank execution context handed to every pipeline stage: the
 /// communicator plus the rank's trace, with an RAII helper for timing
 /// compute sections with the thread CPU clock.
+///
+/// The context also carries the observability layer (src/obs/): a wallclock
+/// span lane (`spans`, null when --trace/--profile-report are off — every
+/// span call degrades to a no-op) and the rank's metrics registry
+/// (`metrics`, always attached by run_pipeline; null only in bare-bones
+/// tests, where metric() writes into a thread-local scratch registry).
 
 #include <string>
 #include <utility>
 
 #include "comm/communicator.hpp"
 #include "netsim/rank_trace.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/timer.hpp"
 
 namespace dibella::core {
@@ -17,17 +25,119 @@ namespace dibella::core {
 struct StageContext {
   comm::Communicator& comm;
   netsim::RankTrace& trace;
+  obs::Trace* spans = nullptr;      ///< wallclock span lanes (null = tracing off)
+  obs::Registry* metrics = nullptr; ///< this rank's metrics registry
+  /// Wire-level exchange accounting (call counts, framed bytes, per-call
+  /// size histogram). Kept out of `metrics`: chunking and batching differ
+  /// between the overlapped and bulk-synchronous schedules, so these rows
+  /// would break counters.tsv's byte-identity across schedules. They dump
+  /// into profile.tsv instead.
+  obs::Registry* wire_metrics = nullptr;
+
+  /// Open a wallclock span on this rank's lane (no-op when tracing is off).
+  obs::Span span(const char* name) { return obs::Span(spans, comm.rank(), name); }
+
+  /// A counter in this rank's registry; falls back to a thread-local scratch
+  /// registry when none is attached so stage code never branches.
+  obs::Counter& metric(const std::string& name, obs::Labels labels = {}) {
+    if (metrics) return metrics->counter(name, std::move(labels));
+    thread_local obs::Registry scratch;
+    return scratch.counter("scratch");
+  }
 
   /// Wire the communicator's record stream into the trace so exchange
   /// events interleave with compute events, and bracket nonblocking
   /// exchanges with start markers so the cost model can tell which compute
-  /// ran while an exchange was in flight. Call once per rank before any
-  /// stage runs.
+  /// ran while an exchange was in flight. When span collection is on, the
+  /// same sinks emit the wallclock counterpart: an async
+  /// `exchange:inflight` window per nonblocking exchange (bytes / chunks /
+  /// retries / exposed_us / hidden_us args) plus complete events for the
+  /// blocked portions. Call once per rank before any stage runs; `this`
+  /// must outlive the communicator's sinks (it does — both live for the
+  /// whole World::run closure).
   void attach() {
-    comm.set_record_sink([t = &trace](const comm::ExchangeRecord& rec) {
-      t->add_exchange(rec.seq);
+    comm.set_exchange_start_sink([this] {
+      trace.add_exchange_start();
+      if (spans) {
+        obs::RankTimeline& lane = spans->lane(comm.rank());
+        inflight_async_id_ = lane.next_async_id();
+        obs::SpanEvent ev;
+        ev.phase = obs::SpanEvent::Phase::kAsyncBegin;
+        ev.name = "exchange:inflight";
+        ev.t_ns = spans->now_ns();
+        ev.id = inflight_async_id_;
+        lane.push(ev);
+      }
     });
-    comm.set_exchange_start_sink([t = &trace] { t->add_exchange_start(); });
+    comm.set_record_sink([this](const comm::ExchangeRecord& rec) {
+      trace.add_exchange(rec.seq);
+      observe_exchange(rec);
+    });
+  }
+
+  /// Async pairing id of the open exchange window. Internal state of the
+  /// sinks above; public only so StageContext stays an aggregate.
+  u64 inflight_async_id_ = 0;
+
+ private:
+  static const char* collective_span_name(comm::CollectiveOp op) {
+    switch (op) {
+      case comm::CollectiveOp::kAlltoallv: return "collective:alltoallv";
+      case comm::CollectiveOp::kAllgather: return "collective:allgather";
+      case comm::CollectiveOp::kAllreduce: return "collective:allreduce";
+      case comm::CollectiveOp::kBroadcast: return "collective:broadcast";
+      case comm::CollectiveOp::kGather: return "collective:gather";
+      case comm::CollectiveOp::kBarrier: return "collective:barrier";
+      case comm::CollectiveOp::kExchange: return "collective:exchange";
+    }
+    return "collective";
+  }
+
+  void observe_exchange(const comm::ExchangeRecord& rec) {
+    if (wire_metrics) {
+      // Deterministic for a fixed schedule (bytes and call counts depend on
+      // input, config, and comm schedule — never on wallclock), but framed
+      // sizes and call counts differ between overlapped and bulk-synchronous
+      // runs, hence the separate wire registry.
+      obs::Labels by_stage{{"stage", rec.stage}};
+      wire_metrics->counter("exchange_calls", by_stage).increment();
+      wire_metrics->counter("exchange_bytes", by_stage).add(rec.total_bytes());
+      wire_metrics->histogram("exchange_bytes_per_call").add(rec.total_bytes());
+    }
+    if (!spans) return;
+    obs::RankTimeline& lane = spans->lane(comm.rank());
+    const u64 now = spans->now_ns();
+    const auto to_ns = [](double s) { return static_cast<u64>(s * 1e9); };
+    if (rec.op == comm::CollectiveOp::kExchange && inflight_async_id_ != 0) {
+      obs::SpanEvent done;
+      done.phase = obs::SpanEvent::Phase::kAsyncEnd;
+      done.name = "exchange:inflight";
+      done.t_ns = now;
+      done.id = inflight_async_id_;
+      done.add_arg("bytes", rec.total_bytes());
+      done.add_arg("chunks", rec.chunks);
+      done.add_arg("retries", rec.retries);
+      done.add_arg("seq", rec.seq);
+      done.add_arg("exposed_us", to_ns(rec.wall_seconds) / 1000);
+      done.add_arg("hidden_us", to_ns(rec.hidden_wall_seconds) / 1000);
+      lane.push(done);
+      inflight_async_id_ = 0;
+      obs::SpanEvent waited;
+      waited.phase = obs::SpanEvent::Phase::kComplete;
+      waited.name = "exchange:exposed";
+      waited.t_ns = now;
+      waited.dur_ns = to_ns(rec.wall_seconds);
+      waited.add_arg("bytes", rec.total_bytes());
+      lane.push(waited);
+    } else {
+      obs::SpanEvent col;
+      col.phase = obs::SpanEvent::Phase::kComplete;
+      col.name = collective_span_name(rec.op);
+      col.t_ns = now;
+      col.dur_ns = to_ns(rec.wall_seconds);
+      col.add_arg("bytes", rec.total_bytes());
+      lane.push(col);
+    }
   }
 };
 

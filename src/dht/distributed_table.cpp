@@ -23,6 +23,8 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
   // table contents.
   kmer::OccurrenceStream stream(reads, cfg.k, cfg.sketch);
   auto insert_batch = [&](const KmerInstance* data, std::size_t n) {
+    obs::Span span = ctx.span("ht:insert");
+    span.arg("instances", n);
     for (std::size_t i = 0; i < n; ++i) {
       const KmerInstance& inst = data[i];
       ++result.received_instances;
@@ -103,6 +105,8 @@ HashTableStageResult run_hashtable_stage(core::StageContext& ctx,
   // Purge: false-positive singletons and high-frequency k-mers (> m). The
   // partitions are traversed independently in parallel — no communication.
   u64 keys_before = table.size();
+  obs::Span purge_span = ctx.span("ht:purge");
+  purge_span.arg("keys", keys_before);
   result.purged_keys = table.purge_outside(cfg.min_count, cfg.max_count);
   ctx.trace.add_compute("ht:local",
                         static_cast<double>(keys_before) * costs.table_traverse,

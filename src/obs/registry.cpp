@@ -1,0 +1,130 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace dibella::obs {
+
+void LogHistogram::add(u64 value, u64 count) {
+  counts_[static_cast<std::size_t>(bucket_of(value))] += count;
+  total_ += count;
+  sum_ += value * count;
+}
+
+int LogHistogram::bucket_of(u64 value) {
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+u64 LogHistogram::bucket_upper(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 64) return ~u64{0};
+  return (u64{1} << bucket) - 1;
+}
+
+std::string Registry::row_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = name;
+  out += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+Registry::Metric& Registry::instrument(const std::string& name, Labels labels,
+                                       Kind kind) {
+  const std::string key = row_name(name, labels);
+  auto [it, inserted] = metrics_.try_emplace(key);
+  if (inserted) {
+    it->second.kind = kind;
+  } else {
+    DIBELLA_CHECK(it->second.kind == kind,
+                  "obs::Registry: metric '" + key + "' re-registered as a different type");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return instrument(name, std::move(labels), Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return instrument(name, std::move(labels), Kind::kGauge).gauge;
+}
+
+LogHistogram& Registry::histogram(const std::string& name, Labels labels) {
+  return instrument(name, std::move(labels), Kind::kHistogram).histogram;
+}
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [key, theirs] : other.metrics_) {
+    auto [it, inserted] = metrics_.try_emplace(key);
+    Metric& mine = it->second;
+    if (inserted) mine.kind = theirs.kind;
+    DIBELLA_CHECK(mine.kind == theirs.kind,
+                  "obs::Registry: merge type mismatch on metric '" + key + "'");
+    switch (mine.kind) {
+      case Kind::kCounter:
+        mine.counter.value_ += theirs.counter.value_;
+        break;
+      case Kind::kGauge:
+        mine.gauge.set_max(theirs.gauge.value_);
+        break;
+      case Kind::kHistogram:
+        for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+          mine.histogram.counts_[static_cast<std::size_t>(b)] +=
+              theirs.histogram.counts_[static_cast<std::size_t>(b)];
+        }
+        mine.histogram.total_ += theirs.histogram.total_;
+        mine.histogram.sum_ += theirs.histogram.sum_;
+        break;
+    }
+  }
+}
+
+std::string tsv_schema_header() {
+  std::ostringstream os;
+  os << "#schema=" << kTsvSchemaVersion;
+  return os.str();
+}
+
+void Registry::dump_tsv(std::ostream& os) const {
+  os << tsv_schema_header() << "\n";
+  os << "counter\tvalue\n";
+  // std::map iteration is already the sorted (name, labels) row order.
+  for (const auto& [key, m] : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+        os << key << "\t" << m.counter.value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << key << "\t" << m.gauge.value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        // Cumulative buckets in ascending order, then count and sum —
+        // fixed internal order within the family, empty buckets elided
+        // (the cumulative value at any `le` is still well-defined).
+        u64 cumulative = 0;
+        for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+          const u64 n = m.histogram.bucket_count(b);
+          if (n == 0) continue;
+          cumulative += n;
+          os << key << "{le=" << LogHistogram::bucket_upper(b) << "}\t" << cumulative
+             << "\n";
+        }
+        os << key << "_count\t" << m.histogram.total_count() << "\n";
+        os << key << "_sum\t" << m.histogram.sum() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace dibella::obs

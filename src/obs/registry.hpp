@@ -1,0 +1,138 @@
+#pragma once
+/// \file registry.hpp
+/// Typed metrics registry: named counters, gauges, and log-scale histograms
+/// with label support, and a deterministic schema-versioned TSV dump.
+///
+/// This is the single interface the pipeline's counting telemetry reports
+/// through — the rows the driver used to hand-append to counters.tsv (stage
+/// counters, comm fault tallies, block-cache and spill activity, checkpoint
+/// I/O) all live here now, so every subsystem's metric obeys one contract:
+///
+///   * Identity is (name, sorted labels). Registering the same identity
+///     twice returns the same instrument; label order at the call site does
+///     not matter.
+///   * Values are integral and deterministic: a metric must depend only on
+///     (input, config), never on wallclock or scheduling, so a config's
+///     dump is byte-stable run over run. Measured time belongs in the span
+///     tracer (span.hpp) and the profile report (profile.hpp).
+///   * dump_tsv emits `#schema=2`, the legacy `counter\tvalue` column
+///     header, then one row per metric in sorted (name, labels) order —
+///     histograms expand to `<name>{le=...}` cumulative-bucket rows plus
+///     `_count`/`_sum` rows in fixed internal order. Loaders stay tolerant
+///     of the old headerless form by skipping `#`-prefixed lines.
+///
+/// Instances are single-writer (one per rank); merge() folds rank
+/// registries into the run-level one (counters and histograms add, gauges
+/// take the max — per-rank gauges are high-water marks).
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace dibella::obs {
+
+/// Label set: key=value pairs, canonicalized to sorted-by-key order.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing sum.
+class Counter {
+ public:
+  void add(u64 delta) { value_ += delta; }
+  void increment() { value_ += 1; }
+  u64 value() const { return value_; }
+
+ private:
+  friend class Registry;
+  u64 value_ = 0;
+};
+
+/// Point-in-time level; merge keeps the maximum (high-water semantics).
+class Gauge {
+ public:
+  void set(u64 value) { value_ = value; }
+  void set_max(u64 value) {
+    if (value > value_) value_ = value;
+  }
+  u64 value() const { return value_; }
+
+ private:
+  friend class Registry;
+  u64 value_ = 0;
+};
+
+/// Log2-bucketed histogram of non-negative integer observations.
+///
+/// Bucket b covers [2^(b-1), 2^b - 1] for b >= 1; bucket 0 counts exact
+/// zeros. Equivalently, a value v lands in bucket std::bit_width(v), so the
+/// bucket's inclusive upper bound is 2^b - 1 (the largest b-bit value).
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 65;  ///< bucket 0 + one per bit width of u64
+
+  void add(u64 value, u64 count = 1);
+
+  u64 bucket_count(int bucket) const { return counts_[static_cast<std::size_t>(bucket)]; }
+  u64 total_count() const { return total_; }
+  u64 sum() const { return sum_; }
+
+  /// The bucket `value` lands in: 0 for 0, else bit_width(value).
+  static int bucket_of(u64 value);
+  /// Inclusive upper bound of `bucket` (0 for bucket 0, else 2^bucket - 1).
+  static u64 bucket_upper(int bucket);
+
+ private:
+  friend class Registry;
+  u64 counts_[kBuckets] = {};
+  u64 total_ = 0;
+  u64 sum_ = 0;
+};
+
+/// Owner of every instrument, keyed by (name, sorted labels).
+class Registry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  LogHistogram& histogram(const std::string& name, Labels labels = {});
+
+  /// Fold `other` in: counters and histograms add, gauges take the max.
+  /// A metric registered under the same identity with a different type
+  /// throws (one identity, one type).
+  void merge(const Registry& other);
+
+  /// Deterministic schema-versioned dump (see file comment). Rows sort by
+  /// (name, canonical labels); a histogram's rows stay in bucket order.
+  void dump_tsv(std::ostream& os) const;
+
+  /// The rendered row name: `name` or `name{k1=v1,k2=v2}` (labels sorted).
+  static std::string row_name(const std::string& name, const Labels& labels);
+
+  std::size_t size() const { return metrics_.size(); }
+
+ private:
+  enum class Kind : u8 { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind = Kind::kCounter;
+    Counter counter;
+    Gauge gauge;
+    LogHistogram histogram;
+  };
+
+  Metric& instrument(const std::string& name, Labels labels, Kind kind);
+
+  /// Key: name + '\0' + canonical label rendering — sorts exactly like the
+  /// dump's row order.
+  std::map<std::string, Metric> metrics_;
+};
+
+/// Current version of the counters/timings/profile TSV schema, emitted as
+/// the `#schema=N` first line. Version 1 is the historical headerless form.
+inline constexpr int kTsvSchemaVersion = 2;
+
+/// The `#schema=2` header line (without trailing newline).
+std::string tsv_schema_header();
+
+}  // namespace dibella::obs

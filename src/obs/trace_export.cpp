@@ -1,0 +1,108 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace dibella::obs {
+
+namespace {
+
+/// Escape a name for a JSON string literal. Span names are string literals
+/// under our control, but a defensive escape keeps the output parseable no
+/// matter what a future caller passes.
+std::string json_escape(const char* s) {
+  std::string out;
+  for (const char* p = s; p && *p; ++p) {
+    switch (*p) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(*p) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", *p);
+          out += buf;
+        } else {
+          out += *p;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp with 3 fractional digits (Chrome's ts unit).
+std::string us(u64 t_ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(t_ns / 1000),
+                static_cast<unsigned long long>(t_ns % 1000));
+  return buf;
+}
+
+void write_args(std::ostream& os, const SpanEvent& ev) {
+  if (ev.n_args == 0) return;
+  os << ",\"args\":{";
+  for (u8 i = 0; i < ev.n_args; ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(ev.args[i].key) << "\":" << ev.args[i].value;
+  }
+  os << "}";
+}
+
+void write_event(std::ostream& os, int rank, const SpanEvent& ev, bool& first) {
+  const char* ph = nullptr;
+  switch (ev.phase) {
+    case SpanEvent::Phase::kBegin: ph = "B"; break;
+    case SpanEvent::Phase::kEnd: ph = "E"; break;
+    case SpanEvent::Phase::kComplete: ph = "X"; break;
+    case SpanEvent::Phase::kAsyncBegin: ph = "b"; break;
+    case SpanEvent::Phase::kAsyncEnd: ph = "e"; break;
+    case SpanEvent::Phase::kInstant: ph = "i"; break;
+  }
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << json_escape(ev.name) << "\",\"ph\":\"" << ph
+     << "\",\"pid\":0,\"tid\":" << rank << ",\"ts\":" << us(ev.t_ns);
+  if (ev.phase == SpanEvent::Phase::kComplete) {
+    // An X event's ts is its *start*; the recorded timestamp is the end.
+    const u64 start = ev.t_ns >= ev.dur_ns ? ev.t_ns - ev.dur_ns : 0;
+    os << ",\"ts\":" << us(start);  // last "ts" wins in every JSON parser
+    os << ",\"dur\":" << us(ev.dur_ns);
+  }
+  if (ev.phase == SpanEvent::Phase::kAsyncBegin ||
+      ev.phase == SpanEvent::Phase::kAsyncEnd) {
+    // Async events pair by (cat, id); fold the rank into the id so lanes
+    // never cross-pair (per-rank ids restart at 1 on every rank).
+    const u64 gid = (static_cast<u64>(rank) << 32) | ev.id;
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof(idbuf), "0x%llx", static_cast<unsigned long long>(gid));
+    os << ",\"cat\":\"exchange\",\"id\":\"" << idbuf << "\"";
+  }
+  if (ev.phase == SpanEvent::Phase::kInstant) os << ",\"s\":\"t\"";
+  write_args(os, ev);
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Trace& trace) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  // Track metadata first: one process, one named thread per rank.
+  if (!first) os << ",\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"dibella\"}}";
+  first = false;
+  for (int r = 0; r < trace.ranks(); ++r) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << r
+       << ",\"args\":{\"name\":\"rank " << r << "\"}}";
+  }
+  for (int r = 0; r < trace.ranks(); ++r) {
+    for (const SpanEvent& ev : trace.lane(r).snapshot()) {
+      write_event(os, r, ev, first);
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace dibella::obs

@@ -194,6 +194,7 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
     comm::run_overlapped_exchange(
         ex,
         [&] {
+          obs::Span span = ctx.span("overlap:traverse");
           u64 keys_before = res.retained_kmers;
           u64 formed_before = res.pair_tasks_formed;
           // Visit keys in bounded strides until the task budget fills (a
@@ -203,6 +204,8 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
                  res.pair_tasks_formed - formed_before < cfg.batch_tasks) {
             slot_cursor = table.for_each_from(slot_cursor, 256, scratch, visit);
           }
+          span.arg("keys", res.retained_kmers - keys_before);
+          span.arg("tasks", res.pair_tasks_formed - formed_before);
           u64 posted = (res.pair_tasks_formed - formed_before) * sizeof(OverlapTaskWire);
           ctx.trace.add_compute(
               "overlap:traverse",
@@ -227,9 +230,14 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
     // Bulk-synchronous schedule: full traversal into per-destination
     // buffers, then one blocking alltoallv.
     std::vector<std::vector<OverlapTaskWire>> outgoing(static_cast<std::size_t>(P));
-    table.for_each(visit_key([&outgoing](int dest, const OverlapTaskWire& task) {
-      outgoing[static_cast<std::size_t>(dest)].push_back(task);
-    }));
+    {
+      obs::Span span = ctx.span("overlap:traverse");
+      table.for_each(visit_key([&outgoing](int dest, const OverlapTaskWire& task) {
+        outgoing[static_cast<std::size_t>(dest)].push_back(task);
+      }));
+      span.arg("keys", res.retained_kmers);
+      span.arg("tasks", res.pair_tasks_formed);
+    }
     u64 buffered = 0;
     for (const auto& v : outgoing) buffered += v.size() * sizeof(OverlapTaskWire);
     ctx.trace.add_compute(
@@ -242,6 +250,8 @@ std::vector<AlignmentTask> run_overlap_stage(core::StageContext& ctx,
 
   // --- consolidate per-pair seed lists, then apply the seed policy.
   const u64 received_bytes = incoming.size() * sizeof(OverlapTaskWire);
+  obs::Span consolidate_span = ctx.span("overlap:consolidate");
+  consolidate_span.arg("wire_tasks", incoming.size());
   std::vector<AlignmentTask> tasks =
       consolidate_tasks(std::move(incoming), cfg.seed_filter, &res);
   ctx.trace.add_compute(

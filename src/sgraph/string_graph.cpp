@@ -155,6 +155,7 @@ StringGraphOutput run_string_graph_stage(
   std::vector<DovetailEdge> dovetails;
   std::vector<u64> contained_local;
   align::AlignmentRecord rec;
+  obs::Span classify_span = ctx.span("sgraph:classify");
   while (local_records.next(rec)) {
     ++res.records_in;
     if (rec.rid_a == rec.rid_b) {
@@ -185,6 +186,8 @@ StringGraphOutput run_string_graph_stage(
         break;
     }
   }
+  classify_span.arg("records", res.records_in);
+  classify_span.close();
   ctx.trace.add_compute("sgraph:classify",
                         static_cast<double>(res.records_in) * costs.pair_consolidate,
                         res.records_in * sizeof(align::AlignmentRecord));
@@ -216,8 +219,10 @@ StringGraphOutput run_string_graph_stage(
   }
   std::vector<DovetailEdge> incident;  // every edge with an owned endpoint
   {
+    obs::Span span = ctx.span("sgraph:edge_exchange");
     std::vector<u8> flat =
         exchange_byte_streams(ctx, edge_out, cfg, "sgraph:pack", "sgraph:build");
+    span.arg("bytes", flat.size());
     comm::ByteReader reader(flat);
     incident.reserve(flat.size() / sizeof(DovetailEdge));
     reader.read_into(incident, flat.size() / sizeof(DovetailEdge));
@@ -296,8 +301,13 @@ StringGraphOutput run_string_graph_stage(
   }
   AdjacencyTable adj;
   {
+    obs::Span span = ctx.span("sgraph:ghost_exchange");
+    u64 ghost_bytes = 0;
+    for (const auto& v : ghost_out) ghost_bytes += v.size();
+    span.arg("sent_bytes", ghost_bytes);
     std::vector<u8> flat =
         exchange_byte_streams(ctx, ghost_out, cfg, "sgraph:pack", "sgraph:build");
+    span.arg("recv_bytes", flat.size());
     comm::ByteReader reader(flat);
     while (!reader.empty()) {
       auto h = reader.read<FrameHeader>();
@@ -318,6 +328,8 @@ StringGraphOutput run_string_graph_stage(
   // against the original edge set through the strict total order
   // (edge_outranks), so marks commute: the result is independent of
   // evaluation order and of which rank decides which edge.
+  obs::Span reduce_span = ctx.span("sgraph:reduce");
+  reduce_span.arg("edges", owned_edges.size());
   std::vector<DovetailEdge> surviving;
   surviving.reserve(owned_edges.size());
   for (const auto& e : owned_edges) {
@@ -345,6 +357,8 @@ StringGraphOutput run_string_graph_stage(
     }
   }
   res.edges_surviving = surviving.size();
+  reduce_span.arg("probes", res.triangle_probes);
+  reduce_span.close();
   ctx.trace.add_compute("sgraph:reduce",
                         static_cast<double>(res.triangle_probes) * costs.graph_probe,
                         incident.size() * sizeof(DovetailEdge));
@@ -353,6 +367,7 @@ StringGraphOutput run_string_graph_stage(
   // unitigs + components (the serial writer rank, as in real assemblers).
   auto gathered = comm.gather(surviving, /*root=*/0);
   if (comm.rank() == 0) {
+    obs::Span layout_span = ctx.span("sgraph:layout");
     for (auto& part : gathered) {
       out.surviving_edges.insert(out.surviving_edges.end(), part.begin(), part.end());
     }

@@ -56,9 +56,19 @@ std::vector<std::string> nonempty_lines(const std::string& data) {
   return lines;
 }
 
+/// Drop `#`-prefixed schema/comment lines (schema 2 opens with `#schema=2`;
+/// the loader stays tolerant of the old headerless form).
+std::vector<std::string> data_lines(const std::string& data) {
+  std::vector<std::string> lines;
+  for (auto& l : nonempty_lines(data)) {
+    if (l[0] != '#') lines.push_back(l);
+  }
+  return lines;
+}
+
 /// Parse counters.tsv back into a map, checking its header and numeracy.
 std::map<std::string, u64> parse_counters(const std::string& data) {
-  auto lines = nonempty_lines(data);
+  auto lines = data_lines(data);
   EXPECT_GT(lines.size(), 1u);
   EXPECT_EQ(lines[0], "counter\tvalue");
   std::map<std::string, u64> counters;
@@ -122,9 +132,12 @@ TEST_F(CliSmoke, TinySimulatedGenomeEndToEnd) {
       dibella::io::load_file((dir_ / dibella::cli::kReadsFile).string()));
   EXPECT_GT(reads.size(), 0u);
 
-  // The cost-model report has the four pipeline stages plus a total row.
-  auto timing_lines = nonempty_lines(
-      dibella::io::load_file((dir_ / dibella::cli::kTimingsFile).string()));
+  // The cost-model report has the four pipeline stages plus a total row;
+  // schema 2 prepends a `#schema=` version line the loader skips.
+  const std::string timings_raw =
+      dibella::io::load_file((dir_ / dibella::cli::kTimingsFile).string());
+  EXPECT_EQ(timings_raw.rfind("#schema=2\n", 0), 0u);
+  auto timing_lines = data_lines(timings_raw);
   ASSERT_GT(timing_lines.size(), 2u);
   EXPECT_NE(timing_lines[0].find("stage\tcompute_virtual_s"), std::string::npos);
   EXPECT_EQ(split(timing_lines.back(), '\t')[0], "total");
@@ -230,7 +243,7 @@ TEST_F(CliSmoke, OverlapCommSchedulesProduceIdenticalOutputs) {
   EXPECT_EQ(dibella::io::load_file((on_dir / dibella::cli::kCountersFile).string()),
             dibella::io::load_file((off_dir / dibella::cli::kCountersFile).string()));
 
-  auto timings = nonempty_lines(
+  auto timings = data_lines(
       dibella::io::load_file((on_dir / dibella::cli::kTimingsFile).string()));
   ASSERT_FALSE(timings.empty());
   EXPECT_NE(timings[0].find("exchange_exposed_s"), std::string::npos);
