@@ -77,8 +77,18 @@ inline SgraphWorkload make_sgraph_workload(std::size_t n_reads, u64 genome_len,
 }
 
 struct SgraphBenchResult {
-  double sequential_s = 0;   ///< oracle classify + reduce, best-of-reps wall
-  double distributed_s = 0;  ///< sgraph stage over a World, best-of-reps wall
+  /// The complete stage-5 job — classify, containment drop, best-per-pair
+  /// consolidation (std::map, the retained oracle idiom), transitive
+  /// reduction, unitig layout — run sequentially, best-of-reps wall. Both
+  /// sides time the same raw-records-to-layout job; what stays *outside*
+  /// both timed regions is ingest-time setup (read sequences, partition,
+  /// per-rank ReadStores, cost-model calibration), which the old bench
+  /// folded into the distributed side only.
+  double sequential_s = 0;
+  /// The same job through the distributed stage + shard finalize over a
+  /// World, best-of-reps wall; the per-rank ReadStores are built once,
+  /// untimed, before the reps.
+  double distributed_s = 0;
   /// Modeled stage-5 seconds on Cori at the run's rank count (exact wire
   /// volumes, work-based compute accounting) — deterministic, so it carries
   /// the strong-scaling story even on a single-core host, where the real
@@ -89,6 +99,8 @@ struct SgraphBenchResult {
   u64 edges_removed = 0;
   u64 edges_surviving = 0;
   u64 unitigs = 0;
+  double seq_removed_per_s = 0;   ///< edges_removed / sequential_s
+  double dist_removed_per_s = 0;  ///< edges_removed / distributed_s
 };
 
 /// Run both reductions on the workload and cross-check their surviving sets.
@@ -96,17 +108,19 @@ inline SgraphBenchResult measure_sgraph_reduction(const SgraphWorkload& w, int r
                                                   int reps,
                                                   const sgraph::StringGraphConfig& cfg) {
   SgraphBenchResult out;
+  core::KernelCosts::get();  // calibrate outside the timed regions
 
-  // --- sequential oracle: classify + contained-drop + OverlapGraph reduce.
+  // --- sequential oracle, timed end to end: classify the raw records, drop
+  // contained endpoints, consolidate to the best record per pair
+  // (OverlapGraph::from_alignments), reduce, and lay out unitigs — the
+  // exact job the distributed stage below performs from the same input.
   std::vector<graph::LiveEdge> oracle;
   {
-    core::KernelCosts::get();  // calibrate outside the timed regions
-    util::WallTimer total;
     double best = 1e300;
     for (int r = 0; r < reps; ++r) {
       util::WallTimer t;
       std::set<u64> contained;
-      std::vector<std::pair<align::AlignmentRecord, sgraph::EdgeGeometry>> dovetails;
+      std::vector<align::AlignmentRecord> dovetails;
       for (const auto& rec : w.records) {
         if (rec.rid_a == rec.rid_b || rec.score < cfg.min_overlap_score) continue;
         auto geom = sgraph::classify_alignment(
@@ -114,29 +128,43 @@ inline SgraphBenchResult measure_sgraph_reduction(const SgraphWorkload& w, int r
             w.read_lengths[static_cast<std::size_t>(rec.rid_b)], cfg.fuzz);
         if (geom.cls == sgraph::EdgeClass::kContainedA) contained.insert(rec.rid_a);
         if (geom.cls == sgraph::EdgeClass::kContainedB) contained.insert(rec.rid_b);
-        if (geom.cls == sgraph::EdgeClass::kDovetail) dovetails.push_back({rec, geom});
+        if (geom.cls == sgraph::EdgeClass::kDovetail) dovetails.push_back(rec);
       }
       std::vector<align::AlignmentRecord> kept;
-      for (const auto& [rec, geom] : dovetails) {
+      for (const auto& rec : dovetails) {
         if (contained.count(rec.rid_a) || contained.count(rec.rid_b)) continue;
         kept.push_back(rec);
       }
       auto g = graph::OverlapGraph::from_alignments(kept, w.read_lengths.size());
-      u64 edges_in = g.num_edges();
       u64 removed = g.transitive_reduction();
+      auto live = g.live_edges();
+      std::vector<sgraph::DovetailEdge> live_dovetails;
+      live_dovetails.reserve(live.size());
+      for (const auto& e : live) {
+        sgraph::DovetailEdge d{};
+        d.lo = e.lo;
+        d.hi = e.hi;
+        d.overlap_len = e.overlap_len;
+        d.score = e.score;
+        d.same_orientation = e.same_orientation;
+        live_dovetails.push_back(d);
+      }
+      auto layout = sgraph::extract_unitigs(live_dovetails);
       best = std::min(best, t.seconds());
       if (r == 0) {
-        oracle = g.live_edges();
-        out.edges_in = edges_in;
+        out.edges_in = g.num_edges() + removed;
         out.edges_removed = removed;
+        out.unitigs = layout.unitigs.size();
+        oracle = std::move(live);
       }
     }
     out.sequential_s = best;
-    (void)total;
   }
 
   // --- distributed stage: records spread round-robin (as stage 4 leaves
-  // them), one World per rep so collective state starts cold each time.
+  // them), one World per rep so collective state starts cold each time. The
+  // per-rank ReadStores (which copy every read sequence) are built once —
+  // that is ingest-time setup, not stage-5 work.
   {
     std::vector<io::Read> reads(w.read_lengths.size());
     for (std::size_t i = 0; i < reads.size(); ++i) {
@@ -152,24 +180,30 @@ inline SgraphBenchResult measure_sgraph_reduction(const SgraphWorkload& w, int r
     for (std::size_t i = 0; i < w.records.size(); ++i) {
       per_rank[i % static_cast<std::size_t>(ranks)].push_back(w.records[i]);
     }
+    std::vector<io::ReadStore> stores;
+    stores.reserve(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) stores.emplace_back(reads, partition, r);
     double best = 1e300;
     std::vector<sgraph::DovetailEdge> surviving;
     for (int r = 0; r < reps; ++r) {
       comm::World world(ranks);
       std::vector<netsim::RankTrace> traces(static_cast<std::size_t>(ranks));
-      std::vector<sgraph::StringGraphOutput> outs(static_cast<std::size_t>(ranks));
+      std::vector<sgraph::StringGraphShard> shards(static_cast<std::size_t>(ranks));
       util::WallTimer t;
       world.run([&](comm::Communicator& comm) {
         const auto rank = static_cast<std::size_t>(comm.rank());
         core::StageContext ctx{comm, traces[rank]};
         ctx.attach();
-        io::ReadStore store(reads, partition, comm.rank());
-        outs[rank] = sgraph::run_string_graph_stage(ctx, store, per_rank[rank], cfg);
+        shards[rank] =
+            sgraph::run_string_graph_stage(ctx, stores[rank], per_rank[rank], cfg);
       });
-      best = std::min(best, t.seconds());
+      auto assembled = sgraph::finalize_string_graph(std::move(shards));
+      const double secs = t.seconds();
+      best = std::min(best, secs);
       if (r == 0) {
-        surviving = std::move(outs[0].surviving_edges);
-        out.unitigs = outs[0].layout.unitigs.size();
+        surviving = std::move(assembled.surviving_edges);
+        DIBELLA_CHECK(assembled.layout.unitigs.size() == out.unitigs,
+                      "sgraph bench: distributed unitig count diverged from oracle");
         int rpn = 1;
         for (int d = 2; d <= std::min(4, ranks); ++d) {
           if (ranks % d == 0) rpn = d;
@@ -190,6 +224,12 @@ inline SgraphBenchResult measure_sgraph_reduction(const SgraphWorkload& w, int r
                         surviving[i].overlap_len == oracle[i].overlap_len,
                     "sgraph bench: distributed surviving set diverged from oracle");
     }
+  }
+  if (out.sequential_s > 0) {
+    out.seq_removed_per_s = static_cast<double>(out.edges_removed) / out.sequential_s;
+  }
+  if (out.distributed_s > 0) {
+    out.dist_removed_per_s = static_cast<double>(out.edges_removed) / out.distributed_s;
   }
   return out;
 }

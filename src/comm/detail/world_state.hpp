@@ -85,7 +85,8 @@ class WorldState {
         next_seq_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks), 0),
         replay_(static_cast<std::size_t>(ranks) * static_cast<std::size_t>(ranks)),
         fault_stats_(static_cast<std::size_t>(ranks)),
-        records_(static_cast<std::size_t>(ranks)) {}
+        records_(static_cast<std::size_t>(ranks)),
+        rank_cv_(static_cast<std::size_t>(ranks)) {}
 
   int ranks() const { return ranks_; }
 
@@ -99,11 +100,16 @@ class WorldState {
     return fault_plan_;
   }
 
-  /// Deposit a message into the src -> dst mailbox. Never blocks.
+  /// Deposit a message into the src -> dst mailbox. Never blocks. Only the
+  /// destination rank's thread ever consumes from its mailboxes, so the
+  /// notify targets its cv alone — with ranks oversubscribed on few cores,
+  /// waking every sleeping rank per deposit costs a context switch each.
   void deposit(int src, int dst, MailboxMessage msg) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    mailbox(src, dst).push_back(std::move(msg));
-    cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      mailbox(src, dst).push_back(std::move(msg));
+    }
+    rank_cv_[static_cast<std::size_t>(dst)].notify_all();
   }
 
   /// Deposit an Exchanger chunk with the reliability frame stamped (wire
@@ -114,43 +120,51 @@ class WorldState {
   /// injected transport `fault` then mangles only the wire copy.
   void deposit_framed(int src, int dst, MailboxMessage msg,
                       std::optional<FaultKind> fault) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    msg.framed = 1;
-    msg.chunk_seq = next_seq_[pair_index(src, dst)]++;
-    msg.payload_bytes = msg.bytes.size();
-    msg.payload_crc = util::crc32(msg.bytes.data(), msg.bytes.size());
-    if (fault_plan_) {
-      replay_[pair_index(src, dst)][msg.epoch].push_back(msg);
-    }
-    bool insert = true;
-    if (fault) {
-      switch (*fault) {
-        case FaultKind::kDrop:
-          insert = false;
-          break;
-        case FaultKind::kDuplicate:
-          mailbox(src, dst).push_back(msg);  // extra wire copy
-          break;
-        case FaultKind::kDelay:
-          msg.visible_at = std::chrono::steady_clock::now() +
-                           std::chrono::milliseconds(50);
-          break;
-        case FaultKind::kTruncate:
-          // An empty payload has nothing to shorten; losing it entirely is
-          // the nearest observable fault.
-          if (msg.bytes.empty()) insert = false;
-          else msg.bytes.resize(msg.bytes.size() / 2);
-          break;
-        case FaultKind::kBitFlip:
-          if (msg.bytes.empty()) insert = false;
-          else msg.bytes[msg.bytes.size() / 2] ^= u8{0x20};
-          break;
-        case FaultKind::kAbort:
-          break;  // abort is not a transport fault; handled at fault_point()
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      msg.framed = 1;
+      msg.chunk_seq = next_seq_[pair_index(src, dst)]++;
+      msg.payload_bytes = msg.bytes.size();
+      // The CRC backs the self-healing retransmission protocol, which only
+      // operates while a FaultPlan is installed — without one, in-process
+      // mailbox bytes cannot be mangled, so skip the two full payload passes
+      // the checksum would cost (stamped here, validated at consume).
+      if (fault_plan_) {
+        msg.payload_crc = util::crc32(msg.bytes.data(), msg.bytes.size());
+        replay_[pair_index(src, dst)][msg.epoch].push_back(msg);
+      } else {
+        msg.payload_crc = 0;
       }
+      bool insert = true;
+      if (fault) {
+        switch (*fault) {
+          case FaultKind::kDrop:
+            insert = false;
+            break;
+          case FaultKind::kDuplicate:
+            mailbox(src, dst).push_back(msg);  // extra wire copy
+            break;
+          case FaultKind::kDelay:
+            msg.visible_at = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(50);
+            break;
+          case FaultKind::kTruncate:
+            // An empty payload has nothing to shorten; losing it entirely is
+            // the nearest observable fault.
+            if (msg.bytes.empty()) insert = false;
+            else msg.bytes.resize(msg.bytes.size() / 2);
+            break;
+          case FaultKind::kBitFlip:
+            if (msg.bytes.empty()) insert = false;
+            else msg.bytes[msg.bytes.size() / 2] ^= u8{0x20};
+            break;
+          case FaultKind::kAbort:
+            break;  // abort is not a transport fault; handled at fault_point()
+        }
+      }
+      if (insert) mailbox(src, dst).push_back(std::move(msg));
     }
-    if (insert) mailbox(src, dst).push_back(std::move(msg));
-    cv_.notify_all();
+    rank_cv_[static_cast<std::size_t>(dst)].notify_all();
   }
 
   /// Consume the message of the src -> dst mailbox carrying
@@ -180,8 +194,9 @@ class WorldState {
         return msg;
       }
       std::size_t seen = box.size();
-      bool ok = cv_.wait_for(lock, std::chrono::duration<double>(timeout_),
-                             [&] { return box.size() != seen || poisoned_; });
+      bool ok = rank_cv_[static_cast<std::size_t>(dst)].wait_for(
+          lock, std::chrono::duration<double>(timeout_),
+          [&] { return box.size() != seen || poisoned_; });
       if (poisoned_) throw WorldPoisoned();
       if (!ok) {
         poison_locked(std::make_exception_ptr(CommFailure(
@@ -220,7 +235,8 @@ class WorldState {
         if (it->chunk_index != chunk_index) continue;
         if (it->visible_at > now) continue;  // delayed on the wire
         if (it->bytes.size() != it->payload_bytes ||
-            util::crc32(it->bytes.data(), it->bytes.size()) != it->payload_crc) {
+            (fault_plan_ &&
+             util::crc32(it->bytes.data(), it->bytes.size()) != it->payload_crc)) {
           box.erase(it);
           ++fault_stats_[static_cast<std::size_t>(dst)].corrupt_chunks;
           rescan = true;  // fall through to the replay path
@@ -265,14 +281,16 @@ class WorldState {
         ++attempts;
         if (attempts > 1) {
           // Exponential backoff between repeated retransmissions.
-          cv_.wait_for(lock, std::chrono::milliseconds(1LL << attempts));
+          rank_cv_[static_cast<std::size_t>(dst)].wait_for(
+              lock, std::chrono::milliseconds(1LL << attempts));
           if (poisoned_) throw WorldPoisoned();
         }
         continue;
       }
       std::size_t seen = box.size();
-      bool ok = cv_.wait_for(lock, std::chrono::duration<double>(timeout_),
-                             [&] { return box.size() != seen || poisoned_; });
+      bool ok = rank_cv_[static_cast<std::size_t>(dst)].wait_for(
+          lock, std::chrono::duration<double>(timeout_),
+          [&] { return box.size() != seen || poisoned_; });
       if (poisoned_) throw WorldPoisoned();
       if (!ok) {
         poison_locked(std::make_exception_ptr(CommFailure(
@@ -423,6 +441,7 @@ class WorldState {
       first_error_ = std::move(error);
     }
     cv_.notify_all();
+    for (auto& cv : rank_cv_) cv.notify_all();
   }
 
   const int ranks_;
@@ -436,7 +455,11 @@ class WorldState {
   std::vector<std::vector<ExchangeRecord>> records_;  // written by owner rank only
 
   mutable std::mutex mutex_;
+  /// Fence/generation waiters (every rank sleeps here at a barrier).
   std::condition_variable cv_;
+  /// Per-destination-rank mailbox waiters: rank r's thread is the only
+  /// consumer of its mailboxes, so deposits for r wake rank_cv_[r] alone.
+  std::vector<std::condition_variable> rank_cv_;
   int arrived_ = 0;
   u64 generation_ = 0;
   u64 fence_epoch_ = 0;  ///< epoch claimed by the fence's first arriver

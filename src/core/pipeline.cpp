@@ -183,7 +183,7 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   std::vector<align::AlignmentStageResult> al_res(static_cast<std::size_t>(P));
   std::vector<std::vector<align::AlignmentRecord>> records(static_cast<std::size_t>(P));
   std::vector<sgraph::StringGraphStageResult> sg_res(static_cast<std::size_t>(P));
-  std::vector<sgraph::StringGraphOutput> sg_out(static_cast<std::size_t>(P));
+  std::vector<sgraph::StringGraphShard> sg_out(static_cast<std::size_t>(P));
   std::vector<io::ReadStoreMemoryStats> mem_res(static_cast<std::size_t>(P));
 
   // Block mode spills each round's sorted records instead of keeping them
@@ -480,7 +480,10 @@ PipelineOutput run_pipeline(comm::World& world, const std::vector<io::Read>& rea
   c.comm_chunk_redeliveries = fault_stats.redeliveries;
   c.comm_corrupt_chunks = fault_stats.corrupt_chunks;
   if (config.stage5) {
-    out.string_graph = std::move(sg_out[0]);  // the rank-0 layout funnel
+    // No rank-0 funnel anymore: every rank kept its owned surviving edges
+    // and walk fragment; assembling them here is a merge-thread concat +
+    // stitch, not a collective.
+    out.string_graph = sgraph::finalize_string_graph(std::move(sg_out));
     c.sg_unitigs = out.string_graph.layout.unitigs.size();
     c.sg_components = out.string_graph.layout.components.size();
   }

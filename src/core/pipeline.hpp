@@ -92,8 +92,9 @@ struct PipelineOutput {
   /// Owns the spill directory (removed when the last reference drops).
   std::shared_ptr<AlignmentSpillSet> spill;
   PipelineCounters counters;
-  /// Stage-5 string graph products (surviving edges, unitigs, components);
-  /// empty unless config.stage5.
+  /// Stage-5 string graph products (surviving edges, unitigs, components),
+  /// assembled from every rank's shard by finalize_string_graph; empty
+  /// unless config.stage5.
   sgraph::StringGraphOutput string_graph;
   std::vector<netsim::RankTrace> traces;                       ///< per rank
   std::vector<std::vector<comm::ExchangeRecord>> exchange_log;  ///< per rank

@@ -91,6 +91,18 @@ std::vector<LiveEdge> OverlapGraph::live_edges() const {
   return out;
 }
 
+std::vector<std::vector<u64>> OverlapGraph::live_adjacency() const {
+  std::vector<std::vector<u64>> rows(static_cast<std::size_t>(num_vertices()));
+  for (u64 a = 0; a < num_vertices(); ++a) {
+    auto& row = rows[static_cast<std::size_t>(a)];
+    for (const auto& e : adj_[static_cast<std::size_t>(a)]) {
+      if (!e.removed) row.push_back(e.to);
+    }
+    std::sort(row.begin(), row.end());
+  }
+  return rows;
+}
+
 // The strict total order (longer overlap outranks, ties break on the
 // canonical endpoint pair) is shared with the distributed stage —
 // sgraph::edge_outranks — so the sequential oracle and the rank-parallel

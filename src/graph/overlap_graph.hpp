@@ -59,6 +59,12 @@ class OverlapGraph {
   /// Every live edge in canonical (lo, hi) order.
   std::vector<LiveEdge> live_edges() const;
 
+  /// Per-vertex live neighbour lists, gid-indexed, each ascending — the
+  /// adjacency shape sgraph's distributed unitig walk consumes. Oracle hook
+  /// for the walk differential: slice these rows into per-rank
+  /// WalkFragments and stitch_unitigs must reproduce extract_unitigs.
+  std::vector<std::vector<u64>> live_adjacency() const;
+
   /// Myers-style transitive reduction: an edge (a, c) is marked removed when
   /// some b neighbours both a and c through two strictly higher-ranked edges
   /// — i.e. the a-c adjacency is explained by the path through b. Edges are

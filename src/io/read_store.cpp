@@ -25,12 +25,10 @@ ReadPartition::ReadPartition(const std::vector<u64>& seq_lengths, int ranks) {
   first_gid_[static_cast<std::size_t>(ranks)] = static_cast<u64>(seq_lengths.size());
   // Ensure the last rank absorbs any remainder (loop above already guarantees
   // gid == N when r == ranks-1 because target == total).
-}
-
-int ReadPartition::owner_of(u64 gid) const {
-  DIBELLA_CHECK(gid < total_reads(), "owner_of: gid out of range");
-  auto it = std::upper_bound(first_gid_.begin(), first_gid_.end(), gid);
-  return static_cast<int>(it - first_gid_.begin()) - 1;
+  auto lens = std::make_shared<std::vector<u32>>();
+  lens->reserve(seq_lengths.size());
+  for (u64 len : seq_lengths) lens->push_back(static_cast<u32>(len));
+  lengths_ = std::move(lens);
 }
 
 ReadStore::ReadStore(const std::vector<Read>& all, const ReadPartition& partition,

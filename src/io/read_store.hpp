@@ -8,6 +8,7 @@
 /// identically on every rank from the global read-count/size information, so
 /// gid -> owner lookups need no communication.
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,12 @@ struct ReadStoreMemoryStats {
 
 /// Contiguous-block partition of gids [0, N) over P ranks, weighted by
 /// per-read sequence bytes.
+///
+/// The partition retains the global per-read length table it was built
+/// from (shared, so copies stay cheap): every rank constructs the partition
+/// from the same global length vector, which makes `length(gid)` a
+/// zero-communication global lookup. Stage 5 classifies edges against both
+/// endpoint lengths this way instead of allgathering lengths per run.
 class ReadPartition {
  public:
   ReadPartition() = default;
@@ -61,11 +68,25 @@ class ReadPartition {
            first_gid_[static_cast<std::size_t>(rank)];
   }
 
-  /// The rank owning read `gid`.
-  int owner_of(u64 gid) const;
+  /// The rank owning read `gid`. Inline: stage 5 asks this (and `length`)
+  /// per classified record and per routed edge, so the hot path must not
+  /// pay an out-of-line call for a table lookup.
+  int owner_of(u64 gid) const {
+    DIBELLA_CHECK(gid < total_reads(), "owner_of: gid out of range");
+    auto it = std::upper_bound(first_gid_.begin(), first_gid_.end(), gid);
+    return static_cast<int>(it - first_gid_.begin()) - 1;
+  }
+
+  /// Sequence length of any read, owned or not (the global table the
+  /// partition was computed from).
+  u64 length(u64 gid) const {
+    DIBELLA_CHECK(lengths_ && gid < lengths_->size(), "length: gid out of range");
+    return (*lengths_)[static_cast<std::size_t>(gid)];
+  }
 
  private:
   std::vector<u64> first_gid_;  // size ranks+1; first_gid_[ranks] == N
+  std::shared_ptr<const std::vector<u32>> lengths_;  // gid-indexed, whole read set
 };
 
 /// A rank's view of the distributed read set: its owned block plus a cache of

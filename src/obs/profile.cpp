@@ -31,7 +31,12 @@ double max_of(const std::vector<double>& v) {
 
 }  // namespace
 
-double StageProfile::exposed_max_s() const { return max_of(rank_exposed_s); }
+double StageProfile::exposed_max_s() const {
+  // Exposed exchange time is measured on a different clock pairing than the
+  // stage span itself, so monotonic-clock jitter can nudge it a hair past
+  // the stage wall; clamp — exposed time can never exceed the stage wall.
+  return std::min(max_of(rank_exposed_s), wall_max_s);
+}
 double StageProfile::hidden_max_s() const { return max_of(rank_hidden_s); }
 
 ProfileReport build_profile(const Trace& trace, const netsim::TimingReport* model,

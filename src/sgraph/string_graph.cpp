@@ -1,75 +1,134 @@
 #include "sgraph/string_graph.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 
 #include "comm/exchanger.hpp"
 #include "core/kernel_costs.hpp"
+#include "sgraph/csr.hpp"
 
 namespace dibella::sgraph {
 
 namespace {
 
-/// One adjacency entry shipped in the ghost exchange: enough to rank the
-/// witness edges (the strict total order needs only overlap length and the
-/// endpoint pair, and the endpoints are the frame's vertex + this field).
-struct NbrWire {
-  u64 nbr = 0;
-  u32 ov = 0;
+/// Fused-round frame header: one frame per (source, destination) pair
+/// carrying the source's locally-discovered contained gid set followed by
+/// the dovetail edges routed to that destination. The contained set rides
+/// as `contained_words` u64s — a sorted gid list, or (when denser than one
+/// mark per 64 reads, the common case on coverage-heavy layouts) a bitmap
+/// over the global gid space; the sender picks whichever is smaller since
+/// the same payload goes to every peer.
+struct FusedHeader {
+  u64 contained_words = 0;
+  u64 n_edges = 0;
+  u64 contained_as_bitmap = 0;
+  u64 edges_packed = 0;  ///< edges ride as WireEdge (16 B), not DovetailEdge
 };
-static_assert(std::is_trivially_copyable_v<NbrWire>);
+static_assert(std::is_trivially_copyable_v<FusedHeader>);
 
-/// Ghost frame header: the vertex whose adjacency follows.
+/// Compact wire form of a DovetailEdge — half the fat struct. Usable when
+/// every gid fits u32 and every overlap length fits 28 bits (any realistic
+/// read set); the four orientation flags ride the top nibble of ov_flags.
+/// Senders fall back to fat DovetailEdge frames otherwise (edges_packed=0),
+/// and the round-trip is value-exact either way.
+struct WireEdge {
+  u32 lo = 0;
+  u32 hi = 0;
+  u32 ov_flags = 0;
+  i32 score = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireEdge>);
+constexpr u32 kWireOverlapBits = 28;
+constexpr u32 kWireOverlapMask = (u32{1} << kWireOverlapBits) - 1;
+
+WireEdge pack_edge(const DovetailEdge& e) {
+  u32 flags = static_cast<u32>(e.same_orientation != 0) |
+              (static_cast<u32>(e.from_is_lo != 0) << 1) |
+              (static_cast<u32>(e.rc_from != 0) << 2) |
+              (static_cast<u32>(e.rc_to != 0) << 3);
+  return WireEdge{static_cast<u32>(e.lo), static_cast<u32>(e.hi),
+                  e.overlap_len | (flags << kWireOverlapBits), e.score};
+}
+
+DovetailEdge unpack_edge(const WireEdge& w) {
+  DovetailEdge e;
+  e.lo = w.lo;
+  e.hi = w.hi;
+  e.overlap_len = w.ov_flags & kWireOverlapMask;
+  e.score = w.score;
+  const u32 flags = w.ov_flags >> kWireOverlapBits;
+  e.same_orientation = static_cast<u8>(flags & 1);
+  e.from_is_lo = static_cast<u8>((flags >> 1) & 1);
+  e.rc_from = static_cast<u8>((flags >> 2) & 1);
+  e.rc_to = static_cast<u8>((flags >> 3) & 1);
+  return e;
+}
+
+/// Ghost frame header: the vertex whose adjacency follows, as packed
+/// WireCsr rows when `packed` (gids fit u32), CsrEntry rows otherwise.
 struct FrameHeader {
   u64 gid = 0;
   u32 deg = 0;
+  u32 packed = 0;
 };
 static_assert(std::is_trivially_copyable_v<FrameHeader>);
+static_assert(std::is_trivially_copyable_v<CsrEntry>);
+
+struct WireCsr {
+  u32 col = 0;
+  u32 ov = 0;
+};
+static_assert(std::is_trivially_copyable_v<WireCsr>);
 
 /// Irregular all-to-all of raw byte streams, schedule-selected: overlapped
 /// (bounded batches on comm::Exchanger, consuming while the next batch is
-/// in flight) or one blocking alltoallv_flat straight into the contiguous
-/// result. Returns all received bytes in source-rank order. A byte slice
-/// may split a record across overlapped batches, so each source's stream
-/// is accumulated whole before the single source-order concatenation
-/// (ByteReader checks the framing when consumers parse).
-std::vector<u8> exchange_byte_streams(core::StageContext& ctx,
-                                      const std::vector<std::vector<u8>>& outbound,
-                                      const StringGraphConfig& cfg,
-                                      const char* pack_tag, const char* consume_tag) {
+/// in flight) or one blocking alltoallv otherwise. Returns each source
+/// rank's received stream separately — a byte slice may split a record
+/// across overlapped batches, so each source's stream is accumulated whole,
+/// and consumers parse per source (frames never span sources; ByteReader
+/// checks the framing).
+std::vector<std::vector<u8>> exchange_byte_streams(
+    core::StageContext& ctx, std::vector<std::vector<u8>>& outbound,
+    const StringGraphConfig& cfg, const char* pack_tag, const char* consume_tag) {
   auto& comm = ctx.comm;
   const int P = comm.size();
+  const std::size_t self = static_cast<std::size_t>(comm.rank());
   const auto& costs = core::KernelCosts::get();
+  // The self payload never needs the wire: hand it over directly and send
+  // this rank an empty stream (the collective shape — one deposit per
+  // (src, dst) pair — is preserved, the bytes just don't round-trip through
+  // the mailbox and its copies).
+  std::vector<u8> self_stream = std::move(outbound[self]);
+  outbound[self].clear();
+  std::vector<std::vector<u8>> per_source;
   if (!cfg.overlap_comm) {
-    return comm.alltoallv_flat(outbound);
+    per_source = comm.alltoallv(outbound);
+  } else {
+    per_source.resize(static_cast<std::size_t>(P));
+    comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
+    std::vector<std::size_t> cursors(static_cast<std::size_t>(P), 0);
+    comm::run_overlapped_exchange(
+        ex,
+        [&] {
+          u64 before = ex.pending_bytes();
+          bool more = comm::post_slices(ex, outbound, cursors, cfg.batch_bytes);
+          u64 packed = ex.pending_bytes() - before;
+          ctx.trace.add_compute(pack_tag,
+                                static_cast<double>(packed) * costs.per_byte_copy, packed);
+          return more;
+        },
+        [&](const comm::RecvBatch& batch) {
+          for (int s = 0; s < P; ++s) {
+            batch.append_from(s, per_source[static_cast<std::size_t>(s)]);
+          }
+          ctx.trace.add_compute(
+              consume_tag, static_cast<double>(batch.bytes.size()) * costs.per_byte_copy,
+              batch.bytes.size());
+        });
   }
-  std::vector<std::vector<u8>> per_source(static_cast<std::size_t>(P));
-  comm::Exchanger ex(comm, comm::Exchanger::Config{cfg.exchange_chunk_bytes});
-  std::vector<std::size_t> cursors(static_cast<std::size_t>(P), 0);
-  comm::run_overlapped_exchange(
-      ex,
-      [&] {
-        u64 before = ex.pending_bytes();
-        bool more = comm::post_slices(ex, outbound, cursors, cfg.batch_bytes);
-        u64 packed = ex.pending_bytes() - before;
-        ctx.trace.add_compute(pack_tag, static_cast<double>(packed) * costs.per_byte_copy,
-                              packed);
-        return more;
-      },
-      [&](const comm::RecvBatch& batch) {
-        for (int s = 0; s < P; ++s) {
-          batch.append_from(s, per_source[static_cast<std::size_t>(s)]);
-        }
-        ctx.trace.add_compute(consume_tag,
-                              static_cast<double>(batch.bytes.size()) * costs.per_byte_copy,
-                              batch.bytes.size());
-      });
-  std::vector<u8> flat;
-  std::size_t total = 0;
-  for (const auto& v : per_source) total += v.size();
-  flat.reserve(total);
-  for (const auto& v : per_source) flat.insert(flat.end(), v.begin(), v.end());
-  return flat;
+  per_source[self] = std::move(self_stream);
+  return per_source;
 }
 
 template <class T>
@@ -80,46 +139,77 @@ void append_bytes(std::vector<u8>& out, const T& v) {
   std::memcpy(out.data() + at, &v, sizeof(T));
 }
 
-/// Adjacency lookup over owned + ghost vertices: per vertex, the neighbour
-/// list sorted by gid (binary-searchable for the triangle probes).
-class AdjacencyTable {
- public:
-  void add(u64 gid, std::vector<NbrWire> nbrs) {
-    std::sort(nbrs.begin(), nbrs.end(),
-              [](const NbrWire& x, const NbrWire& y) { return x.nbr < y.nbr; });
-    rows_.emplace_back(gid, std::move(nbrs));
-  }
-  void seal() {
-    std::sort(rows_.begin(), rows_.end(),
-              [](const auto& x, const auto& y) { return x.first < y.first; });
-    for (std::size_t i = 1; i < rows_.size(); ++i) {
-      DIBELLA_CHECK(rows_[i - 1].first != rows_[i].first,
-                    "sgraph: duplicate adjacency row");
-    }
-  }
-  const std::vector<NbrWire>& of(u64 gid) const {
-    auto it = std::lower_bound(
-        rows_.begin(), rows_.end(), gid,
-        [](const auto& row, u64 g) { return row.first < g; });
-    DIBELLA_CHECK(it != rows_.end() && it->first == gid,
-                  "sgraph: missing adjacency for vertex");
-    return it->second;
-  }
-  /// Overlap length of edge (gid, nbr), or nullptr when absent.
-  const NbrWire* find(u64 gid, u64 nbr) const {
-    const auto& nbrs = of(gid);
-    auto it = std::lower_bound(nbrs.begin(), nbrs.end(), nbr,
-                               [](const NbrWire& x, u64 g) { return x.nbr < g; });
-    return it != nbrs.end() && it->nbr == nbr ? &*it : nullptr;
-  }
+template <class T>
+void append_array(std::vector<u8>& out, const T* v, std::size_t n) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::size_t at = out.size();
+  out.resize(at + n * sizeof(T));
+  if (n != 0) std::memcpy(out.data() + at, v, n * sizeof(T));
+}
 
- private:
-  std::vector<std::pair<u64, std::vector<NbrWire>>> rows_;
-};
+/// Strict total order on dovetail edges: (lo, hi) groups first, then the
+/// best payload first (score, overlap, orientation bits). Shared by the
+/// source-side and owner-side consolidations, so the per-pair winner is the
+/// same no matter how many ranks the copies were scattered across.
+bool dovetail_order(const DovetailEdge& x, const DovetailEdge& y) {
+  if (x.lo != y.lo) return x.lo < y.lo;
+  if (x.hi != y.hi) return x.hi < y.hi;
+  if (x.score != y.score) return x.score > y.score;
+  if (x.overlap_len != y.overlap_len) return x.overlap_len > y.overlap_len;
+  if (x.same_orientation != y.same_orientation) {
+    return x.same_orientation > y.same_orientation;
+  }
+  if (x.from_is_lo != y.from_is_lo) return x.from_is_lo > y.from_is_lo;
+  if (x.rc_from != y.rc_from) return x.rc_from > y.rc_from;
+  return x.rc_to > y.rc_to;
+}
+
+bool same_pair(const DovetailEdge& x, const DovetailEdge& y) {
+  return x.lo == y.lo && x.hi == y.hi;
+}
+
+/// Consolidate `edges` to the single best record per (lo, hi) under
+/// dovetail_order, leaving the result sorted by (lo, hi) — the same output
+/// as sort(dovetail_order) + unique(same_pair). When the gid space is small
+/// relative to the edge count the comparison sort is replaced by two stable
+/// counting passes (by hi, then by lo) and a best-of-group scan; otherwise
+/// the counting arrays would blow the cache and the comparison sort wins.
+void consolidate_best_per_pair(std::vector<DovetailEdge>& edges, u64 total_reads) {
+  if (edges.size() < 2) return;
+  if (total_reads > 16 * edges.size() + 4096) {
+    std::sort(edges.begin(), edges.end(), dovetail_order);
+    edges.erase(std::unique(edges.begin(), edges.end(), same_pair), edges.end());
+    return;
+  }
+  const auto n_keys = static_cast<std::size_t>(total_reads);
+  std::vector<u32> count(n_keys + 1, 0);
+  std::vector<DovetailEdge> tmp(edges.size());
+  for (const auto& e : edges) ++count[static_cast<std::size_t>(e.hi) + 1];
+  for (std::size_t k = 1; k <= n_keys; ++k) count[k] += count[k - 1];
+  for (const auto& e : edges) tmp[count[static_cast<std::size_t>(e.hi)]++] = e;
+  count.assign(n_keys + 1, 0);
+  for (const auto& e : tmp) ++count[static_cast<std::size_t>(e.lo) + 1];
+  for (std::size_t k = 1; k <= n_keys; ++k) count[k] += count[k - 1];
+  for (const auto& e : tmp) edges[count[static_cast<std::size_t>(e.lo)]++] = e;
+  // Groups of equal (lo, hi) are now contiguous (the second pass is stable);
+  // keep each group's dovetail_order minimum, which is the copy unique()
+  // would have kept after a full sort.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < edges.size();) {
+    std::size_t best = i;
+    std::size_t j = i + 1;
+    for (; j < edges.size() && same_pair(edges[j], edges[i]); ++j) {
+      if (dovetail_order(edges[j], edges[best])) best = j;
+    }
+    edges[out++] = edges[best];
+    i = j;
+  }
+  edges.resize(out);
+}
 
 }  // namespace
 
-StringGraphOutput run_string_graph_stage(
+StringGraphShard run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     align::RecordSource& local_records, const StringGraphConfig& cfg,
     StringGraphStageResult* result) {
@@ -129,31 +219,19 @@ StringGraphOutput run_string_graph_stage(
   const auto& partition = store.partition();
   const auto& costs = core::KernelCosts::get();
   StringGraphStageResult res;
-  StringGraphOutput out;
+  StringGraphShard shard;
 
-  // --- (1) global read lengths: each rank contributes its contiguous gid
-  // block, so the rank-order concatenation is gid-indexed.
-  std::vector<u32> lengths;
-  {
-    std::vector<u32> local;
-    local.reserve(static_cast<std::size_t>(store.local_count()));
-    const u64 first = store.first_local_gid();
-    for (u64 g = first; g < first + store.local_count(); ++g) {
-      local.push_back(static_cast<u32>(store.local_length(g)));
-    }
-    lengths = comm.allgatherv(local);
-    DIBELLA_CHECK(lengths.size() == partition.total_reads(),
-                  "sgraph: length gather does not cover the read set");
-    ctx.trace.add_compute("sgraph:classify",
-                          static_cast<double>(lengths.size()) * costs.per_byte_copy *
-                              sizeof(u32),
-                          lengths.size() * sizeof(u32));
-  }
-
-  // --- (2) classify this rank's records; collect dovetails and contained
-  // read ids.
+  // --- (1) classify this rank's records; collect dovetails and mark
+  // contained read ids in a gid-indexed byte map (the partition already
+  // replicates O(num_reads) state, so the map costs nothing new and makes
+  // every containment test O(1)). Both endpoint lengths come from the
+  // partition's global length table (built identically on every rank), so
+  // classification needs no collective — this used to be the stage's first
+  // allgatherv. A dovetail whose endpoint is already marked is dropped on
+  // the spot; the prefilter below re-checks the survivors once the local
+  // evidence is complete, so the surviving set is order-independent.
   std::vector<DovetailEdge> dovetails;
-  std::vector<u64> contained_local;
+  std::vector<u8> contained_mark(static_cast<std::size_t>(partition.total_reads()), 0);
   align::AlignmentRecord rec;
   obs::Span classify_span = ctx.span("sgraph:classify");
   while (local_records.next(rec)) {
@@ -166,23 +244,28 @@ StringGraphOutput run_string_graph_stage(
       ++res.below_min_score;
       continue;
     }
-    auto geom = classify_alignment(rec, lengths[static_cast<std::size_t>(rec.rid_a)],
-                                   lengths[static_cast<std::size_t>(rec.rid_b)], cfg.fuzz);
+    auto geom = classify_alignment(rec, partition.length(rec.rid_a),
+                                   partition.length(rec.rid_b), cfg.fuzz);
     switch (geom.cls) {
       case EdgeClass::kInternal:
         ++res.internal_records;
         break;
       case EdgeClass::kContainedA:
         ++res.containment_records;
-        contained_local.push_back(rec.rid_a);
+        contained_mark[static_cast<std::size_t>(rec.rid_a)] = 1;
         break;
       case EdgeClass::kContainedB:
         ++res.containment_records;
-        contained_local.push_back(rec.rid_b);
+        contained_mark[static_cast<std::size_t>(rec.rid_b)] = 1;
         break;
       case EdgeClass::kDovetail:
         ++res.dovetail_records;
-        dovetails.push_back(make_dovetail_edge(rec, geom));
+        if (contained_mark[static_cast<std::size_t>(rec.rid_a)] ||
+            contained_mark[static_cast<std::size_t>(rec.rid_b)]) {
+          ++res.edges_dropped_contained;
+        } else {
+          dovetails.push_back(make_dovetail_edge(rec, geom));
+        }
         break;
     }
   }
@@ -192,206 +275,385 @@ StringGraphOutput run_string_graph_stage(
                         static_cast<double>(res.records_in) * costs.pair_consolidate,
                         res.records_in * sizeof(align::AlignmentRecord));
 
-  // --- (3) the contained set must be global before edges are dropped: a
-  // read contained per one record may carry dovetails in others, and those
-  // records can live on any rank.
-  std::vector<u64> contained = comm.allgatherv(contained_local);
-  std::sort(contained.begin(), contained.end());
-  contained.erase(std::unique(contained.begin(), contained.end()), contained.end());
-  auto is_contained = [&](u64 gid) {
-    return std::binary_search(contained.begin(), contained.end(), gid);
-  };
-  for (u64 gid : contained) {
-    if (partition.owner_of(gid) == comm.rank()) ++res.contained_reads;
+  // --- (2) fused exchange round: one framed payload per peer carries this
+  // rank's contained gid set (every peer needs it: a read contained per one
+  // record may carry dovetails in records on any rank) together with the
+  // dovetail edges owned by that peer (owner of either endpoint). This
+  // fuses what used to be a contained-set allgatherv plus a separate edge
+  // exchange into a single round.
+  // Source-side consolidation before anything touches the wire. Local
+  // containment evidence is a subset of the global union, so an edge this
+  // rank can already see a contained endpoint for would be dropped at the
+  // owner anyway — drop it here (the classify loop caught most of them; the
+  // byte map is only complete now). Then keep one best copy per (lo, hi)
+  // under the same total order the owners use, so the owner-side merge picks
+  // the identical global winner from far fewer copies. On coverage-heavy
+  // layouts this cuts the fused-round payload by an order of magnitude. The
+  // wire carries the marks as a sorted gid list or a bitmap (FusedHeader),
+  // built by one scan of the byte map and shared by every peer's frame.
+  std::vector<u64> contained_local;
+  for (u64 g = 0; g < partition.total_reads(); ++g) {
+    if (contained_mark[static_cast<std::size_t>(g)]) contained_local.push_back(g);
+  }
+  const u64 bitmap_words = (partition.total_reads() + 63) / 64;
+  const bool contained_as_bitmap = bitmap_words < contained_local.size();
+  std::vector<u64> contained_wire;
+  if (contained_as_bitmap) {
+    contained_wire.assign(static_cast<std::size_t>(bitmap_words), 0);
+    for (u64 g : contained_local) {
+      contained_wire[static_cast<std::size_t>(g >> 6)] |= u64{1} << (g & 63);
+    }
+  } else {
+    contained_wire = contained_local;
+  }
+  dovetails.erase(std::remove_if(dovetails.begin(), dovetails.end(),
+                                 [&](const DovetailEdge& e) {
+                                   if (!contained_mark[static_cast<std::size_t>(e.lo)] &&
+                                       !contained_mark[static_cast<std::size_t>(e.hi)]) {
+                                     return false;
+                                   }
+                                   ++res.edges_dropped_contained;
+                                   return true;
+                                 }),
+                  dovetails.end());
+  consolidate_best_per_pair(dovetails, partition.total_reads());
+  // Route each surviving edge to both endpoint owners, serialized straight
+  // into the per-destination wire buffers (no per-destination edge vectors
+  // in between): one counting pass sizes each buffer and writes its header,
+  // a second pass appends the edges — still in dovetail_order, since a
+  // per-destination subsequence of a sorted sequence stays sorted.
+  const bool gids_fit_u32 = partition.total_reads() <= 0xFFFFFFFFull;
+  bool edges_packed = gids_fit_u32;
+  std::vector<u64> n_edges_for(static_cast<std::size_t>(P), 0);
+  for (const auto& e : dovetails) {
+    const int d1 = partition.owner_of(e.lo);
+    const int d2 = partition.owner_of(e.hi);
+    ++n_edges_for[static_cast<std::size_t>(d1)];
+    if (d2 != d1) ++n_edges_for[static_cast<std::size_t>(d2)];
+    edges_packed = edges_packed && e.overlap_len <= kWireOverlapMask;
+  }
+  const std::size_t edge_wire_size =
+      edges_packed ? sizeof(WireEdge) : sizeof(DovetailEdge);
+  std::vector<std::vector<u8>> fused_out(static_cast<std::size_t>(P));
+  for (int d = 0; d < P; ++d) {
+    auto& buf = fused_out[static_cast<std::size_t>(d)];
+    buf.reserve(sizeof(FusedHeader) + contained_wire.size() * sizeof(u64) +
+                n_edges_for[static_cast<std::size_t>(d)] * edge_wire_size);
+    append_bytes(buf, FusedHeader{contained_wire.size(),
+                                  n_edges_for[static_cast<std::size_t>(d)],
+                                  contained_as_bitmap ? u64{1} : u64{0},
+                                  edges_packed ? u64{1} : u64{0}});
+    append_array(buf, contained_wire.data(), contained_wire.size());
+  }
+  for (const auto& e : dovetails) {
+    const int d1 = partition.owner_of(e.lo);
+    const int d2 = partition.owner_of(e.hi);
+    if (edges_packed) {
+      const WireEdge w = pack_edge(e);
+      append_bytes(fused_out[static_cast<std::size_t>(d1)], w);
+      if (d2 != d1) append_bytes(fused_out[static_cast<std::size_t>(d2)], w);
+    } else {
+      append_bytes(fused_out[static_cast<std::size_t>(d1)], e);
+      if (d2 != d1) append_bytes(fused_out[static_cast<std::size_t>(d2)], e);
+    }
   }
 
-  // --- (4) partition dovetail edges to the owners of both endpoints.
-  std::vector<std::vector<u8>> edge_out(static_cast<std::size_t>(P));
-  for (const auto& e : dovetails) {
-    if (is_contained(e.lo) || is_contained(e.hi)) {
-      ++res.edges_dropped_contained;
-      continue;
-    }
-    int d1 = partition.owner_of(e.lo);
-    int d2 = partition.owner_of(e.hi);
-    append_bytes(edge_out[static_cast<std::size_t>(d1)], e);
-    if (d2 != d1) append_bytes(edge_out[static_cast<std::size_t>(d2)], e);
-  }
   std::vector<DovetailEdge> incident;  // every edge with an owned endpoint
+  std::vector<std::size_t> bounds{0};  // ends of the per-source sorted runs
   {
     obs::Span span = ctx.span("sgraph:edge_exchange");
-    std::vector<u8> flat =
-        exchange_byte_streams(ctx, edge_out, cfg, "sgraph:pack", "sgraph:build");
-    span.arg("bytes", flat.size());
-    comm::ByteReader reader(flat);
-    incident.reserve(flat.size() / sizeof(DovetailEdge));
-    reader.read_into(incident, flat.size() / sizeof(DovetailEdge));
-    DIBELLA_CHECK(reader.empty(), "sgraph: edge stream not a multiple of the edge size");
+    std::vector<std::vector<u8>> streams =
+        exchange_byte_streams(ctx, fused_out, cfg, "sgraph:pack", "sgraph:build");
+    u64 recv_bytes = 0;
+    for (const auto& s : streams) recv_bytes += s.size();
+    span.arg("bytes", recv_bytes);
+    std::vector<u64> words;
+    std::vector<WireEdge> wire_edges;
+    for (const auto& stream : streams) {
+      comm::ByteReader reader(stream);
+      while (!reader.empty()) {
+        auto h = reader.read<FusedHeader>();
+        words.clear();
+        reader.read_into(words, h.contained_words);
+        // Fold the sender's marks straight into this rank's byte map: after
+        // the round it holds the global union.
+        if (h.contained_as_bitmap) {
+          for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            u64 w = words[wi];
+            while (w != 0) {
+              const auto bit = static_cast<std::size_t>(std::countr_zero(w));
+              contained_mark[wi * 64 + bit] = 1;
+              w &= w - 1;
+            }
+          }
+        } else {
+          for (u64 g : words) contained_mark[static_cast<std::size_t>(g)] = 1;
+        }
+        if (h.edges_packed != 0) {
+          wire_edges.clear();
+          reader.read_into(wire_edges, h.n_edges);
+          incident.reserve(incident.size() + wire_edges.size());
+          for (const WireEdge& w : wire_edges) incident.push_back(unpack_edge(w));
+        } else {
+          reader.read_into(incident, h.n_edges);
+        }
+        if (incident.size() != bounds.back()) bounds.push_back(incident.size());
+      }
+    }
+    span.arg("edges", incident.size());
   }
-  // Distinct holders may each contribute a record for the same pair (the
-  // pipeline never does, but the stage contract tolerates it): keep the
-  // best-scoring edge per (lo, hi), ranked by the full payload so both
-  // endpoint owners — which receive the same candidate set — agree.
-  std::sort(incident.begin(), incident.end(),
-            [](const DovetailEdge& x, const DovetailEdge& y) {
-              if (x.lo != y.lo) return x.lo < y.lo;
-              if (x.hi != y.hi) return x.hi < y.hi;
-              if (x.score != y.score) return x.score > y.score;
-              if (x.overlap_len != y.overlap_len) return x.overlap_len > y.overlap_len;
-              if (x.same_orientation != y.same_orientation) {
-                return x.same_orientation > y.same_orientation;
-              }
-              if (x.from_is_lo != y.from_is_lo) return x.from_is_lo > y.from_is_lo;
-              if (x.rc_from != y.rc_from) return x.rc_from > y.rc_from;
-              return x.rc_to > y.rc_to;
-            });
-  incident.erase(std::unique(incident.begin(), incident.end(),
-                             [](const DovetailEdge& x, const DovetailEdge& y) {
-                               return x.lo == y.lo && x.hi == y.hi;
-                             }),
-                 incident.end());
-
-  // --- (5) owned adjacency (complete for every owned vertex: both owners
-  // receive each edge) and the rank's decidable edge list (owner of lo).
   const u64 first_owned = partition.first_gid(comm.rank());
   const u64 owned_count = partition.count(comm.rank());
-  std::vector<std::vector<NbrWire>> owned_adj(static_cast<std::size_t>(owned_count));
-  std::vector<DovetailEdge> owned_edges;
+  for (u64 i = 0; i < owned_count; ++i) {
+    if (contained_mark[static_cast<std::size_t>(first_owned + i)]) {
+      ++res.contained_reads;
+    }
+  }
+
+  // Each source pre-sorted its edges under the shared total order, so the
+  // received stream is a concatenation of sorted runs — merge them instead
+  // of re-sorting from scratch.
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next{0};
+    std::size_t i = 0;
+    for (; i + 2 < bounds.size(); i += 2) {
+      std::inplace_merge(incident.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+                         incident.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]),
+                         incident.begin() + static_cast<std::ptrdiff_t>(bounds[i + 2]),
+                         dovetail_order);
+      next.push_back(bounds[i + 2]);
+    }
+    if (i + 1 < bounds.size()) next.push_back(bounds.back());  // odd run carried over
+    bounds = std::move(next);
+  }
+
+  // Drop incident edges whose contained endpoint only the global union
+  // reveals (the sender's local evidence already filtered the rest), counted
+  // where the drop happens — the rest of the copies were tallied at their
+  // source ranks above. Then keep the best edge per (lo, hi): both endpoint
+  // owners receive the same candidate set, and best-of-local-bests under the
+  // shared order is the global best.
+  incident.erase(
+      std::remove_if(incident.begin(), incident.end(),
+                     [&](const DovetailEdge& e) {
+                       if (!contained_mark[static_cast<std::size_t>(e.lo)] &&
+                           !contained_mark[static_cast<std::size_t>(e.hi)]) {
+                         return false;
+                       }
+                       ++res.edges_dropped_contained;
+                       return true;
+                     }),
+      incident.end());
+  incident.erase(std::unique(incident.begin(), incident.end(), same_pair),
+                 incident.end());
+
+  // --- (3) owned adjacency (complete for every owned vertex: both owners
+  // receive each edge) and the rank's decidable edge count (owner of lo).
+  // Flat counting-sort CSR build (count, prefix, scatter) rather than one
+  // vector per owned vertex: rows average a couple of entries, so the
+  // per-vertex vectors cost more in allocator traffic than the adjacency
+  // itself. Row i spans [own_off[i], own_off[i + 1]) of own_entries.
+  std::vector<u64> own_off(static_cast<std::size_t>(owned_count) + 1, 0);
   for (const auto& e : incident) {
     DIBELLA_CHECK(e.lo < e.hi, "sgraph: edge not normalized");
     if (partition.owner_of(e.lo) == comm.rank()) {
-      owned_adj[static_cast<std::size_t>(e.lo - first_owned)].push_back(
-          NbrWire{e.hi, e.overlap_len});
-      owned_edges.push_back(e);
+      ++own_off[static_cast<std::size_t>(e.lo - first_owned) + 1];
+      ++res.edges_owned;
     }
     if (partition.owner_of(e.hi) == comm.rank()) {
-      owned_adj[static_cast<std::size_t>(e.hi - first_owned)].push_back(
-          NbrWire{e.lo, e.overlap_len});
+      ++own_off[static_cast<std::size_t>(e.hi - first_owned) + 1];
     }
   }
-  res.edges_owned = owned_edges.size();
+  for (u64 i = 0; i < owned_count; ++i) {
+    own_off[static_cast<std::size_t>(i) + 1] += own_off[static_cast<std::size_t>(i)];
+  }
+  std::vector<CsrEntry> own_entries(
+      static_cast<std::size_t>(own_off[static_cast<std::size_t>(owned_count)]));
+  {
+    std::vector<u64> cursor(own_off.begin(), own_off.end() - 1);
+    for (const auto& e : incident) {
+      if (partition.owner_of(e.lo) == comm.rank()) {
+        own_entries[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(e.lo - first_owned)]++)] =
+            CsrEntry{e.hi, e.overlap_len};
+      }
+      if (partition.owner_of(e.hi) == comm.rank()) {
+        own_entries[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(e.hi - first_owned)]++)] =
+            CsrEntry{e.lo, e.overlap_len};
+      }
+    }
+  }
   ctx.trace.add_compute("sgraph:build",
                         static_cast<double>(incident.size()) * costs.pair_consolidate,
                         incident.size() * sizeof(DovetailEdge));
 
-  // --- (6) ghost exchange: ship each owned vertex's adjacency to every
-  // rank owning one of its neighbours, framed as (gid, deg, [nbr, ov]*).
-  // That gives each rank the full two-hop context around its owned edges,
-  // so cross-rank triangles are decided locally.
+  // --- (4) ghost exchange: ship each owned vertex's adjacency to every
+  // rank owning one of its neighbours, framed as (gid, deg, [col, ov]*).
+  // That gives each rank the full two-hop context around its incident
+  // edges, so cross-rank triangles are decided locally — by *both* endpoint
+  // owners, which is what lets the reduced adjacency (and the unitig walk)
+  // stay rank-local afterwards.
   std::vector<std::vector<u8>> ghost_out(static_cast<std::size_t>(P));
   {
     std::vector<int> dests;
     for (u64 i = 0; i < owned_count; ++i) {
-      const auto& nbrs = owned_adj[static_cast<std::size_t>(i)];
-      if (nbrs.empty()) continue;
+      const CsrEntry* row = own_entries.data() + own_off[static_cast<std::size_t>(i)];
+      const std::size_t deg = static_cast<std::size_t>(
+          own_off[static_cast<std::size_t>(i) + 1] - own_off[static_cast<std::size_t>(i)]);
+      if (deg == 0) continue;
       dests.clear();
-      for (const auto& n : nbrs) {
-        int d = partition.owner_of(n.nbr);
+      for (std::size_t k = 0; k < deg; ++k) {
+        int d = partition.owner_of(row[k].col);
         if (d != comm.rank()) dests.push_back(d);
       }
       std::sort(dests.begin(), dests.end());
       dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
       for (int d : dests) {
         auto& buf = ghost_out[static_cast<std::size_t>(d)];
-        append_bytes(buf, FrameHeader{first_owned + i,
-                                      static_cast<u32>(nbrs.size())});
-        for (const auto& n : nbrs) append_bytes(buf, n);
+        append_bytes(buf, FrameHeader{first_owned + i, static_cast<u32>(deg),
+                                      gids_fit_u32 ? u32{1} : u32{0}});
+        if (gids_fit_u32) {
+          for (std::size_t k = 0; k < deg; ++k) {
+            append_bytes(buf, WireCsr{static_cast<u32>(row[k].col), row[k].ov});
+          }
+        } else {
+          append_array(buf, row, deg);
+        }
       }
     }
   }
-  AdjacencyTable adj;
+  CsrAdjacency adj;
   {
     obs::Span span = ctx.span("sgraph:ghost_exchange");
     u64 ghost_bytes = 0;
     for (const auto& v : ghost_out) ghost_bytes += v.size();
     span.arg("sent_bytes", ghost_bytes);
-    std::vector<u8> flat =
+    std::vector<std::vector<u8>> streams =
         exchange_byte_streams(ctx, ghost_out, cfg, "sgraph:pack", "sgraph:build");
-    span.arg("recv_bytes", flat.size());
-    comm::ByteReader reader(flat);
-    while (!reader.empty()) {
-      auto h = reader.read<FrameHeader>();
-      std::vector<NbrWire> nbrs;
-      nbrs.reserve(h.deg);
-      reader.read_into(nbrs, h.deg);
-      adj.add(h.gid, std::move(nbrs));
+    u64 recv_bytes = 0;
+    for (const auto& s : streams) recv_bytes += s.size();
+    span.arg("recv_bytes", recv_bytes);
+    obs::Span csr_span = ctx.span("sgraph:csr");
+    std::vector<WireCsr> wire_nbrs;
+    std::vector<CsrEntry> nbrs;  // reused per frame; add_row copies the slice
+    for (const auto& stream : streams) {
+      comm::ByteReader reader(stream);
+      while (!reader.empty()) {
+        auto h = reader.read<FrameHeader>();
+        nbrs.clear();
+        if (h.packed != 0) {
+          wire_nbrs.clear();
+          reader.read_into(wire_nbrs, h.deg);
+          for (const WireCsr& w : wire_nbrs) nbrs.push_back(CsrEntry{w.col, w.ov});
+        } else {
+          reader.read_into(nbrs, h.deg);
+        }
+        adj.add_row(h.gid, nbrs.data(), nbrs.size());
+      }
     }
     for (u64 i = 0; i < owned_count; ++i) {
-      if (!owned_adj[static_cast<std::size_t>(i)].empty()) {
-        adj.add(first_owned + i, std::move(owned_adj[static_cast<std::size_t>(i)]));
+      const std::size_t deg = static_cast<std::size_t>(
+          own_off[static_cast<std::size_t>(i) + 1] - own_off[static_cast<std::size_t>(i)]);
+      if (deg != 0) {
+        adj.add_row(first_owned + i,
+                    own_entries.data() + own_off[static_cast<std::size_t>(i)], deg);
       }
     }
     adj.seal();
+    csr_span.arg("rows", adj.rows());
+    csr_span.arg("nonzeros", adj.nonzeros());
+    csr_span.close();
+    ctx.trace.add_compute("sgraph:csr",
+                          static_cast<double>(adj.nonzeros()) * costs.pair_consolidate,
+                          adj.nonzeros() * sizeof(CsrEntry));
   }
 
-  // --- (7) rank-parallel transitive reduction. Every verdict is evaluated
-  // against the original edge set through the strict total order
-  // (edge_outranks), so marks commute: the result is independent of
-  // evaluation order and of which rank decides which edge.
+  // --- (5) transitive reduction as a masked CSR semiring product: one
+  // merge-scan row product per incident edge (sgraph/csr.hpp). Every
+  // verdict is evaluated against the original edge set through the strict
+  // total order (edge_outranks), so marks commute: the result is
+  // independent of evaluation order and of which rank decides which edge —
+  // and both endpoint owners, holding identical rows for both endpoints,
+  // reach the identical verdict. Counters stay owner-of-lo so the global
+  // sums are plain.
   obs::Span reduce_span = ctx.span("sgraph:reduce");
-  reduce_span.arg("edges", owned_edges.size());
-  std::vector<DovetailEdge> surviving;
-  surviving.reserve(owned_edges.size());
-  for (const auto& e : owned_edges) {
-    const auto& nbrs_a = adj.of(e.lo);
-    bool transitive = false;
-    for (const auto& ab : nbrs_a) {
-      const u64 b = ab.nbr;
-      if (b == e.hi) continue;
-      ++res.triangle_probes;
-      if (!edge_outranks(ab.ov, std::min(e.lo, b), std::max(e.lo, b), e.overlap_len,
-                         e.lo, e.hi)) {
-        continue;
-      }
-      const NbrWire* bc = adj.find(e.hi, b);
-      if (bc != nullptr && edge_outranks(bc->ov, std::min(b, e.hi), std::max(b, e.hi),
-                                         e.overlap_len, e.lo, e.hi)) {
-        transitive = true;
-        break;
-      }
-    }
+  reduce_span.arg("edges", incident.size());
+  std::vector<std::vector<u64>> reduced(static_cast<std::size_t>(owned_count));
+  for (const auto& e : incident) {
+    const bool own_lo = partition.owner_of(e.lo) == comm.rank();
+    const bool transitive =
+        csr_transitive_step(adj, e.lo, e.hi, e.overlap_len, &res.triangle_probes);
     if (transitive) {
-      ++res.edges_removed;
-    } else {
-      surviving.push_back(e);
+      if (own_lo) ++res.edges_removed;
+      continue;
+    }
+    if (own_lo) {
+      shard.surviving_edges.push_back(e);
+      reduced[static_cast<std::size_t>(e.lo - first_owned)].push_back(e.hi);
+    }
+    if (partition.owner_of(e.hi) == comm.rank()) {
+      reduced[static_cast<std::size_t>(e.hi - first_owned)].push_back(e.lo);
     }
   }
-  res.edges_surviving = surviving.size();
+  res.edges_surviving = shard.surviving_edges.size();
   reduce_span.arg("probes", res.triangle_probes);
   reduce_span.close();
   ctx.trace.add_compute("sgraph:reduce",
                         static_cast<double>(res.triangle_probes) * costs.graph_probe,
                         incident.size() * sizeof(DovetailEdge));
 
-  // --- (8) funnel the surviving set to rank 0, canonicalize, and lay out
-  // unitigs + components (the serial writer rank, as in real assemblers).
-  auto gathered = comm.gather(surviving, /*root=*/0);
-  if (comm.rank() == 0) {
-    obs::Span layout_span = ctx.span("sgraph:layout");
-    for (auto& part : gathered) {
-      out.surviving_edges.insert(out.surviving_edges.end(), part.begin(), part.end());
-    }
-    std::sort(out.surviving_edges.begin(), out.surviving_edges.end(),
-              [](const DovetailEdge& x, const DovetailEdge& y) {
-                return x.lo != y.lo ? x.lo < y.lo : x.hi < y.hi;
-              });
-    out.layout = extract_unitigs(out.surviving_edges);
-    ctx.trace.add_compute(
-        "sgraph:layout",
-        static_cast<double>(out.surviving_edges.size()) * costs.pair_consolidate,
-        out.surviving_edges.size() * sizeof(DovetailEdge));
+  // --- (6) distributed unitig walk: compress this rank's owned slice of
+  // the reduced graph into terminals + interior runs + fully-owned cycles.
+  // The iteration above pushed each reduced row in ascending neighbour
+  // order (incident is (lo, hi)-sorted), as build_walk_fragment requires.
+  {
+    obs::Span walk_span = ctx.span("sgraph:walk");
+    shard.walk = build_walk_fragment(first_owned, reduced);
+    walk_span.arg("terminals", shard.walk.terminals.size());
+    walk_span.arg("runs", shard.walk.runs.size());
+    walk_span.close();
+    u64 reduced_vertices = 0;
+    for (const auto& row : reduced) reduced_vertices += row.empty() ? 0 : 1;
+    ctx.trace.add_compute("sgraph:walk",
+                          static_cast<double>(reduced_vertices) * costs.pair_consolidate,
+                          reduced_vertices * sizeof(u64));
   }
 
   if (result) *result = res;
-  return out;
+  return shard;
 }
 
-StringGraphOutput run_string_graph_stage(
+StringGraphShard run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     const std::vector<align::AlignmentRecord>& local_records,
     const StringGraphConfig& cfg, StringGraphStageResult* result) {
   align::VectorRecordSource source(local_records);
   return run_string_graph_stage(ctx, store, source, cfg, result);
+}
+
+StringGraphOutput finalize_string_graph(std::vector<StringGraphShard> shards) {
+  StringGraphOutput out;
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.surviving_edges.size();
+  out.surviving_edges.reserve(total);
+  for (auto& s : shards) {
+    out.surviving_edges.insert(out.surviving_edges.end(), s.surviving_edges.begin(),
+                               s.surviving_edges.end());
+  }
+  // Contiguous ascending gid ownership makes the rank-order concatenation
+  // the canonical global (lo, hi) order already; verify, don't re-sort.
+  for (std::size_t i = 1; i < out.surviving_edges.size(); ++i) {
+    const auto& a = out.surviving_edges[i - 1];
+    const auto& b = out.surviving_edges[i];
+    DIBELLA_CHECK(a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi),
+                  "finalize_string_graph: shard edges out of canonical order");
+  }
+  std::vector<WalkFragment> frags;
+  frags.reserve(shards.size());
+  for (auto& s : shards) frags.push_back(std::move(s.walk));
+  out.layout = stitch_unitigs(frags);
+  return out;
 }
 
 }  // namespace dibella::sgraph

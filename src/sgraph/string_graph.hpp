@@ -7,28 +7,45 @@
 /// et al., Parallel String Graph Construction and Transitive Reduction)
 /// distributes at scale.
 ///
-/// Per rank:
-///  1. read lengths are allgathered (block partition, so the concatenation
-///     is gid-indexed);
-///  2. the rank's stage-4 alignment records are classified into contained /
-///     dovetail / internal edges (sgraph/edge_class.hpp); contained read ids
-///     are allgathered so every rank drops their edges identically;
-///  3. dovetail edges are partitioned to the owner rank of each endpoint
+/// The stage runs exactly **two** exchange rounds (it used to take five
+/// rendezvous collectives, which made it latency-bound at small edge
+/// counts). Per rank:
+///  1. read lengths come from the partition's global length table
+///     (io::ReadPartition::length — computed identically on every rank, so
+///     no collective), and the rank's stage-4 alignment records are
+///     classified into contained / dovetail / internal edges
+///     (sgraph/edge_class.hpp);
+///  2. **fused exchange**: one framed payload per peer carries this rank's
+///     locally-discovered contained gid set (to every peer) together with
+///     its dovetail edges (partitioned to the owner of each endpoint);
+///     receivers union the contained sets and drop incident edges with a
+///     contained endpoint — the verdicts every rank reaches are identical
 ///     (comm::Exchanger batches overlapped with packing when overlap_comm,
 ///     one blocking alltoallv otherwise — identical results either way);
-///  4. each rank ships the adjacency list of every owned vertex to the ranks
-///     owning its neighbours (the ghost exchange), giving it the two-hop
-///     context to test its own edges for cross-rank triangles;
-///  5. transitive reduction marks an edge (a, c) removed when some b
-///     neighbours both a and c through strictly higher-ranked edges (strict
-///     total order: overlap length, then endpoint pair) — evaluated against
-///     the *original* edge set and applied simultaneously, so verdicts are
-///     independent of evaluation order, of the rank count, and of the
-///     communication schedule, and every edge is decided exactly once (by
-///     the owner of its lower endpoint);
-///  6. surviving edges funnel to rank 0 (gather), which sorts them into the
-///     canonical (lo, hi) order and extracts unitigs + per-component
-///     summaries (sgraph/unitig.hpp).
+///  3. **ghost exchange**: each rank ships the adjacency list of every
+///     owned vertex to the ranks owning its neighbours, giving both
+///     endpoint owners the two-hop context around every incident edge;
+///  4. reduction is a per-rank CSR adjacency over owned + ghost vertices
+///     with a masked min-plus-style row product per edge (sgraph/csr.hpp,
+///     ELBA's formulation): edge (a, c) is transitive when some b
+///     neighbours both a and c through strictly higher-ranked edges
+///     (strict total order: overlap length, then endpoint pair). Verdicts
+///     are evaluated against the *original* edge set and applied
+///     simultaneously, so they are independent of evaluation order, rank
+///     count, and schedule; both endpoint owners reach the same verdict,
+///     which gives every rank the reduced adjacency of all its owned
+///     vertices with no further communication;
+///  5. **distributed unitig walk** (sgraph/unitig_walk.hpp): each rank
+///     compresses its owned slice of the reduced graph into a WalkFragment
+///     (terminal vertices, maximal interior runs, fully-owned cycles) and
+///     keeps its owned surviving edges (owner of lo, sorted by (lo, hi)).
+///
+/// The per-rank shards assemble into the global layout *without a
+/// collective*: finalize_string_graph concatenates the per-rank surviving
+/// edge lists in rank order (contiguous gid ownership makes that the
+/// canonical global (lo, hi) order) and stitches the walk fragments into
+/// the exact unitig/component layout the old rank-0 sequential extraction
+/// produced (pinned byte-identical by test).
 ///
 /// All collectives are tagged stage "sgraph", so the netsim cost model
 /// reports stage-5 compute and exposed/hidden exchange time alongside
@@ -41,6 +58,7 @@
 #include "io/read_store.hpp"
 #include "sgraph/edge_class.hpp"
 #include "sgraph/unitig.hpp"
+#include "sgraph/unitig_walk.hpp"
 #include "util/common.hpp"
 
 namespace dibella::sgraph {
@@ -50,9 +68,9 @@ struct StringGraphConfig {
   i32 min_overlap_score = 0;
   /// End tolerance for contained/dovetail/internal classification.
   u32 fuzz = kDefaultFuzz;
-  /// Run the edge-partition and ghost exchanges on the nonblocking
-  /// comm::Exchanger, packing/consuming while batches are in flight.
-  /// Off = blocking alltoallvs. Outputs are bitwise-identical either way.
+  /// Run the fused and ghost exchanges on the nonblocking comm::Exchanger,
+  /// packing/consuming while batches are in flight. Off = blocking
+  /// alltoallvs. Outputs are bitwise-identical either way.
   bool overlap_comm = true;
   u64 batch_bytes = 1u << 20;           ///< bytes per destination per exchange batch
   u64 exchange_chunk_bytes = 1u << 20;  ///< Exchanger chunk granularity
@@ -70,15 +88,28 @@ struct StringGraphStageResult {
   u64 containment_records = 0;
   u64 dovetail_records = 0;
   u64 contained_reads = 0;        ///< contained gids owned by this rank
-  u64 edges_dropped_contained = 0;  ///< dovetails dropped for a contained endpoint
+  /// Dovetail edge copies dropped for a contained endpoint, counted where
+  /// the drop happens: at the source when its local containment evidence
+  /// already condemns the edge, else at the receiving owner once the global
+  /// union arrives. Diagnostic only — the rank split (and, because sources
+  /// also deduplicate before the wire, the total) depends on how records
+  /// were distributed.
+  u64 edges_dropped_contained = 0;
   u64 edges_owned = 0;            ///< edges this rank decided (owner of lo)
   u64 edges_removed = 0;          ///< of edges_owned, marked transitive
   u64 edges_surviving = 0;
-  u64 triangle_probes = 0;        ///< witness lookups performed
+  u64 triangle_probes = 0;        ///< semiring merge steps (witness scan work)
 };
 
-/// Global products, populated on rank 0 only (the layout funnel); empty on
-/// every other rank.
+/// One rank's share of the stage-5 products: the surviving edges it owns
+/// (owner of lo, sorted by (lo, hi)) plus its walk fragment. Assemble the
+/// global view with finalize_string_graph.
+struct StringGraphShard {
+  std::vector<DovetailEdge> surviving_edges;
+  WalkFragment walk;
+};
+
+/// Global products, assembled from every rank's shard on the merge thread.
 struct StringGraphOutput {
   std::vector<DovetailEdge> surviving_edges;  ///< canonical: sorted by (lo, hi)
   UnitigResult layout;
@@ -91,15 +122,22 @@ struct StringGraphOutput {
 /// count, the communication schedule, and the record *grouping* (per-rank
 /// record order does not affect the graph: incident edges are re-sorted and
 /// deduplicated, and reduction verdicts are order-independent).
-StringGraphOutput run_string_graph_stage(
+StringGraphShard run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     align::RecordSource& local_records, const StringGraphConfig& cfg,
     StringGraphStageResult* result = nullptr);
 
 /// Vector convenience overload (the in-memory path and the test seam).
-StringGraphOutput run_string_graph_stage(
+StringGraphShard run_string_graph_stage(
     core::StageContext& ctx, const io::ReadStore& store,
     const std::vector<align::AlignmentRecord>& local_records,
     const StringGraphConfig& cfg, StringGraphStageResult* result = nullptr);
+
+/// Assemble the global surviving edge list + layout from every rank's
+/// shard (index = rank). Not a collective: runs on the merge thread after
+/// the stage, replacing the old rank-0 gather. Concatenating the per-rank
+/// edge lists in rank order yields the canonical global (lo, hi) order
+/// because gid ownership is contiguous and ascending in rank.
+StringGraphOutput finalize_string_graph(std::vector<StringGraphShard> shards);
 
 }  // namespace dibella::sgraph

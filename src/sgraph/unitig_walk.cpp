@@ -1,0 +1,264 @@
+#include "sgraph/unitig_walk.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace dibella::sgraph {
+
+WalkFragment build_walk_fragment(u64 first_gid,
+                                 const std::vector<std::vector<u64>>& adj) {
+  WalkFragment frag;
+  const u64 n = adj.size();
+  auto owned = [&](u64 g) { return g >= first_gid && g < first_gid + n; };
+  auto row = [&](u64 g) -> const std::vector<u64>& {
+    return adj[static_cast<std::size_t>(g - first_gid)];
+  };
+  auto interior = [&](u64 g) { return owned(g) && row(g).size() == 2; };
+
+  for (u64 i = 0; i < n; ++i) {
+    const auto& nbrs = adj[static_cast<std::size_t>(i)];
+    if (!nbrs.empty() && nbrs.size() != 2) {
+      frag.terminals.push_back(WalkTerminal{first_gid + i, nbrs});
+    }
+  }
+
+  // Compress maximal owned interior paths. Each interior vertex joins
+  // exactly one run (or one fully-owned cycle), so one linear sweep with a
+  // visited mask covers the slice.
+  std::vector<u8> visited(static_cast<std::size_t>(n), 0);
+  auto step = [&](u64 at, u64 prev) {
+    const auto& r = row(at);
+    return r[0] == prev ? r[1] : r[0];
+  };
+  for (u64 i = 0; i < n; ++i) {
+    if (adj[static_cast<std::size_t>(i)].size() != 2 ||
+        visited[static_cast<std::size_t>(i)]) {
+      continue;
+    }
+    const u64 v = first_gid + i;
+    visited[static_cast<std::size_t>(i)] = 1;
+    // Forward from v toward its second neighbour; a return to v means the
+    // whole cycle is owned interior.
+    std::vector<u64> fwd{v};
+    u64 prev = v;
+    u64 cur = adj[static_cast<std::size_t>(i)][1];
+    bool cycle = false;
+    while (interior(cur)) {
+      if (cur == v) {
+        cycle = true;
+        break;
+      }
+      fwd.push_back(cur);
+      visited[static_cast<std::size_t>(cur - first_gid)] = 1;
+      const u64 nxt = step(cur, prev);
+      prev = cur;
+      cur = nxt;
+    }
+    if (cycle) {
+      frag.cycles.push_back(std::move(fwd));
+      continue;
+    }
+    const u64 right = cur;
+    // Backward from v toward its first neighbour (cannot close a cycle:
+    // that case was taken above).
+    std::vector<u64> back;
+    prev = v;
+    cur = adj[static_cast<std::size_t>(i)][0];
+    while (interior(cur)) {
+      back.push_back(cur);
+      visited[static_cast<std::size_t>(cur - first_gid)] = 1;
+      const u64 nxt = step(cur, prev);
+      prev = cur;
+      cur = nxt;
+    }
+    WalkRun run;
+    run.left = cur;
+    run.right = right;
+    run.seq.reserve(back.size() + fwd.size());
+    run.seq.insert(run.seq.end(), back.rbegin(), back.rend());
+    run.seq.insert(run.seq.end(), fwd.begin(), fwd.end());
+    frag.runs.push_back(std::move(run));
+  }
+  return frag;
+}
+
+UnitigResult stitch_unitigs(const std::vector<WalkFragment>& fragments) {
+  // Flatten the fragments: terminals sorted by gid (gids are rank-disjoint,
+  // so this is a global sort), runs indexed by their end vertices.
+  std::vector<const WalkTerminal*> terms;
+  std::vector<const WalkRun*> runs;
+  std::vector<std::vector<u64>> cycles;
+  for (const WalkFragment& f : fragments) {
+    for (const auto& t : f.terminals) terms.push_back(&t);
+    for (const auto& r : f.runs) runs.push_back(&r);
+    for (const auto& c : f.cycles) cycles.push_back(c);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const WalkTerminal* x, const WalkTerminal* y) { return x->gid < y->gid; });
+  std::vector<std::pair<u64, std::size_t>> run_ends;  // (end gid, run index)
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    run_ends.emplace_back(runs[i]->seq.front(), i);
+    if (runs[i]->seq.size() > 1) run_ends.emplace_back(runs[i]->seq.back(), i);
+  }
+  std::sort(run_ends.begin(), run_ends.end());
+
+  auto find_term = [&](u64 g) -> const WalkTerminal* {
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), g,
+        [](const WalkTerminal* t, u64 gid) { return t->gid < gid; });
+    return it != terms.end() && (*it)->gid == g ? *it : nullptr;
+  };
+  auto find_run = [&](u64 g) -> std::size_t {
+    auto it = std::lower_bound(run_ends.begin(), run_ends.end(), g,
+                               [](const std::pair<u64, std::size_t>& e, u64 gid) {
+                                 return e.first < gid;
+                               });
+    DIBELLA_CHECK(it != run_ends.end() && it->first == g,
+                  "stitch: chain connector is neither terminal nor run end");
+    return it->second;
+  };
+
+  std::vector<u8> run_visited(runs.size(), 0);
+  // Append the run entered at `cur` (coming from `prev`), oriented from the
+  // entry end; returns {last vertex appended, connector off the far end}.
+  auto traverse = [&](std::size_t ri, u64 cur, u64 prev,
+                      std::vector<u64>& out) -> std::pair<u64, u64> {
+    const WalkRun& r = *runs[ri];
+    DIBELLA_CHECK(!run_visited[ri], "stitch: run traversed twice");
+    run_visited[ri] = 1;
+    if (r.seq.size() == 1) {
+      out.push_back(cur);
+      return {cur, r.left == prev ? r.right : r.left};
+    }
+    if (cur == r.seq.front()) {
+      DIBELLA_CHECK(prev == r.left, "stitch: run entered from unexpected side");
+      out.insert(out.end(), r.seq.begin(), r.seq.end());
+      return {r.seq.back(), r.right};
+    }
+    DIBELLA_CHECK(cur == r.seq.back() && prev == r.right,
+                  "stitch: run entered from unexpected side");
+    out.insert(out.end(), r.seq.rbegin(), r.seq.rend());
+    return {r.seq.front(), r.left};
+  };
+
+  UnitigResult res;
+  // Chains: one per unused terminal port, terminals ascending, ports in
+  // neighbour order — the seeding order of the sequential extraction. The
+  // far port is consumed on arrival, exactly as edge_used marks it.
+  std::set<std::pair<u64, u64>> used_ports;
+  for (const WalkTerminal* t : terms) {
+    for (u64 u : t->nbrs) {
+      if (used_ports.count({t->gid, u})) continue;
+      used_ports.insert({t->gid, u});
+      Unitig uni;
+      uni.reads.push_back(t->gid);
+      u64 prev = t->gid;
+      u64 cur = u;
+      while (true) {
+        if (const WalkTerminal* end = find_term(cur)) {
+          uni.reads.push_back(end->gid);
+          used_ports.insert({end->gid, prev});
+          break;
+        }
+        auto [last, nxt] = traverse(find_run(cur), cur, prev, uni.reads);
+        prev = last;
+        cur = nxt;
+      }
+      res.unitigs.push_back(std::move(uni));
+    }
+  }
+
+  // Leftover runs belong to pure cycles spanning >= 2 fragments; stitch
+  // each closed loop of runs into one raw vertex sequence.
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (run_visited[i]) continue;
+    run_visited[i] = 1;
+    std::vector<u64> seq = runs[i]->seq;
+    const u64 start = runs[i]->seq.front();
+    u64 prev = runs[i]->seq.back();
+    u64 cur = runs[i]->right;
+    while (cur != start) {
+      auto [last, nxt] = traverse(find_run(cur), cur, prev, seq);
+      prev = last;
+      cur = nxt;
+    }
+    cycles.push_back(std::move(seq));
+  }
+  // Canonical cycle form — the one the sequential walk produces: start at
+  // the smallest gid, step toward its smaller cycle neighbour.
+  for (auto& c : cycles) {
+    const std::size_t n = c.size();
+    DIBELLA_CHECK(n >= 3, "stitch: cycle shorter than 3 vertices");
+    const std::size_t mi = static_cast<std::size_t>(
+        std::min_element(c.begin(), c.end()) - c.begin());
+    const u64 nxt = c[(mi + 1) % n];
+    const u64 prv = c[(mi + n - 1) % n];
+    std::vector<u64> out;
+    out.reserve(n);
+    if (nxt < prv) {
+      for (std::size_t k = 0; k < n; ++k) out.push_back(c[(mi + k) % n]);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) out.push_back(c[(mi + n - k) % n]);
+    }
+    c = std::move(out);
+  }
+  std::sort(cycles.begin(), cycles.end(),
+            [](const std::vector<u64>& x, const std::vector<u64>& y) {
+              return x.front() < y.front();
+            });
+  for (auto& c : cycles) {
+    Unitig uni;
+    uni.circular = true;
+    uni.reads = std::move(c);
+    res.unitigs.push_back(std::move(uni));
+  }
+
+  // Components over the stitched layout: unitigs partition the edge set, so
+  // consecutive-read unions recover exactly the reduced graph's
+  // connectivity; ids are dense smallest-gid-first, as in the sequential
+  // extraction.
+  std::vector<u64> gids;
+  for (const Unitig& u : res.unitigs) {
+    gids.insert(gids.end(), u.reads.begin(), u.reads.end());
+  }
+  std::sort(gids.begin(), gids.end());
+  gids.erase(std::unique(gids.begin(), gids.end()), gids.end());
+  auto dense = [&](u64 g) {
+    return static_cast<std::size_t>(
+        std::lower_bound(gids.begin(), gids.end(), g) - gids.begin());
+  };
+  std::vector<std::size_t> parent(gids.size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find_root = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Unitig& u : res.unitigs) {
+    for (std::size_t j = 1; j < u.reads.size(); ++j) {
+      const std::size_t a = find_root(dense(u.reads[j - 1]));
+      const std::size_t b = find_root(dense(u.reads[j]));
+      if (a != b) parent[b] = a;
+    }
+  }
+  std::vector<u32> comp(gids.size(), ~u32{0});
+  u32 next_comp = 0;
+  for (std::size_t i = 0; i < gids.size(); ++i) {
+    const std::size_t root = find_root(i);
+    if (comp[root] == ~u32{0}) comp[root] = next_comp++;
+    comp[i] = comp[root];
+  }
+  res.components.resize(next_comp);
+  for (std::size_t i = 0; i < gids.size(); ++i) ++res.components[comp[i]].reads;
+  for (const Unitig& u : res.unitigs) {
+    auto& c = res.components[comp[dense(u.reads.front())]];
+    ++c.unitigs;
+    c.longest_unitig_reads = std::max<u64>(c.longest_unitig_reads, u.reads.size());
+    c.edges += u.circular ? u.reads.size() : u.reads.size() - 1;
+  }
+  return res;
+}
+
+}  // namespace dibella::sgraph

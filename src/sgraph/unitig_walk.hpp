@@ -1,0 +1,61 @@
+#pragma once
+/// \file unitig_walk.hpp
+/// Distributed unitig walk over endpoint-partitioned adjacency.
+///
+/// Replaces the old rank-0 surviving-edge gather + sequential extraction:
+/// each rank walks its *owned* slice of the reduced graph into a compact
+/// WalkFragment — maximal runs of owned interior (degree-2) vertices,
+/// terminals (degree != 2) with their reduced neighbour lists, and any
+/// fully-owned cycles — so the O(V) path compression happens rank-parallel
+/// inside stage 5. The main thread then stitches the fragments at run/
+/// terminal granularity (O(#terminals + #runs), no collective) into the
+/// exact unitig and component layout `extract_unitigs` produces from the
+/// global edge list: chains are seeded from terminals in ascending gid
+/// order (ascending neighbour within a terminal), loop chains repeat their
+/// seed at both ends, leftover pure cycles start at their smallest gid and
+/// walk toward its smaller neighbour, and component ids are dense,
+/// smallest-gid-first. A differential test pins stitch == extract_unitigs
+/// across partitions.
+
+#include <vector>
+
+#include "sgraph/unitig.hpp"
+#include "util/common.hpp"
+
+namespace dibella::sgraph {
+
+/// A maximal path of owned interior (degree-2) vertices, with the one-hop
+/// connector gid off each end (a terminal or a remote interior vertex).
+struct WalkRun {
+  std::vector<u64> seq;  ///< owned interior vertices, path order
+  u64 left = 0;          ///< neighbour of seq.front() outside the run
+  u64 right = 0;         ///< neighbour of seq.back() outside the run
+};
+
+/// An owned vertex where chains begin/end: reduced degree 1 or >= 3.
+struct WalkTerminal {
+  u64 gid = 0;
+  std::vector<u64> nbrs;  ///< reduced neighbours, ascending
+};
+
+/// One rank's share of the reduced graph, ready for stitching.
+struct WalkFragment {
+  std::vector<WalkTerminal> terminals;
+  std::vector<WalkRun> runs;
+  /// Cycles whose every vertex is owned interior (closed within the rank),
+  /// in raw walk order; canonicalized during stitching.
+  std::vector<std::vector<u64>> cycles;
+};
+
+/// Compress the rank's owned slice of the reduced graph. `adj[i]` is the
+/// ascending reduced neighbour list of gid `first_gid + i` (empty when the
+/// vertex has no surviving edge and thus is not a graph vertex). Vertices
+/// outside [first_gid, first_gid + adj.size()) are treated as remote.
+WalkFragment build_walk_fragment(u64 first_gid,
+                                 const std::vector<std::vector<u64>>& adj);
+
+/// Stitch every rank's fragment into the global layout. Byte-equivalent to
+/// `extract_unitigs` over the merged surviving edge list (pinned by test).
+UnitigResult stitch_unitigs(const std::vector<WalkFragment>& fragments);
+
+}  // namespace dibella::sgraph

@@ -656,6 +656,52 @@ TEST_F(FaultCli, MultiFaultRunAbsorbsEveryTransportKind) {
   EXPECT_NE(faulted.out.find("comm. chunk retries"), std::string::npos);
 }
 
+TEST_F(FaultCli, FusedSgraphExchangeSelfHealsAndResumesByteIdentical) {
+  // Stage 5 runs exactly two exchange rounds now — epoch 0 is the fused
+  // contained+edge round, epoch 1 the ghost round (blocking schedule). Both
+  // must (a) self-heal transport faults to byte-identical outputs and
+  // (b) survive an abort at either epoch via checkpoint + --resume, pinned
+  // against an unfaulted reference.
+  const fs::path ref_dir = dir_ / "ref";
+  DriverResult ref = run_driver(
+      {"--preset=tiny", "--ranks=4", "--out-dir=" + ref_dir.string()});
+  ASSERT_EQ(ref.exit_code, dibella::cli::kExitOk) << ref.err;
+  const Outputs want = outputs_of(ref_dir);
+
+  int case_index = 0;
+  for (const char* fault :
+       {"drop@sgraph:0", "bitflip@sgraph:0", "truncate@sgraph:1"}) {
+    SCOPED_TRACE(fault);
+    const fs::path cell = dir_ / ("heal" + std::to_string(case_index++));
+    DriverResult healed = run_driver(
+        {"--preset=tiny", "--ranks=4", "--overlap-comm=on",
+         "--inject-fault=" + std::string(fault), "--out-dir=" + cell.string()});
+    ASSERT_EQ(healed.exit_code, dibella::cli::kExitOk) << healed.err;
+    expect_outputs_equal(want, outputs_of(cell));
+    auto counters = parse_counters(load(cell / dibella::cli::kCountersFile));
+    EXPECT_GE(counters.at("comm_chunk_retries"), 1u) << fault;
+  }
+
+  case_index = 0;
+  for (const char* fault : {"abort@sgraph:0:1", "abort@sgraph:1:3"}) {
+    SCOPED_TRACE(fault);
+    const fs::path cell = dir_ / ("abort" + std::to_string(case_index++));
+    const std::string ckpt = "--checkpoint-dir=" + (cell / "ckpt").string();
+    // Blocking schedule: the per-stage epoch maps 1:1 onto the two rounds.
+    DriverResult aborted = run_driver(
+        {"--preset=tiny", "--ranks=4", "--overlap-comm=off", ckpt,
+         "--inject-fault=" + std::string(fault),
+         "--out-dir=" + (cell / "aborted").string()});
+    EXPECT_EQ(aborted.exit_code, dibella::cli::kExitCommFailure) << aborted.err;
+
+    DriverResult resumed = run_driver(
+        {"--preset=tiny", "--ranks=4", ckpt, "--resume",
+         "--out-dir=" + (cell / "resumed").string()});
+    ASSERT_EQ(resumed.exit_code, dibella::cli::kExitOk) << resumed.err;
+    expect_outputs_equal(want, outputs_of(cell / "resumed"));
+  }
+}
+
 // --- graceful degradation ----------------------------------------------------
 
 TEST_F(FaultCli, DegradeFinishesWithHonestlyReducedEval) {

@@ -76,7 +76,7 @@ dsg::StringGraphOutput run_stage(const std::vector<u64>& lens,
   for (const auto& r : reads) sizes.push_back(r.seq.size());
   dibella::io::ReadPartition partition(sizes, ranks);
   std::vector<dibella::netsim::RankTrace> traces(static_cast<std::size_t>(ranks));
-  std::vector<dsg::StringGraphOutput> outs(static_cast<std::size_t>(ranks));
+  std::vector<dsg::StringGraphShard> outs(static_cast<std::size_t>(ranks));
   if (results) results->resize(static_cast<std::size_t>(ranks));
   dibella::comm::World world(ranks);
   world.run([&](dibella::comm::Communicator& comm) {
@@ -89,7 +89,7 @@ dsg::StringGraphOutput run_stage(const std::vector<u64>& lens,
     outs[rank] = dsg::run_string_graph_stage(ctx, store, local, cfg,
                                              results ? &(*results)[rank] : nullptr);
   });
-  return outs[0];
+  return dsg::finalize_string_graph(std::move(outs));
 }
 
 }  // namespace
@@ -324,10 +324,12 @@ namespace {
 
 /// The sequential oracle: classify + drop contained exactly as the stage
 /// specifies, then build graph::OverlapGraph and run its (independent)
-/// transitive reduction.
+/// transitive reduction. Optionally also returns the reduced graph's
+/// adjacency rows (the live_adjacency oracle hook) for the walk differential.
 std::vector<dibella::graph::LiveEdge> oracle_surviving(
     const std::vector<AlignmentRecord>& records, const std::vector<u64>& lens,
-    const dsg::StringGraphConfig& cfg) {
+    const dsg::StringGraphConfig& cfg,
+    std::vector<std::vector<u64>>* adjacency = nullptr) {
   std::set<u64> contained;
   std::vector<std::pair<AlignmentRecord, dsg::EdgeGeometry>> dovetails;
   for (const auto& rec : records) {
@@ -346,10 +348,86 @@ std::vector<dibella::graph::LiveEdge> oracle_surviving(
   }
   auto g = dibella::graph::OverlapGraph::from_alignments(kept, lens.size());
   g.transitive_reduction();
+  if (adjacency) *adjacency = g.live_adjacency();
   return g.live_edges();
 }
 
+/// Slice gid-indexed adjacency rows into `bounds.size()-1` contiguous
+/// fragments (the ownership shape io::ReadPartition produces) and stitch.
+dsg::UnitigResult stitch_over_partition(const std::vector<std::vector<u64>>& adj,
+                                        const std::vector<u64>& bounds) {
+  std::vector<dsg::WalkFragment> frags;
+  for (std::size_t r = 0; r + 1 < bounds.size(); ++r) {
+    std::vector<std::vector<u64>> slice(
+        adj.begin() + static_cast<std::ptrdiff_t>(bounds[r]),
+        adj.begin() + static_cast<std::ptrdiff_t>(bounds[r + 1]));
+    frags.push_back(dsg::build_walk_fragment(bounds[r], std::move(slice)));
+  }
+  return dsg::stitch_unitigs(frags);
+}
+
+void expect_layouts_equal(const dsg::UnitigResult& got, const dsg::UnitigResult& want) {
+  ASSERT_EQ(got.unitigs.size(), want.unitigs.size());
+  for (std::size_t i = 0; i < want.unitigs.size(); ++i) {
+    EXPECT_EQ(got.unitigs[i].reads, want.unitigs[i].reads) << "unitig " << i;
+    EXPECT_EQ(got.unitigs[i].circular, want.unitigs[i].circular) << "unitig " << i;
+  }
+  ASSERT_EQ(got.components.size(), want.components.size());
+  for (std::size_t i = 0; i < want.components.size(); ++i) {
+    EXPECT_EQ(got.components[i].reads, want.components[i].reads) << "comp " << i;
+    EXPECT_EQ(got.components[i].edges, want.components[i].edges) << "comp " << i;
+    EXPECT_EQ(got.components[i].unitigs, want.components[i].unitigs) << "comp " << i;
+    EXPECT_EQ(got.components[i].longest_unitig_reads,
+              want.components[i].longest_unitig_reads)
+        << "comp " << i;
+  }
+}
+
 }  // namespace
+
+TEST(DistributedWalk, StitchMatchesExtractUnitigsAcrossPartitions) {
+  // Deterministic pseudo-random graphs — chains, branches, tips, plus a
+  // planted cycle long enough to span several fragments. For every
+  // partition (including a maximally skewed one) the stitched layout must
+  // equal the sequential extraction field for field.
+  for (u64 seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    u64 state = seed * 0x9E3779B97F4A7C15ull + 1;
+    auto rnd = [&state](u64 m) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      return (state >> 33) % m;
+    };
+    const u64 n = 48;
+    std::set<std::pair<u64, u64>> pairs;
+    for (int i = 0; i < 70; ++i) {
+      u64 a = rnd(n - 8);  // keep the planted cycle's degree profile intact
+      u64 b = rnd(n - 8);
+      if (a != b) pairs.insert({std::min(a, b), std::max(a, b)});
+    }
+    for (u64 v = 40; v < 47; ++v) pairs.insert({v, v + 1});
+    pairs.insert({40, 47});
+
+    std::vector<dsg::DovetailEdge> edges;
+    std::vector<std::vector<u64>> adj(n);
+    for (const auto& [lo, hi] : pairs) {
+      edges.push_back(edge(lo, hi));
+      adj[static_cast<std::size_t>(lo)].push_back(hi);
+      adj[static_cast<std::size_t>(hi)].push_back(lo);
+    }
+    for (auto& row : adj) std::sort(row.begin(), row.end());
+    const auto want = dsg::extract_unitigs(edges);
+    ASSERT_GT(want.unitigs.size(), 0u);
+
+    for (u64 ranks : {1u, 2u, 3u, 5u, 7u}) {
+      SCOPED_TRACE(std::to_string(ranks) + " ranks");
+      std::vector<u64> bounds;
+      for (u64 r = 0; r <= ranks; ++r) bounds.push_back(r * n / ranks);
+      expect_layouts_equal(stitch_over_partition(adj, bounds), want);
+    }
+    // Maximally skewed: one vertex on rank 0, the rest on rank 1.
+    expect_layouts_equal(stitch_over_partition(adj, {0, 1, n}), want);
+  }
+}
 
 TEST(StringGraphDifferential, DistributedMatchesOracleAcrossRanksAndSchedules) {
   auto sim = dibella::simgen::make_dataset(dibella::simgen::tiny_test());
@@ -367,6 +445,8 @@ TEST(StringGraphDifferential, DistributedMatchesOracleAcrossRanksAndSchedules) {
 
   std::string first_gfa;
   std::vector<dibella::graph::LiveEdge> expected;
+  std::vector<std::vector<u64>> oracle_adj;
+  dsg::UnitigResult want_layout;
   bool have_expected = false;
   for (int ranks : {1, 2, 3, 5}) {
     for (bool overlap : {true, false}) {
@@ -376,9 +456,12 @@ TEST(StringGraphDifferential, DistributedMatchesOracleAcrossRanksAndSchedules) {
       if (!have_expected) {
         // The alignment set is rank-count independent (pinned elsewhere), so
         // one oracle evaluation covers every configuration.
-        expected = oracle_surviving(out.alignments, lens, scfg);
+        expected = oracle_surviving(out.alignments, lens, scfg, &oracle_adj);
         have_expected = true;
         ASSERT_GT(expected.size(), 0u);
+        std::vector<dsg::DovetailEdge> expected_edges;
+        for (const auto& e : expected) expected_edges.push_back(edge(e.lo, e.hi));
+        want_layout = dsg::extract_unitigs(expected_edges);
       }
       const auto& got = out.string_graph.surviving_edges;
       ASSERT_EQ(got.size(), expected.size())
@@ -389,6 +472,17 @@ TEST(StringGraphDifferential, DistributedMatchesOracleAcrossRanksAndSchedules) {
         EXPECT_EQ(got[i].overlap_len, expected[i].overlap_len);
         EXPECT_EQ(got[i].score, expected[i].score);
         EXPECT_EQ(got[i].same_orientation, expected[i].same_orientation);
+      }
+      // The distributed walk's stitched layout must equal the sequential
+      // extraction over the oracle's surviving set, every configuration.
+      expect_layouts_equal(out.string_graph.layout, want_layout);
+      // And stitching fragments cut from the oracle hook (live_adjacency)
+      // at this run's ownership bounds must agree too.
+      {
+        std::vector<u64> bounds;
+        for (int r = 0; r < ranks; ++r) bounds.push_back(out.partition.first_gid(r));
+        bounds.push_back(lens.size());
+        expect_layouts_equal(stitch_over_partition(oracle_adj, bounds), want_layout);
       }
       // GFA bytes and unitig count are pinned across every configuration.
       std::ostringstream gfa;
